@@ -1,0 +1,192 @@
+package dta
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// the §3 integrated-vs-staged comparison and the ablation benches DESIGN.md
+// calls out. Each benchmark reports the experiment's headline numbers as
+// custom metrics (quality percentages, speedups, reductions) so
+// `go test -bench=. -benchmem` regenerates the whole evaluation.
+//
+// Benchmarks run at the experiments package's Quick scale by default so the
+// full sweep stays laptop-friendly; set -dtafull for Default scale (the
+// numbers recorded in EXPERIMENTS.md).
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var fullScale = flag.Bool("dtafull", false, "run benchmarks at full experiment scale")
+
+func benchConfig() experiments.Config {
+	if *fullScale {
+		return experiments.Default()
+	}
+	return experiments.Quick()
+}
+
+func BenchmarkTable1CustomerOverview(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 4 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkTable2QualityVsHandTuned(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.QualityHand, r.Name+"_hand_%")
+		b.ReportMetric(100*r.QualityDTA, r.Name+"_dta_%")
+	}
+}
+
+func BenchmarkSec72TPCHExpectedVsActual(b *testing.B) {
+	cfg := benchConfig()
+	var res *experiments.Sec72Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Sec72(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.ExpectedImprovement, "expected_%")
+	b.ReportMetric(100*res.ActualImprovement, "actual_%")
+}
+
+func BenchmarkFigure3TestServerOverhead(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.Reduction, r.Name+"_reduction_%")
+	}
+}
+
+func BenchmarkTable3WorkloadCompression(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, r.Name+"_speedup_x")
+		b.ReportMetric(100*r.QualityDecrease, r.Name+"_quality_loss_%")
+	}
+}
+
+func BenchmarkSec75ReducedStats(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Sec75Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Sec75(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.CountReduction, r.Name+"_count_reduction_%")
+		b.ReportMetric(100*r.TimeReduction, r.Name+"_time_reduction_%")
+	}
+}
+
+func BenchmarkFigure4DTAvsITWQuality(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure45Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure45(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.QualityDTA, r.Name+"_dta_%")
+		b.ReportMetric(100*r.QualityITW, r.Name+"_itw_%")
+	}
+}
+
+func BenchmarkFigure5DTAvsITWTime(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Figure45Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure45(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TimeDTA.Seconds()*1000, r.Name+"_dta_ms")
+		b.ReportMetric(r.TimeITW.Seconds()*1000, r.Name+"_itw_ms")
+	}
+}
+
+func BenchmarkSec3IntegratedVsStaged(b *testing.B) {
+	cfg := benchConfig()
+	var res *experiments.Sec3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Sec3IntegratedVsStaged(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.IntegratedQuality, "integrated_%")
+	b.ReportMetric(100*res.StagedQuality, "staged_%")
+}
+
+func BenchmarkAblationColumnGroupRestriction(b *testing.B) {
+	benchAblation(b, experiments.AblationColumnGroupRestriction)
+}
+
+func BenchmarkAblationMerging(b *testing.B) {
+	benchAblation(b, experiments.AblationMerging)
+}
+
+func BenchmarkAblationLazyAlignment(b *testing.B) {
+	benchAblation(b, experiments.AblationLazyAlignment)
+}
+
+func BenchmarkAblationGreedySeed(b *testing.B) {
+	benchAblation(b, experiments.AblationGreedySeed)
+}
+
+func benchAblation(b *testing.B, fn func(experiments.Config) (*experiments.AblationRow, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	var row *experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = fn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*row.QualityOn, "quality_on_%")
+	b.ReportMetric(100*row.QualityOff, "quality_off_%")
+	b.ReportMetric(float64(row.CallsOn), "whatif_on")
+	b.ReportMetric(float64(row.CallsOff), "whatif_off")
+}

@@ -1,0 +1,251 @@
+// Command dta is the command-line front end of the tuning advisor, in the
+// spirit of the dta.exe utility that ships with SQL Server 2005 (the paper's
+// §2.1: DTA "can be run either from a graphical user interface or using a
+// command-line executable").
+//
+// The tool tunes one of the built-in demonstration databases (tpch, psoft,
+// synt1) against a workload file, or evaluates a user-specified
+// configuration, and writes the recommendation in the public XML schema.
+//
+// Usage:
+//
+//	dta -db tpch -sf 0.01 -workload queries.sql -storage-mb 512 -out rec.xml
+//	dta -db tpch -builtin -features IDX_MV -aligned
+//	dta -input session.xml -db tpch          # XML-scripted session (§6.1)
+//
+// Workload files use the trace format: one statement per line with optional
+// leading weight and duration fields separated by tabs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen/psoft"
+	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/testsrv"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+	"repro/internal/xmlio"
+)
+
+func main() {
+	var (
+		dbName     = flag.String("db", "tpch", "demonstration database: tpch | psoft | synt1")
+		sf         = flag.Float64("sf", 0.01, "scale factor / data scale for the demonstration database")
+		wlPath     = flag.String("workload", "", "workload trace file (default: the database's built-in workload)")
+		inputXML   = flag.String("input", "", "XML session input (overrides workload/options flags)")
+		outPath    = flag.String("out", "", "write the recommendation XML here (default stdout)")
+		features   = flag.String("features", "ALL", "feature set: IDX | MV | PARTITIONING | IDX_MV | IDX_PARTITIONING | ALL")
+		storageMB  = flag.Int64("storage-mb", 0, "storage budget in MB (0 = 3x raw data)")
+		aligned    = flag.Bool("aligned", false, "require aligned partitioning (§4)")
+		evaluate   = flag.Bool("evaluate", false, "evaluate the user configuration instead of tuning (§6.3)")
+		timeLimit  = flag.Duration("time-limit", 0, "tuning time bound (e.g. 5m)")
+		noCompress = flag.Bool("no-compression", false, "disable workload compression (§5.1)")
+		useTestSrv = flag.Bool("test-server", false, "tune through a test server (§5.3)")
+		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
+		quiet      = flag.Bool("q", false, "suppress the progress summary")
+	)
+	flag.Parse()
+
+	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "dta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
+	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
+	noCompress, useTestSrv, quiet bool) error {
+
+	srv, builtin, err := buildServer(dbName, sf)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{
+		Aligned:       aligned,
+		TimeLimit:     timeLimit,
+		NoCompression: noCompress,
+		EvaluateOnly:  evaluate,
+		AllowDrops:    allowDrops,
+	}
+	var w *workload.Workload
+
+	if inputXML != "" {
+		doc, err := readXML(inputXML)
+		if err != nil {
+			return err
+		}
+		if doc.Input == nil {
+			return fmt.Errorf("XML input has no <Input> element")
+		}
+		o, err := xmlio.OptionsFromXML(doc.Input.Options)
+		if err != nil {
+			return err
+		}
+		opts = o
+		opts.EvaluateOnly = doc.Input.EvaluateOnly || evaluate
+		if doc.Input.Configuration != nil {
+			opts.UserConfig = xmlio.ToConfiguration(doc.Input.Configuration)
+		}
+		if doc.Input.Workload != nil {
+			w = &workload.Workload{}
+			for _, st := range doc.Input.Workload.Statements {
+				weight := st.Weight
+				if weight <= 0 {
+					weight = 1
+				}
+				if err := w.Add(st.SQL, weight); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		m, err := xmlio.FeatureMaskFromString(features)
+		if err != nil {
+			return err
+		}
+		opts.Features = m
+	}
+
+	if w == nil {
+		if wlPath != "" {
+			f, err := os.Open(wlPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w, err = workload.ReadTrace(f)
+			if err != nil {
+				return err
+			}
+		} else {
+			w = builtin
+		}
+	}
+
+	if storageMB > 0 {
+		opts.StorageBudget = storageMB << 20
+	} else if opts.StorageBudget == 0 {
+		opts.StorageBudget = 3 * srv.Cat.Bytes()
+	}
+	if opts.BaseConfig == nil {
+		opts.BaseConfig = constraintConfigFor(dbName, srv.Cat)
+	}
+
+	var tuner core.Tuner = srv
+	var sess *testsrv.Session
+	if useTestSrv {
+		sess = testsrv.NewSession(srv)
+		tuner = sess
+	}
+
+	rec, err := core.Tune(tuner, w, opts)
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "tuned %d events (%d templates): improvement %.1f%%, %d structures, %s, %d what-if calls\n",
+			rec.EventsTuned, rec.TemplatesTuned, 100*rec.Improvement, len(rec.NewStructures),
+			rec.Duration.Round(time.Millisecond), rec.WhatIfCalls)
+		for _, s := range rec.NewStructures {
+			fmt.Fprintf(os.Stderr, "  CREATE %s\n", s)
+		}
+		for _, s := range rec.DroppedStructures {
+			fmt.Fprintf(os.Stderr, "  DROP %s\n", s)
+		}
+		if sess != nil {
+			fmt.Fprintf(os.Stderr, "production overhead: %.0f units (what-if calls ran on the test server)\n",
+				sess.ProductionOverhead())
+		}
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return xmlio.Encode(out, &xmlio.DTAXML{
+		Output: &xmlio.Output{Recommendation: xmlio.FromRecommendation(rec)},
+	})
+}
+
+// buildServer creates one of the demonstration servers with data loaded.
+func buildServer(name string, sf float64) (*whatif.Server, *workload.Workload, error) {
+	switch name {
+	case "tpch":
+		cat := tpch.Catalog(sf)
+		db, err := tpch.Load(cat, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := whatif.NewServer("tpch", cat, optimizer.DefaultHardware())
+		s.AttachData(db)
+		return s, tpch.Workload(), nil
+	case "psoft":
+		cat := psoft.Catalog(sf)
+		db, err := psoft.Load(cat, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := whatif.NewServer("psoft", cat, optimizer.DefaultHardware())
+		s.AttachData(db)
+		return s, psoft.Workload(cat, 2000, 1), nil
+	case "synt1":
+		rows := int64(sf * 1000000)
+		if rows < 1000 {
+			rows = 1000
+		}
+		cat := setquery.Catalog(rows)
+		db, err := setquery.Load(cat, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := whatif.NewServer("synt1", cat, optimizer.DefaultHardware())
+		s.AttachData(db)
+		return s, setquery.Workload(cat, 2000, 100, 1), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown database %q (want tpch, psoft, or synt1)", name)
+	}
+}
+
+func constraintConfigFor(dbName string, cat *catalog.Catalog) *catalog.Configuration {
+	if dbName == "tpch" {
+		return tpch.ConstraintConfig(cat)
+	}
+	cfg := catalog.NewConfiguration()
+	for _, t := range cat.Tables() {
+		if len(t.PrimaryKey) > 0 {
+			ix := catalog.NewIndex(t.Name, t.PrimaryKey...)
+			ix.Clustered = true
+			ix.FromConstraint = true
+			cfg.AddIndex(ix)
+		}
+	}
+	return cfg
+}
+
+func readXML(path string) (*xmlio.DTAXML, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xmlio.Decode(f)
+}
+
+var _ = engine.NewDatabase // keep engine linked for documentation examples

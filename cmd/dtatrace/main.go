@@ -1,0 +1,81 @@
+// Command dtatrace generates workload trace files for the demonstration
+// databases — the stand-in for SQL Server Profiler (paper §2.1: "a workload
+// can be obtained by using SQL Server Profiler, a tool for logging events
+// that execute on a server"). The output uses the trace format cmd/dta and
+// dta.ReadWorkload consume: one statement per line with optional leading
+// weight and duration fields.
+//
+// Usage:
+//
+//	dtatrace -db psoft -events 6000 -out psoft.trace
+//	dtatrace -db synt1 -events 8000 -templates 100 | go run ./cmd/dta -db synt1 -workload /dev/stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen/cust"
+	"repro/internal/datagen/psoft"
+	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		db        = flag.String("db", "tpch", "demonstration database: tpch | psoft | synt1 | cust1..cust4")
+		events    = flag.Int("events", 2000, "number of trace events (ignored for tpch: always the 22 queries)")
+		templates = flag.Int("templates", 100, "distinct templates (synt1 only)")
+		scale     = flag.Float64("scale", 0.01, "schema scale factor")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w, err := build(*db, *events, *templates, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtatrace:", err)
+		os.Exit(1)
+	}
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtatrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := workload.WriteTrace(f, w); err != nil {
+		fmt.Fprintln(os.Stderr, "dtatrace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d events (%d templates)\n", w.Len(), len(w.Templates()))
+}
+
+func build(db string, events, templates int, scale float64, seed int64) (*workload.Workload, error) {
+	switch db {
+	case "tpch":
+		return tpch.Workload(), nil
+	case "psoft":
+		return psoft.Workload(psoft.Catalog(scale), events, seed), nil
+	case "synt1":
+		rows := int64(scale * 1000000)
+		if rows < 1000 {
+			rows = 1000
+		}
+		return setquery.Workload(setquery.Catalog(rows), events, templates, seed), nil
+	case "cust1", "cust2", "cust3", "cust4":
+		for _, s := range cust.All(scale) {
+			if s.Name == "CUST"+db[4:] {
+				return s.Workload(events, seed), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown customer scenario %q", db)
+	default:
+		return nil, fmt.Errorf("unknown database %q", db)
+	}
+}

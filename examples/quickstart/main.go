@@ -1,0 +1,87 @@
+// Quickstart: describe a small database, load some rows, hand the advisor a
+// workload, and print its integrated recommendation — indexes, materialized
+// views and range partitioning in one pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	dta "repro"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+func main() {
+	// 1. Describe the logical schema: a 200k-row sales table.
+	cat := catalog.New()
+	db := catalog.NewDatabase("shop")
+	db.AddTable(catalog.NewTable("shop", "sales", 0,
+		&catalog.Column{Name: "id", Type: catalog.TypeInt, Width: 8, Distinct: 200000, Min: 1, Max: 200000},
+		&catalog.Column{Name: "customer", Type: catalog.TypeInt, Width: 8, Distinct: 20000, Min: 1, Max: 20000},
+		&catalog.Column{Name: "day", Type: catalog.TypeDate, Width: 8, Distinct: 730, Min: 0, Max: 729},
+		&catalog.Column{Name: "amount", Type: catalog.TypeFloat, Width: 8, Distinct: 5000, Min: 1, Max: 5000},
+		&catalog.Column{Name: "note", Type: catalog.TypeString, Width: 64, Distinct: 200000, Min: 0, Max: 199999},
+	))
+	cat.AddDatabase(db)
+
+	// 2. Load data (the advisor itself only reads metadata and statistics,
+	// but statistics are created by sampling this data).
+	data := engine.NewDatabase(cat)
+	rows := make([][]engine.Value, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		rows = append(rows, []engine.Value{
+			engine.Num(float64(i + 1)),
+			engine.Num(float64(i%20000 + 1)),
+			engine.Num(float64(i % 730)),
+			engine.Num(float64((i*13)%5000 + 1)),
+			engine.Str(fmt.Sprintf("note-%06d", i)),
+		})
+	}
+	if err := data.Load("sales", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Stand up a server and attach the data.
+	srv := dta.NewServer("prod", cat, dta.DefaultHardware())
+	srv.AttachData(data)
+
+	// 4. The workload: per-customer lookups, a daily report, and updates.
+	w, err := dta.NewWorkload(
+		"SELECT id, amount FROM sales WHERE customer = 4211",
+		"SELECT id, amount FROM sales WHERE customer = 17",
+		"SELECT day, SUM(amount), COUNT(*) FROM sales WHERE day BETWEEN 100 AND 130 GROUP BY day",
+		"SELECT customer, SUM(amount) FROM sales GROUP BY customer",
+		"UPDATE sales SET amount = 42 WHERE id = 31337",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Tune with a 64 MB storage budget.
+	rec, err := dta.Tune(srv, w, dta.Options{StorageBudget: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload cost %.1f → %.1f (improvement %.1f%%)\n",
+		rec.BaseCost, rec.Cost, 100*rec.Improvement)
+	fmt.Printf("storage: %.1f MB, what-if calls: %d\n\n",
+		float64(rec.StorageBytes)/(1<<20), rec.WhatIfCalls)
+	fmt.Println("recommended physical design changes:")
+	for _, s := range rec.NewStructures {
+		fmt.Println("  CREATE", s)
+	}
+
+	fmt.Println("\nper-statement report:")
+	for _, r := range rec.Reports {
+		fmt.Printf("  %7.2f → %7.2f  %s\n", r.CostBefore, r.CostAfter, r.SQL)
+	}
+
+	// 6. The same recommendation in the public XML schema (§6.1).
+	fmt.Println("\nXML output:")
+	if err := dta.WriteRecommendationXML(os.Stdout, rec); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,449 @@
+// Package core implements the Database Tuning Advisor itself: the
+// architecture of paper §2.2 — column-group restriction, per-query candidate
+// selection via Greedy(m,k) over what-if optimizer calls, merging, and
+// global enumeration under storage, alignment, feature-set, and
+// user-specified-configuration constraints — plus the staged-tuning and
+// Index-Tuning-Wizard baselines the paper evaluates against.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Tuner is the advisor's view of a database server: the what-if interfaces
+// plus statistics management. *whatif.Server and *testsrv.Session satisfy it.
+type Tuner interface {
+	Catalog() *catalog.Catalog
+	// WhatIfCost returns the optimizer-estimated cost of the statement as if
+	// cfg were materialized, plus the keys of the structures the plan uses.
+	WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error)
+	// EnsureStatistics creates missing statistics (reduced per §5.2 when
+	// reduce is set) and returns how many were created.
+	EnsureStatistics(reqs []stats.Request, reduce bool) (int, error)
+	// WhatIfCallCount reports the cumulative number of what-if calls.
+	WhatIfCallCount() int64
+}
+
+// FeatureMask selects which physical design features to tune (paper §2.1:
+// "DBAs may sometimes need to limit tuning to subsets of these features").
+type FeatureMask uint8
+
+// Feature bits.
+const (
+	FeatureIndexes FeatureMask = 1 << iota
+	FeatureViews
+	FeaturePartitioning
+	FeatureAll = FeatureIndexes | FeatureViews | FeaturePartitioning
+)
+
+// Has reports whether the mask includes the feature.
+func (m FeatureMask) Has(f FeatureMask) bool { return m&f != 0 }
+
+// String renders the mask.
+func (m FeatureMask) String() string {
+	switch m {
+	case FeatureAll:
+		return "indexes+views+partitioning"
+	}
+	s := ""
+	if m.Has(FeatureIndexes) {
+		s += "+indexes"
+	}
+	if m.Has(FeatureViews) {
+		s += "+views"
+	}
+	if m.Has(FeaturePartitioning) {
+		s += "+partitioning"
+	}
+	if s == "" {
+		return "none"
+	}
+	return s[1:]
+}
+
+// Options mirrors the inputs of paper §2.1.
+type Options struct {
+	// Features limits tuning to a subset of physical design features.
+	// Zero means FeatureAll.
+	Features FeatureMask
+	// StorageBudget bounds the extra storage (bytes) the recommendation may
+	// consume. Zero means unbounded.
+	StorageBudget int64
+	// Aligned requires every table and all of its indexes to be partitioned
+	// identically (paper §4).
+	Aligned bool
+	// BaseConfig holds structures that already exist and always remain
+	// (e.g. indexes enforcing referential integrity). Its storage does not
+	// count against the budget.
+	BaseConfig *catalog.Configuration
+	// UserConfig is a user-specified partial configuration the
+	// recommendation must include (paper §6.2). Its storage counts against
+	// the budget.
+	UserConfig *catalog.Configuration
+	// EvaluateOnly skips tuning and only evaluates BaseConfig+UserConfig
+	// against BaseConfig (exploratory analysis, paper §6.3).
+	EvaluateOnly bool
+	// AllowDrops lets the advisor recommend dropping existing BaseConfig
+	// structures whose maintenance outweighs their benefit (the shipped
+	// tool's "keep existing physical design" checkbox, unchecked).
+	// Structures marked FromConstraint are never dropped.
+	AllowDrops bool
+
+	// CompressWorkload enables workload compression (paper §5.1). Default
+	// is on for workloads above CompressThreshold events.
+	CompressWorkload  bool
+	NoCompression     bool // force compression off
+	CompressThreshold int  // default 50
+	MaxPerTemplate    int  // representatives per template (default 4)
+
+	// ColGroupFrac is the minimum fraction of total workload cost a column
+	// group must appear in to be interesting (paper §2.2). Default 0.02.
+	ColGroupFrac float64
+	// NoColGroupRestriction disables the restriction (ITW-style search).
+	NoColGroupRestriction bool
+	// MaxKeyColumns caps index key width (default 3).
+	MaxKeyColumns int
+
+	// GreedyM and GreedyK parameterize the enumeration step's Greedy(m,k)
+	// (paper §2.2): the seed is chosen optimally among subsets of size ≤ m,
+	// then grown greedily to at most k structures. Defaults: m=1, k=24.
+	GreedyM int
+	GreedyK int
+	// PerQueryK bounds the per-query Greedy(m,k) of candidate selection
+	// (default 6 — single queries rarely benefit from more structures).
+	PerQueryK int
+	// CandidatePoolCap bounds the enumeration pool to the highest-benefit
+	// candidates (default 48; 0 keeps the default, negative disables).
+	CandidatePoolCap int
+
+	// NoMerging disables the merging step (for ablation).
+	NoMerging bool
+	// EagerAlignment materializes aligned candidate variants up front
+	// instead of lazily (for the §4 ablation).
+	EagerAlignment bool
+
+	// ReduceStatistics applies §5.2 when creating statistics. Default on;
+	// set DisableStatReduction for ablation.
+	DisableStatReduction bool
+
+	// TimeLimit bounds tuning time (0 = unbounded).
+	TimeLimit time.Duration
+
+	// SkipReports suppresses the per-event analysis reports (useful when
+	// tuning traces of hundreds of thousands of events).
+	SkipReports bool
+
+	// PartitionCount is the number of ranges partitioning candidates use
+	// (default 12).
+	PartitionCount int
+}
+
+func (o Options) features() FeatureMask {
+	if o.Features == 0 {
+		return FeatureAll
+	}
+	return o.Features
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompressThreshold <= 0 {
+		o.CompressThreshold = 50
+	}
+	if o.MaxPerTemplate <= 0 {
+		o.MaxPerTemplate = 4
+	}
+	if o.ColGroupFrac <= 0 {
+		o.ColGroupFrac = 0.02
+	}
+	if o.MaxKeyColumns <= 0 {
+		o.MaxKeyColumns = 3
+	}
+	if o.GreedyM <= 0 {
+		o.GreedyM = 1
+	}
+	if o.GreedyK <= 0 {
+		o.GreedyK = 24
+	}
+	if o.PartitionCount <= 0 {
+		o.PartitionCount = 12
+	}
+	return o
+}
+
+// QueryReport describes one workload event's before/after costs.
+type QueryReport struct {
+	SQL            string
+	Weight         float64
+	CostBefore     float64
+	CostAfter      float64
+	UsedStructures []string
+}
+
+// UsageReport aggregates how one recommended (or existing) structure is used
+// across the workload — part of the "rich set of analysis reports" of §6.3.
+type UsageReport struct {
+	Structure string // structure key
+	// Queries is the number of distinct workload events whose plan uses the
+	// structure; WeightedUses counts event weights.
+	Queries      int
+	WeightedUses float64
+	// CostShare is the fraction of the recommended-configuration workload
+	// cost spent in statements using this structure.
+	CostShare float64
+}
+
+// Recommendation is the advisor's output (paper §2.1): a configuration plus
+// analysis reports.
+type Recommendation struct {
+	// Config is the full recommended configuration (base + user + new).
+	Config *catalog.Configuration
+	// NewStructures are the structures DTA added beyond BaseConfig.
+	NewStructures []catalog.Structure
+
+	BaseCost    float64 // workload cost under BaseConfig
+	Cost        float64 // workload cost under Config
+	Improvement float64 // (BaseCost − Cost) / BaseCost
+	// StorageBytes is the extra storage of the recommendation beyond
+	// BaseConfig.
+	StorageBytes int64
+
+	EventsTuned    int
+	TemplatesTuned int
+	// SkippedEvents counts statements that did not resolve against the
+	// catalog and were excluded (the tool tunes what it can, like the
+	// shipped DTA, rather than failing the session).
+	SkippedEvents int
+	WhatIfCalls   int64
+	StatsCreated  int
+	Duration      time.Duration
+	Compressed    bool
+
+	Reports []QueryReport
+	// Usage aggregates structure usage across the workload (§6.3), sorted
+	// by descending weighted use count.
+	Usage []UsageReport
+	// DroppedStructures lists BaseConfig structures the advisor recommends
+	// removing (only with Options.AllowDrops).
+	DroppedStructures []catalog.Structure
+}
+
+// String summarizes the recommendation.
+func (r *Recommendation) String() string {
+	return fmt.Sprintf("recommendation: %d structures, improvement %.1f%%, storage %.1f MB, %d events tuned in %s",
+		len(r.NewStructures), 100*r.Improvement, float64(r.StorageBytes)/(1<<20), r.EventsTuned, r.Duration.Round(time.Millisecond))
+}
+
+// Tune produces an integrated physical design recommendation for the
+// workload (paper §2.2 pipeline).
+func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	callsBefore := t.WhatIfCallCount()
+
+	base := opts.BaseConfig
+	if base == nil {
+		base = catalog.NewConfiguration()
+	}
+	if err := base.Validate(t.Catalog()); err != nil {
+		return nil, fmt.Errorf("core: base configuration invalid: %w", err)
+	}
+	if opts.UserConfig != nil {
+		if err := opts.UserConfig.Validate(t.Catalog()); err != nil {
+			return nil, fmt.Errorf("core: user-specified configuration invalid: %w", err)
+		}
+	}
+
+	// The mandatory part of every configuration: existing structures plus
+	// the user-specified partial design.
+	mandatory := base.Clone()
+	mandatory.Merge(opts.UserConfig)
+
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	// Workload compression (§5.1).
+	tuned := w
+	compressed := false
+	if !opts.NoCompression && (opts.CompressWorkload || w.Len() > opts.CompressThreshold) {
+		tuned = workload.Compress(w, workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
+		compressed = tuned.Len() < w.Len()
+	}
+
+	ev := newEvaluator(t, tuned)
+	baseCost, err := ev.configCost(base)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{
+		Config:      mandatory.Clone(),
+		BaseCost:    baseCost,
+		EventsTuned: tuned.Len(),
+		Compressed:  compressed,
+	}
+	rec.TemplatesTuned = len(tuned.Templates())
+	rec.SkippedEvents = ev.skippedEvents()
+	rec.EventsTuned -= rec.SkippedEvents
+
+	if opts.EvaluateOnly {
+		return finishRecommendation(t, ev, rec, base, mandatory, opts, start, callsBefore)
+	}
+
+	// Drop existing structures that cost more than they help (improvement
+	// is measured against the original base, so drops count as gains).
+	if opts.AllowDrops {
+		reduced, dropped, err := greedyDrop(ev, base)
+		if err != nil {
+			return nil, err
+		}
+		if len(dropped) > 0 {
+			base = reduced
+			rec.DroppedStructures = dropped
+			mandatory = base.Clone()
+			mandatory.Merge(opts.UserConfig)
+			rec.Config = mandatory.Clone()
+		}
+	}
+
+	// Column-group restriction (§2.2).
+	groups, err := interestingColumnGroups(t, ev, tuned, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate selection (§2.2): per-query best configurations.
+	cands, benefit, statsCreated, err := selectCandidates(t, ev, tuned, mandatory, groups, opts, deadline)
+	if err != nil {
+		return nil, err
+	}
+	rec.StatsCreated = statsCreated
+
+	// Merging (§2.2).
+	if !opts.NoMerging {
+		cands = mergeCandidates(t.Catalog(), cands, benefit, opts)
+	}
+
+	// Bound the enumeration pool by benefit.
+	cap := opts.CandidatePoolCap
+	if cap == 0 {
+		cap = 48
+	}
+	cands = capCandidates(cands, benefit, cap)
+
+	// Enumeration (§2.2, §4): Greedy(m,k) under storage and alignment.
+	chosen, err := enumerate(ev, mandatory, cands, opts, deadline)
+	if err != nil {
+		return nil, err
+	}
+	finalCfg := mandatory.Clone()
+	for _, s := range chosen {
+		s.ApplyTo(finalCfg)
+	}
+	rec.Config = finalCfg
+
+	return finishRecommendation(t, ev, rec, base, finalCfg, opts, start, callsBefore)
+}
+
+// finishRecommendation fills cost, storage, and per-query reports.
+func finishRecommendation(t Tuner, ev *evaluator, rec *Recommendation, base, final *catalog.Configuration, opts Options, start time.Time, callsBefore int64) (*Recommendation, error) {
+	cost, err := ev.configCost(final)
+	if err != nil {
+		return nil, err
+	}
+	// Never recommend a configuration worse than doing nothing: fall back
+	// to the base configuration (this is what lets DTA correctly recommend
+	// "no new structures" for update-hostile workloads, paper §7.1 CUST3).
+	if cost > rec.BaseCost {
+		final = base.Clone()
+		final.Merge(opts.UserConfig)
+		cost, err = ev.configCost(final)
+		if err != nil {
+			return nil, err
+		}
+		rec.Config = final
+	}
+	rec.Cost = cost
+	if rec.BaseCost > 0 {
+		rec.Improvement = (rec.BaseCost - cost) / rec.BaseCost
+	}
+	rec.NewStructures = newStructures(base, final)
+	rec.StorageBytes = final.StorageBytes(t.Catalog()) - base.StorageBytes(t.Catalog())
+	if rec.StorageBytes < 0 {
+		rec.StorageBytes = 0
+	}
+
+	// Per-query analysis reports (paper §6.3).
+	if opts.SkipReports {
+		rec.WhatIfCalls = t.WhatIfCallCount() - callsBefore
+		rec.Duration = time.Since(start)
+		return rec, nil
+	}
+	usage := map[string]*UsageReport{}
+	var totalAfter float64
+	for i, e := range ev.events {
+		if ev.analyzed(i) == nil {
+			continue // skipped statement: no report
+		}
+		before, _, err := ev.eventCostByIndex(i, base)
+		if err != nil {
+			return nil, err
+		}
+		after, used, err := ev.eventCostByIndex(i, final)
+		if err != nil {
+			return nil, err
+		}
+		rec.Reports = append(rec.Reports, QueryReport{
+			SQL: e.SQL, Weight: e.Weight, CostBefore: before, CostAfter: after, UsedStructures: used,
+		})
+		totalAfter += e.Weight * after
+		for _, key := range used {
+			u := usage[key]
+			if u == nil {
+				u = &UsageReport{Structure: key}
+				usage[key] = u
+			}
+			u.Queries++
+			u.WeightedUses += e.Weight
+			u.CostShare += e.Weight * after
+		}
+	}
+	for _, u := range usage {
+		if totalAfter > 0 {
+			u.CostShare /= totalAfter
+		}
+		rec.Usage = append(rec.Usage, *u)
+	}
+	sort.Slice(rec.Usage, func(i, j int) bool {
+		if rec.Usage[i].WeightedUses != rec.Usage[j].WeightedUses {
+			return rec.Usage[i].WeightedUses > rec.Usage[j].WeightedUses
+		}
+		return rec.Usage[i].Structure < rec.Usage[j].Structure
+	})
+	rec.WhatIfCalls = t.WhatIfCallCount() - callsBefore
+	rec.Duration = time.Since(start)
+	return rec, nil
+}
+
+// newStructures lists the structures in final that base lacks.
+func newStructures(base, final *catalog.Configuration) []catalog.Structure {
+	have := map[string]bool{}
+	for _, s := range base.Structures() {
+		have[s.Key()] = true
+	}
+	var out []catalog.Structure
+	for _, s := range final.Structures() {
+		if !have[s.Key()] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

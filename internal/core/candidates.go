@@ -1,0 +1,489 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// selectCandidates runs the Candidate Selection step (paper §2.2): for each
+// query of the workload — one query at a time — it generates syntactically
+// relevant structures, creates the statistics needed to simulate them
+// (reduced per §5.2), and keeps the structures chosen by a per-query
+// Greedy(m,k) search as candidates for the whole workload. Alongside the
+// candidates it returns each structure's accumulated benefit (the weighted
+// per-query cost reduction of the configurations it appeared in), which the
+// enumeration step uses to bound its pool.
+func selectCandidates(t Tuner, ev *evaluator, w *workload.Workload, mandatory *catalog.Configuration, groups *columnGroups, opts Options, deadline time.Time) ([]catalog.Structure, map[string]float64, int, error) {
+	pool := map[string]catalog.Structure{}
+	benefit := map[string]float64{}
+	var order []string
+	statsCreated := 0
+	perQueryK := opts.PerQueryK
+	if perQueryK <= 0 {
+		perQueryK = 6
+	}
+
+	for i := range w.Events {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		q := ev.analyzed(i)
+		if q == nil {
+			continue
+		}
+		cands := generateForQuery(t.Catalog(), q, groups, opts)
+		if len(cands) == 0 {
+			continue
+		}
+		// Statistics for what-if structures (§5.2).
+		created, err := t.EnsureStatistics(statRequests(cands), !opts.DisableStatReduction)
+		if err != nil {
+			return nil, nil, statsCreated, err
+		}
+		statsCreated += created
+
+		idx := i
+		perQueryCost := func(cfg *catalog.Configuration) (float64, error) {
+			c, _, err := ev.eventCostByIndex(idx, cfg)
+			return c, err
+		}
+		baseCost, err := perQueryCost(mandatory)
+		if err != nil {
+			return nil, nil, statsCreated, err
+		}
+		// The global storage budget applies per query too: a structure that
+		// alone exceeds the budget can never appear in the final design, and
+		// keeping it as a candidate would crowd out affordable non-redundant
+		// alternatives (clusterings, partitionings).
+		chosen, err := greedySearch(mandatory, cands, perQueryCost, greedyOptions{
+			m: opts.GreedyM, k: perQueryK, cat: t.Catalog(), deadline: deadline,
+			budget: opts.StorageBudget,
+		})
+		if err != nil {
+			return nil, nil, statsCreated, err
+		}
+		if len(chosen) == 0 {
+			continue
+		}
+		bestCfg := mandatory.Clone()
+		for _, s := range chosen {
+			s.ApplyTo(bestCfg)
+		}
+		bestCost, err := perQueryCost(bestCfg)
+		if err != nil {
+			return nil, nil, statsCreated, err
+		}
+		gain := (baseCost - bestCost) * w.Events[i].Weight
+		for _, s := range chosen {
+			key := s.Key()
+			if _, dup := pool[key]; !dup {
+				pool[key] = s
+				order = append(order, key)
+			}
+			benefit[key] += gain
+		}
+	}
+	out := make([]catalog.Structure, 0, len(order))
+	for _, k := range order {
+		out = append(out, pool[k])
+	}
+	return out, benefit, statsCreated, nil
+}
+
+// capCandidates keeps the limit highest-benefit candidates (merged
+// structures inherit the larger parent benefit plus a small bonus so they
+// stay competitive). Bounding the pool keeps the enumeration step's
+// Greedy(m,k) affordable on workloads with many templates.
+func capCandidates(cands []catalog.Structure, benefit map[string]float64, limit int) []catalog.Structure {
+	if limit <= 0 || len(cands) <= limit {
+		return cands
+	}
+	sorted := append([]catalog.Structure(nil), cands...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return benefit[sorted[a].Key()] > benefit[sorted[b].Key()]
+	})
+	return sorted[:limit]
+}
+
+// statRequests lists the statistics needed to simulate the candidates: one
+// per index key-column list, one per partitioning column.
+func statRequests(cands []catalog.Structure) []stats.Request {
+	var reqs []stats.Request
+	for _, s := range cands {
+		switch {
+		case s.Index != nil:
+			reqs = append(reqs, stats.Request{Table: s.Index.Table, Columns: s.Index.KeyColumns})
+		case s.Part != nil:
+			reqs = append(reqs, stats.Request{Table: s.PartTable, Columns: []string{s.Part.Column}})
+		}
+	}
+	return reqs
+}
+
+// GenerateCandidates exposes the per-query candidate generation step for
+// inspection and tooling: the syntactically relevant structures for one
+// analyzed statement, without the column-group restriction.
+func GenerateCandidates(cat *catalog.Catalog, q *optimizer.QueryInfo, opts Options) []catalog.Structure {
+	opts = opts.withDefaults()
+	return generateForQuery(cat, q, &columnGroups{disabled: true}, opts)
+}
+
+// generateForQuery produces the syntactically relevant structures for one
+// analyzed statement, restricted to interesting column groups.
+func generateForQuery(cat *catalog.Catalog, q *optimizer.QueryInfo, groups *columnGroups, opts Options) []catalog.Structure {
+	g := &generator{cat: cat, q: q, groups: groups, opts: opts, seen: map[string]bool{}}
+	feats := opts.features()
+
+	for si, sc := range q.Scopes {
+		eqCols, rangeCols := sargableColumns(sc)
+		joinCols := joinColumnsOf(q, si)
+		groupCols := scopedColsOf(q.GroupBy, si)
+		orderCols := scopedColsOf(q.OrderBy, si)
+
+		if feats.Has(FeatureIndexes) {
+			g.indexCandidates(sc, eqCols, rangeCols, joinCols, groupCols, orderCols)
+		}
+		if feats.Has(FeaturePartitioning) {
+			g.partitionCandidates(sc, eqCols, rangeCols, joinCols)
+		}
+	}
+	if feats.Has(FeatureViews) && q.Kind == optimizer.KindSelect {
+		g.viewCandidates()
+	}
+	return g.out
+}
+
+type generator struct {
+	cat    *catalog.Catalog
+	q      *optimizer.QueryInfo
+	groups *columnGroups
+	opts   Options
+	out    []catalog.Structure
+	seen   map[string]bool
+}
+
+func (g *generator) add(s catalog.Structure) {
+	k := s.Key()
+	if !g.seen[k] {
+		g.seen[k] = true
+		g.out = append(g.out, s)
+	}
+}
+
+func (g *generator) addIndex(table string, keys []string, include []string, clustered bool) {
+	if len(keys) == 0 || len(keys) > g.opts.MaxKeyColumns {
+		return
+	}
+	if !g.groups.interesting(table, keys...) {
+		return
+	}
+	ix := catalog.NewIndex(table, keys...)
+	ix.Clustered = clustered
+	if !clustered && len(include) > 0 {
+		have := map[string]bool{}
+		for _, k := range ix.KeyColumns {
+			have[k] = true
+		}
+		var inc []string
+		for _, c := range include {
+			if !have[c] {
+				have[c] = true
+				inc = append(inc, c)
+			}
+		}
+		ix = ix.WithInclude(inc...)
+	}
+	g.add(catalog.Structure{Index: ix})
+}
+
+// indexCandidates proposes indexes for one scope: seek indexes on equality
+// chains and ranges, covering variants, join-column indexes, and indexes /
+// clusterings supporting grouping and ordering (paper §3 Example 1's
+// alternatives all arise here).
+func (g *generator) indexCandidates(sc *optimizer.Scope, eqCols, rangeCols, joinCols, groupCols, orderCols []string) {
+	table := sc.Table.Name
+	required := sc.Required
+
+	// Equality chain (most selective first), optionally closed by a range.
+	if len(eqCols) > 0 {
+		key := capCols(eqCols, g.opts.MaxKeyColumns)
+		g.addIndex(table, key, nil, false)
+		g.addIndex(table, key, required, false)
+		if len(rangeCols) > 0 && len(key) < g.opts.MaxKeyColumns {
+			withRange := append(append([]string(nil), key...), rangeCols[0])
+			g.addIndex(table, withRange, nil, false)
+			g.addIndex(table, withRange, required, false)
+		}
+	}
+	// Pure range indexes, plain and covering.
+	for _, rc := range rangeCols {
+		g.addIndex(table, []string{rc}, nil, false)
+		g.addIndex(table, []string{rc}, required, false)
+		g.addIndex(table, []string{rc}, nil, true) // clustered on the range column
+	}
+	// Join columns (enable index nested loops), covering variants.
+	for _, jc := range joinCols {
+		g.addIndex(table, []string{jc}, nil, false)
+		g.addIndex(table, []string{jc}, required, false)
+	}
+	// Grouping: an index ordered on the grouping columns enables stream
+	// aggregation; covering it makes it self-sufficient.
+	if len(groupCols) > 0 {
+		g.addIndex(table, capCols(groupCols, g.opts.MaxKeyColumns), nil, false)
+		g.addIndex(table, capCols(groupCols, g.opts.MaxKeyColumns), required, false)
+		g.addIndex(table, groupCols[:1], nil, true) // clustered on the leading group column
+		// Range + grouping covering index (Example 1's (X, A) index).
+		if len(rangeCols) > 0 {
+			key := append([]string{rangeCols[0]}, capCols(groupCols, g.opts.MaxKeyColumns-1)...)
+			g.addIndex(table, key, required, false)
+		}
+	}
+	// Ordering.
+	if len(orderCols) > 0 {
+		g.addIndex(table, capCols(orderCols, g.opts.MaxKeyColumns), nil, false)
+		g.addIndex(table, capCols(orderCols, g.opts.MaxKeyColumns), required, false)
+		g.addIndex(table, orderCols[:1], nil, true)
+	}
+	// Equality clustering (cheap, non-redundant).
+	if len(eqCols) > 0 {
+		g.addIndex(table, eqCols[:1], nil, true)
+	}
+}
+
+// partitionCandidates proposes single-column range partitioning on predicate
+// and join columns (paper §2.2: SQL Server 2005 supports single-column range
+// partitioning).
+func (g *generator) partitionCandidates(sc *optimizer.Scope, eqCols, rangeCols, joinCols []string) {
+	table := sc.Table.Name
+	for _, col := range dedupStrings(append(append(append([]string(nil), rangeCols...), eqCols...), joinCols...)) {
+		if !g.groups.interesting(table, col) {
+			continue
+		}
+		c := sc.Table.Column(col)
+		if c == nil || !c.Type.Numeric() || c.Max <= c.Min {
+			continue
+		}
+		n := g.opts.PartitionCount
+		bounds := make([]float64, 0, n-1)
+		span := c.Max - c.Min
+		for i := 1; i < n; i++ {
+			bounds = append(bounds, c.Min+span*float64(i)/float64(n))
+		}
+		g.add(catalog.Structure{PartTable: table, Part: catalog.NewPartitionScheme(col, bounds...)})
+	}
+}
+
+// viewCandidates proposes materialized views matching the query: a grouped
+// view materializing the query's joins, grouping and aggregates, and (for
+// join queries) an SPJ denormalization. Every candidate is checked against
+// the optimizer's own MatchView so only views that can actually answer the
+// query survive.
+func (g *generator) viewCandidates() {
+	q := g.q
+	seen := map[string]bool{}
+	var tables []string
+	for _, s := range q.Scopes {
+		if seen[s.Table.Name] {
+			return // self-join: no view candidates
+		}
+		seen[s.Table.Name] = true
+		tables = append(tables, s.Table.Name)
+	}
+	var joins []catalog.JoinPred
+	for _, e := range q.Joins {
+		joins = append(joins, catalog.JoinPred{
+			Left:  catalog.NewColRef(q.Scopes[e.L].Table.Name, e.LCol),
+			Right: catalog.NewColRef(q.Scopes[e.R].Table.Name, e.RCol),
+		})
+	}
+
+	// Columns the view must expose: predicate inputs, plain projections,
+	// order-by columns.
+	var outCols []catalog.ColRef
+	for si, s := range q.Scopes {
+		for _, p := range s.Preds {
+			for _, c := range p.InputColumns() {
+				outCols = append(outCols, catalog.NewColRef(q.Scopes[si].Table.Name, c))
+			}
+		}
+	}
+	for _, f := range q.PostFilters {
+		for _, c := range f.Cols {
+			outCols = append(outCols, catalog.NewColRef(q.Scopes[c.Scope].Table.Name, c.Column))
+		}
+	}
+	for _, c := range q.PlainSelectCols {
+		outCols = append(outCols, catalog.NewColRef(q.Scopes[c.Scope].Table.Name, c.Column))
+	}
+	for _, o := range q.OrderBy {
+		if o.Scope >= 0 {
+			outCols = append(outCols, catalog.NewColRef(q.Scopes[o.Scope].Table.Name, o.Column))
+		}
+	}
+
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		var groupBy []catalog.ColRef
+		for _, gc := range q.GroupBy {
+			groupBy = append(groupBy, catalog.NewColRef(q.Scopes[gc.Scope].Table.Name, gc.Column))
+		}
+		aggs := append([]catalog.Agg(nil), q.Aggs...)
+		// AVG re-derives from SUM and COUNT under regrouping; materialize
+		// both so merged (coarser-matched) variants stay usable.
+		for _, a := range q.Aggs {
+			if a.Func == "AVG" {
+				aggs = append(aggs, catalog.Agg{Func: "SUM", Col: a.Col}, catalog.Agg{Func: "COUNT"})
+			}
+		}
+		if len(groupBy) == 0 {
+			// Scalar aggregate: group by the predicate columns so the
+			// filtered aggregate remains answerable.
+			groupBy = append(groupBy, outCols...)
+		}
+		if len(groupBy) > 0 || len(outCols) > 0 {
+			rows := estimateGroupedViewRows(g.cat, g.q, groupBy, outCols)
+			v := catalog.NewMaterializedView(tables, joins, outCols, groupBy, aggs, rows)
+			if _, ok := optimizer.MatchView(q, v); ok {
+				g.add(catalog.Structure{View: v})
+			}
+		}
+		return
+	}
+
+	// SPJ view for join queries: a denormalized join result.
+	if len(tables) >= 2 {
+		rows := estimateJoinRows(g.cat, q)
+		v := catalog.NewMaterializedView(tables, joins, outCols, nil, nil, rows)
+		if _, ok := optimizer.MatchView(q, v); ok {
+			g.add(catalog.Structure{View: v})
+		}
+	}
+}
+
+// estimateJoinRows estimates the cardinality of the query's join using
+// catalog distinct counts (1/max-distinct per join edge).
+func estimateJoinRows(cat *catalog.Catalog, q *optimizer.QueryInfo) int64 {
+	rows := 1.0
+	for _, s := range q.Scopes {
+		rows *= float64(s.Table.Rows)
+	}
+	for _, e := range q.Joins {
+		dl := float64(q.Scopes[e.L].Table.DistinctOf(e.LCol))
+		dr := float64(q.Scopes[e.R].Table.DistinctOf(e.RCol))
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d > 0 {
+			rows /= d
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return int64(rows)
+}
+
+// estimateGroupedViewRows estimates group counts as the product of distinct
+// counts of the grouping columns, capped by the join cardinality.
+func estimateGroupedViewRows(cat *catalog.Catalog, q *optimizer.QueryInfo, groupBy, outCols []catalog.ColRef) int64 {
+	distinct := 1.0
+	seen := map[string]bool{}
+	for _, c := range append(append([]catalog.ColRef(nil), groupBy...), outCols...) {
+		if seen[c.String()] {
+			continue
+		}
+		seen[c.String()] = true
+		if t := cat.ResolveTable(c.Table); t != nil {
+			distinct *= float64(t.DistinctOf(c.Column))
+		}
+	}
+	join := float64(estimateJoinRows(cat, q))
+	if distinct > join {
+		distinct = join
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	return int64(distinct)
+}
+
+// sargableColumns splits a scope's sargable predicate columns into equality
+// and range groups. Equality columns are ordered most-selective-first
+// (highest distinct count first).
+func sargableColumns(sc *optimizer.Scope) (eqCols, rangeCols []string) {
+	seenEq := map[string]bool{}
+	seenRange := map[string]bool{}
+	for _, p := range sc.Preds {
+		if !p.Sargable() {
+			continue
+		}
+		switch p.Kind {
+		case optimizer.PredEq:
+			if !seenEq[p.Column] {
+				seenEq[p.Column] = true
+				eqCols = append(eqCols, p.Column)
+			}
+		default:
+			if !seenRange[p.Column] {
+				seenRange[p.Column] = true
+				rangeCols = append(rangeCols, p.Column)
+			}
+		}
+	}
+	sort.Slice(eqCols, func(a, b int) bool {
+		da, db := sc.Table.DistinctOf(eqCols[a]), sc.Table.DistinctOf(eqCols[b])
+		if da != db {
+			return da > db
+		}
+		return eqCols[a] < eqCols[b]
+	})
+	sort.Strings(rangeCols)
+	return eqCols, rangeCols
+}
+
+func joinColumnsOf(q *optimizer.QueryInfo, si int) []string {
+	var out []string
+	for _, e := range q.Joins {
+		if e.L == si {
+			out = append(out, e.LCol)
+		}
+		if e.R == si {
+			out = append(out, e.RCol)
+		}
+	}
+	return dedupStrings(out)
+}
+
+func scopedColsOf(cols []optimizer.ScopedCol, si int) []string {
+	var out []string
+	for _, c := range cols {
+		if c.Scope == si {
+			out = append(out, c.Column)
+		}
+	}
+	return dedupStrings(out)
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func capCols(cols []string, n int) []string {
+	if len(cols) <= n {
+		return cols
+	}
+	return cols[:n]
+}

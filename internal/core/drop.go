@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/catalog"
+)
+
+// greedyDrop removes existing structures whose maintenance cost outweighs
+// their benefit for the workload: repeatedly drop the structure whose
+// removal lowers the workload cost most, until nothing improves. Constraint
+// structures are never considered. Returns the reduced configuration and
+// the drops in order.
+func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configuration, []catalog.Structure, error) {
+	cur := base.Clone()
+	curCost, err := ev.configCost(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dropped []catalog.Structure
+	for {
+		type removal struct {
+			cfg  *catalog.Configuration
+			cost float64
+			s    catalog.Structure
+		}
+		var best *removal
+		consider := func(cfg *catalog.Configuration, s catalog.Structure) error {
+			cost, err := ev.configCost(cfg)
+			if err != nil {
+				return err
+			}
+			if best == nil || cost < best.cost {
+				best = &removal{cfg: cfg, cost: cost, s: s}
+			}
+			return nil
+		}
+		for i, ix := range cur.Indexes {
+			if ix.FromConstraint {
+				continue
+			}
+			cfg := cur.Clone()
+			cfg.Indexes = append(cfg.Indexes[:i:i], cfg.Indexes[i+1:]...)
+			if err := consider(cfg, catalog.Structure{Index: ix}); err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, v := range cur.Views {
+			cfg := cur.Clone()
+			cfg.Views = append(cfg.Views[:i:i], cfg.Views[i+1:]...)
+			if err := consider(cfg, catalog.Structure{View: v}); err != nil {
+				return nil, nil, err
+			}
+		}
+		for table, p := range cur.TableParts {
+			cfg := cur.Clone()
+			cfg.SetTablePartitioning(table, nil)
+			if err := consider(cfg, catalog.Structure{PartTable: table, Part: p}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if best == nil || best.cost >= curCost {
+			return cur, dropped, nil
+		}
+		cur, curCost = best.cfg, best.cost
+		dropped = append(dropped, best.s)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// evaluator computes workload costs under configurations, caching per-event
+// costs keyed by the subset of configuration structures that can possibly
+// affect the event. Two configurations differing only in structures
+// irrelevant to an event share the event's cached cost, which is what makes
+// Greedy(m,k) over thousands of configurations affordable.
+type evaluator struct {
+	t      Tuner
+	events []*workload.Event
+	infos  []*eventInfo
+	cache  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	cost float64
+	used []string
+}
+
+type eventInfo struct {
+	q      *optimizer.QueryInfo
+	tables map[string]bool
+	isDML  bool
+	target string // DML target table
+	// refCols holds "table.column" for every predicate/join/group/order
+	// column the statement touches; an index whose leading key column is
+	// not among them (and which does not cover a scope) cannot change the
+	// statement's plan, so it is irrelevant for caching purposes.
+	refCols map[string]bool
+	// required holds, per table, each scope's required column list for
+	// covering checks (self-joins contribute several lists).
+	required map[string][][]string
+}
+
+// coversAnyScope reports whether the index covers some scope of the event
+// on its table.
+func (info *eventInfo) coversAnyScope(ix *catalog.Index) bool {
+	for _, req := range info.required[ix.Table] {
+		if ix.Covers(req) {
+			return true
+		}
+	}
+	return false
+}
+
+func newEvaluator(t Tuner, w *workload.Workload) *evaluator {
+	ev := &evaluator{t: t, events: w.Events, cache: map[string]cacheEntry{}}
+	for _, e := range w.Events {
+		info := &eventInfo{tables: map[string]bool{}, refCols: map[string]bool{}, required: map[string][][]string{}}
+		if q, err := optimizer.Analyze(t.Catalog(), e.Stmt); err == nil {
+			info.q = q
+			for _, s := range q.Scopes {
+				info.tables[s.Table.Name] = true
+				info.required[s.Table.Name] = append(info.required[s.Table.Name], s.Required)
+			}
+			if q.Kind != optimizer.KindSelect {
+				info.isDML = true
+				info.target = q.Scopes[0].Table.Name
+			}
+			for _, tc := range referencedColumns(q) {
+				for _, c := range tc.cols {
+					info.refCols[tc.table+"."+c] = true
+				}
+			}
+		}
+		ev.infos = append(ev.infos, info)
+	}
+	return ev
+}
+
+// analyzed returns the analysis of event i (nil if the statement does not
+// resolve against the catalog).
+func (ev *evaluator) analyzed(i int) *optimizer.QueryInfo { return ev.infos[i].q }
+
+// relevantKey builds the cache key component: the sorted keys of cfg
+// structures that can affect the event.
+func (ev *evaluator) relevantKey(info *eventInfo, cfg *catalog.Configuration) string {
+	var keys []string
+	for _, ix := range cfg.Indexes {
+		if !info.tables[ix.Table] {
+			continue
+		}
+		if !info.isDML {
+			// A query plan can only change if the index is seekable on a
+			// referenced column, covers a scope, or is clustered (the
+			// clustered index is the table itself).
+			if !ix.Clustered && !info.refCols[ix.Table+"."+ix.KeyColumns[0]] && !info.coversAnyScope(ix) {
+				continue
+			}
+		}
+		keys = append(keys, ix.Key())
+	}
+	for table, p := range cfg.TableParts {
+		if !info.tables[table] {
+			continue
+		}
+		// Partitioning affects query plans through elimination on a
+		// referenced column, or by destroying a clustered index's output
+		// order (the aligned clustered index is partitioned with the table).
+		if !info.refCols[table+"."+p.Column] && cfg.ClusteredIndex(table) == nil {
+			continue
+		}
+		keys = append(keys, "tp:"+table+"="+p.String())
+	}
+	for _, v := range cfg.Views {
+		if info.isDML {
+			if v.References(info.target) {
+				keys = append(keys, v.Key())
+			}
+			continue
+		}
+		// A view can only answer a query over exactly its table set.
+		if len(v.Tables) == len(info.tables) {
+			all := true
+			for _, tn := range v.Tables {
+				if !info.tables[tn] {
+					all = false
+					break
+				}
+			}
+			if all {
+				keys = append(keys, v.Key())
+			}
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float64, []string, error) {
+	if ev.infos[i].q == nil {
+		// The statement does not resolve against the catalog (e.g. it
+		// references objects of a database not being tuned); it is skipped
+		// rather than failing the whole tuning session.
+		return 0, nil, nil
+	}
+	key := itoa(i) + "\x00" + ev.relevantKey(ev.infos[i], cfg)
+	if ce, ok := ev.cache[key]; ok {
+		return ce.cost, ce.used, nil
+	}
+	c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	ev.cache[key] = cacheEntry{cost: c, used: used}
+	return c, used, nil
+}
+
+// skippedEvents counts workload events that could not be analyzed against
+// the catalog and are therefore excluded from tuning.
+func (ev *evaluator) skippedEvents() int {
+	n := 0
+	for _, info := range ev.infos {
+		if info.q == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// configCost returns the weighted workload cost under cfg.
+func (ev *evaluator) configCost(cfg *catalog.Configuration) (float64, error) {
+	var total float64
+	for i, e := range ev.events {
+		c, _, err := ev.eventCostByIndex(i, cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += e.Weight * c
+	}
+	return total, nil
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		b[pos] = '-'
+	}
+	return string(b[pos:])
+}

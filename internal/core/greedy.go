@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// costFn evaluates a configuration's (workload or single-query) cost.
+type costFn func(cfg *catalog.Configuration) (float64, error)
+
+// applier adds a structure to a configuration; the default is plain
+// Structure.ApplyTo, and the aligned search substitutes a lazy-alignment
+// variant (paper §4). It reports whether the configuration changed.
+type applier func(cfg *catalog.Configuration, s catalog.Structure) bool
+
+// validFn rejects configurations the search may not consider (e.g. the
+// eager-alignment ablation filters unaligned configurations).
+type validFn func(cfg *catalog.Configuration) bool
+
+// greedyOptions parameterizes one Greedy(m,k) search.
+type greedyOptions struct {
+	m, k     int
+	budget   int64 // extra storage allowed beyond base (0 = unlimited)
+	cat      *catalog.Catalog
+	apply    applier
+	valid    validFn
+	deadline time.Time
+	// minImprove is the minimum relative improvement a greedy step must
+	// deliver to continue.
+	minImprove float64
+}
+
+// greedySearch implements the Greedy(m,k) algorithm of [8] (paper §2.2):
+// the optimal subset of at most m structures is found by exhaustive
+// enumeration, then structures are added greedily up to k total, as long as
+// cost improves and the storage budget holds. It returns the chosen
+// structures (possibly none).
+func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost costFn, o greedyOptions) ([]catalog.Structure, error) {
+	if o.apply == nil {
+		o.apply = func(cfg *catalog.Configuration, s catalog.Structure) bool { return s.ApplyTo(cfg) }
+	}
+	if o.m < 1 {
+		o.m = 1
+	}
+	if o.k < o.m {
+		o.k = o.m
+	}
+	if o.minImprove <= 0 {
+		o.minImprove = 1e-4
+	}
+	baseCost, err := cost(base)
+	if err != nil {
+		return nil, err
+	}
+	baseStorage := base.StorageBytes(o.cat)
+
+	fits := func(cfg *catalog.Configuration) bool {
+		if o.budget <= 0 {
+			return true
+		}
+		return cfg.StorageBytes(o.cat)-baseStorage <= o.budget
+	}
+	expired := func() bool {
+		return !o.deadline.IsZero() && time.Now().After(o.deadline)
+	}
+
+	type state struct {
+		chosen []catalog.Structure
+		cfg    *catalog.Configuration
+		cost   float64
+	}
+	best := state{cfg: base.Clone(), cost: baseCost}
+
+	// Seed: exhaustively evaluate subsets of size ≤ m.
+	var trySubset func(start int, cur state, size int) error
+	trySubset = func(start int, cur state, size int) error {
+		if size == o.m || expired() {
+			return nil
+		}
+		for i := start; i < len(cands); i++ {
+			cfg := cur.cfg.Clone()
+			if !o.apply(cfg, cands[i]) {
+				continue
+			}
+			if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
+				continue
+			}
+			c, err := cost(cfg)
+			if err != nil {
+				return err
+			}
+			next := state{
+				chosen: append(append([]catalog.Structure(nil), cur.chosen...), cands[i]),
+				cfg:    cfg,
+				cost:   c,
+			}
+			if c < best.cost {
+				best = next
+			}
+			if err := trySubset(i+1, next, size+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := trySubset(0, state{cfg: base.Clone(), cost: baseCost}, 0); err != nil {
+		return nil, err
+	}
+
+	// Greedy growth to k.
+	usedKeys := map[string]bool{}
+	for _, s := range best.chosen {
+		usedKeys[s.Key()] = true
+	}
+	for len(best.chosen) < o.k && !expired() {
+		bestIdx := -1
+		bestCost := math.Inf(1)
+		var bestCfg *catalog.Configuration
+		for i, s := range cands {
+			if usedKeys[s.Key()] {
+				continue
+			}
+			cfg := best.cfg.Clone()
+			if !o.apply(cfg, s) {
+				continue
+			}
+			if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
+				continue
+			}
+			c, err := cost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if c < bestCost {
+				bestIdx, bestCost, bestCfg = i, c, cfg
+			}
+		}
+		if bestIdx < 0 || bestCost >= best.cost*(1-o.minImprove) {
+			break
+		}
+		usedKeys[cands[bestIdx].Key()] = true
+		best = state{
+			chosen: append(best.chosen, cands[bestIdx]),
+			cfg:    bestCfg,
+			cost:   bestCost,
+		}
+	}
+	return best.chosen, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestTimeLimit verifies time-bound tuning (paper §2.1: "an upper bound on
+// the time that DTA is allowed to run"): with a tiny budget the advisor
+// still terminates promptly and returns a valid (possibly empty)
+// recommendation that is never worse than doing nothing.
+func TestTimeLimit(t *testing.T) {
+	s := testServer(t)
+	var sqls []string
+	for i := 0; i < 120; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT id, amt FROM t WHERE x = %d AND a = %d", i*3, i%100))
+	}
+	w := workload.MustNew(sqls...)
+
+	start := time.Now()
+	rec, err := Tune(s, w, Options{TimeLimit: 30 * time.Millisecond, NoCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Termination is prompt: the deadline is checked between per-query
+	// selections and greedy steps, so allow a generous multiple.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("time-bound tuning took %s", elapsed)
+	}
+	if rec.Improvement < 0 {
+		t.Fatalf("bounded tuning must not recommend a regression: %v", rec.Improvement)
+	}
+	if err := rec.Config.Validate(s.Cat); err != nil {
+		t.Fatal(err)
+	}
+
+	// An ample budget finds at least as much.
+	rec2, err := Tune(s, w, Options{NoCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Improvement < rec.Improvement-1e-9 {
+		t.Fatalf("unbounded tuning should not be worse: %.3f vs %.3f", rec2.Improvement, rec.Improvement)
+	}
+}

@@ -1,0 +1,67 @@
+package cust
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+func TestScenarios(t *testing.T) {
+	for _, s := range All(0.01) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if err := s.ConstraintConfig().Validate(s.Catalog); err != nil {
+				t.Fatalf("constraint config: %v", err)
+			}
+			if err := s.HandTuned.Validate(s.Catalog); err != nil {
+				t.Fatalf("hand-tuned config: %v", err)
+			}
+			w := s.Workload(200, 5)
+			if w.Len() < 190 {
+				t.Fatalf("events = %d", w.Len())
+			}
+			for _, e := range w.Events {
+				if _, err := optimizer.Analyze(s.Catalog, e.Stmt); err != nil {
+					t.Fatalf("%s: %v", e.SQL, err)
+				}
+			}
+		})
+	}
+}
+
+func TestCust3IsUpdateHeavy(t *testing.T) {
+	s := Cust3(0.01)
+	w := s.Workload(400, 9)
+	dml := 0
+	for _, e := range w.Events {
+		q, err := optimizer.Analyze(s.Catalog, e.Stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Kind != optimizer.KindSelect {
+			dml++
+		}
+	}
+	if frac := float64(dml) / float64(w.Len()); frac < 0.5 {
+		t.Fatalf("CUST3 must be update-dominated, dml fraction = %.2f", frac)
+	}
+}
+
+func TestScenarioLoad(t *testing.T) {
+	s := Cust4(0.005)
+	db, err := s.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Materialize(s.ConstraintConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ExecSQL("SELECT COUNT(*) FROM c4_tickets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F <= 0 {
+		t.Fatal("no data loaded")
+	}
+}

@@ -1,0 +1,57 @@
+package psoft
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+func TestWorkloadShape(t *testing.T) {
+	cat := Catalog(0.01)
+	w := Workload(cat, 1200, 3)
+	if w.Len() < 1000 {
+		t.Fatalf("events = %d, want ≈1200", w.Len())
+	}
+	tmpls := w.Templates()
+	// A few hundred templates relative to thousands of events: heavy
+	// templatization, the property compression exploits.
+	if len(tmpls) < 60 || len(tmpls) > 250 {
+		t.Fatalf("templates = %d, want a few hundred", len(tmpls))
+	}
+	if float64(len(tmpls)) > 0.25*float64(w.Len()) {
+		t.Fatalf("not templatized enough: %d templates for %d events", len(tmpls), w.Len())
+	}
+	var dml int
+	for _, e := range w.Events {
+		if _, err := optimizer.Analyze(cat, e.Stmt); err != nil {
+			t.Fatalf("%s: %v", e.SQL, err)
+		}
+		q, _ := optimizer.Analyze(cat, e.Stmt)
+		if q.Kind != optimizer.KindSelect {
+			dml++
+		}
+	}
+	// The trace mixes queries with inserts/updates/deletes.
+	if dml == 0 || dml == w.Len() {
+		t.Fatalf("dml events = %d of %d, want a mix", dml, w.Len())
+	}
+}
+
+func TestLoadSmall(t *testing.T) {
+	cat := Catalog(0.003)
+	db, err := Load(cat, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Materialize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ExecSQL("SELECT COUNT(*) FROM ps_employee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].F != float64(cat.ResolveTable("ps_employee").Rows) {
+		t.Fatal("load count mismatch")
+	}
+}

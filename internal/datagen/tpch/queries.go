@@ -1,0 +1,221 @@
+package tpch
+
+import "repro/internal/workload"
+
+// Queries returns parser-compatible paraphrases of the 22 TPC-H benchmark
+// queries. Constructs outside the reproduced SQL subset (correlated
+// subqueries, EXISTS, CASE, EXTRACT, LEFT JOIN) are paraphrased into joins
+// and filters that preserve each query's table set, join graph, selection
+// predicates, grouping and ordering — the properties physical design tuning
+// responds to. Dates appear as day ordinals (days since 1992-01-01).
+func Queries() []string {
+	return []string{
+		// Q1: pricing summary report.
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+		  SUM(l_extendedprice) AS sum_base_price,
+		  SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		  SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+		  AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price,
+		  AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+		 FROM lineitem
+		 WHERE l_shipdate <= 2465
+		 GROUP BY l_returnflag, l_linestatus
+		 ORDER BY l_returnflag, l_linestatus`,
+
+		// Q2: minimum cost supplier (paraphrase: the min-cost correlated
+		// subquery becomes a filtered join ordered by cost).
+		`SELECT TOP 100 s_acctbal, s_name, n_name, p_partkey, ps_supplycost
+		 FROM part, supplier, partsupp, nation, region
+		 WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+		   AND p_size = 15 AND p_type LIKE '%BRASS'
+		   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		   AND r_name = 'EUROPE'
+		 ORDER BY ps_supplycost, s_acctbal DESC, n_name, s_name, p_partkey`,
+
+		// Q3: shipping priority.
+		`SELECT TOP 10 l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+		  o_orderdate, o_shippriority
+		 FROM customer, orders, lineitem
+		 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+		   AND l_orderkey = o_orderkey AND o_orderdate < 1170 AND l_shipdate > 1170
+		 GROUP BY l_orderkey, o_orderdate, o_shippriority
+		 ORDER BY revenue DESC, o_orderdate`,
+
+		// Q4: order priority checking (EXISTS paraphrased as a join with the
+		// late-lineitem condition).
+		`SELECT o_orderpriority, COUNT(*) AS order_count
+		 FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey
+		   AND o_orderdate >= 820 AND o_orderdate < 910
+		   AND l_commitdate < l_receiptdate
+		 GROUP BY o_orderpriority
+		 ORDER BY o_orderpriority`,
+
+		// Q5: local supplier volume.
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		 FROM customer, orders, lineitem, supplier, nation, region
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+		   AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		   AND r_name = 'ASIA' AND o_orderdate >= 730 AND o_orderdate < 1095
+		 GROUP BY n_name
+		 ORDER BY revenue DESC`,
+
+		// Q6: forecasting revenue change.
+		`SELECT SUM(l_extendedprice * l_discount) AS revenue
+		 FROM lineitem
+		 WHERE l_shipdate >= 730 AND l_shipdate < 1095
+		   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+
+		// Q7: volume shipping (the nation pair disjunction is kept; the
+		// year extraction becomes a ship-date range).
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		 FROM supplier, lineitem, orders, customer, nation
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+		   AND c_custkey = o_custkey AND s_nationkey = n_nationkey
+		   AND (n_name = 'FRANCE' OR n_name = 'GERMANY')
+		   AND l_shipdate BETWEEN 1095 AND 1825
+		 GROUP BY n_name
+		 ORDER BY n_name`,
+
+		// Q8: national market share (paraphrase: the share CASE becomes the
+		// numerator volume per nation).
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS volume
+		 FROM part, supplier, lineitem, orders, customer, nation, region
+		 WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+		   AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+		   AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		   AND r_name = 'AMERICA' AND o_orderdate BETWEEN 1095 AND 1825
+		   AND p_type = 'ECONOMY ANODIZED STEEL'
+		 GROUP BY n_name
+		 ORDER BY n_name`,
+
+		// Q9: product type profit measure (year grouping becomes nation
+		// grouping over the same join).
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+		 FROM part, supplier, lineitem, partsupp, orders, nation
+		 WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+		   AND ps_partkey = l_partkey AND p_partkey = l_partkey
+		   AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+		   AND p_name LIKE '%green%'
+		 GROUP BY n_name
+		 ORDER BY n_name DESC`,
+
+		// Q10: returned item reporting.
+		`SELECT TOP 20 c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+		  c_acctbal, n_name
+		 FROM customer, orders, lineitem, nation
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND o_orderdate >= 640 AND o_orderdate < 730
+		   AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+		 GROUP BY c_custkey, c_name, c_acctbal, n_name
+		 ORDER BY revenue DESC`,
+
+		// Q11: important stock identification (the global-threshold HAVING
+		// becomes a constant threshold).
+		`SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+		 FROM partsupp, supplier, nation
+		 WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+		   AND n_name = 'GERMANY'
+		 GROUP BY ps_partkey
+		 HAVING SUM(ps_supplycost * ps_availqty) > 7700000
+		 ORDER BY value DESC`,
+
+		// Q12: shipping modes and order priority (the CASE sums become a
+		// count per priority within the mode filter).
+		`SELECT l_shipmode, o_orderpriority, COUNT(*) AS line_count
+		 FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+		   AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+		   AND l_receiptdate >= 730 AND l_receiptdate < 1095
+		 GROUP BY l_shipmode, o_orderpriority
+		 ORDER BY l_shipmode, o_orderpriority`,
+
+		// Q13: customer distribution (LEFT JOIN paraphrased as inner join).
+		`SELECT c_custkey, COUNT(*) AS c_count
+		 FROM customer, orders
+		 WHERE c_custkey = o_custkey AND o_orderpriority <> '1-URGENT'
+		 GROUP BY c_custkey
+		 ORDER BY c_count DESC, c_custkey`,
+
+		// Q14: promotion effect (the CASE numerator becomes a PROMO filter).
+		`SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+		 FROM lineitem, part
+		 WHERE l_partkey = p_partkey AND p_type LIKE 'PROMO%'
+		   AND l_shipdate >= 1339 AND l_shipdate < 1369`,
+
+		// Q15: top supplier (the revenue view becomes a direct grouping).
+		`SELECT TOP 1 l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+		 FROM lineitem
+		 WHERE l_shipdate >= 1461 AND l_shipdate < 1551
+		 GROUP BY l_suppkey
+		 ORDER BY total_revenue DESC`,
+
+		// Q16: parts/supplier relationship.
+		`SELECT p_brand, p_type, p_size, COUNT(*) AS supplier_cnt
+		 FROM partsupp, part
+		 WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+		   AND p_type NOT LIKE 'MEDIUM POLISHED%'
+		   AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+		 GROUP BY p_brand, p_type, p_size
+		 ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`,
+
+		// Q17: small-quantity-order revenue (the avg-quantity subquery
+		// becomes a constant quantity bound).
+		`SELECT SUM(l_extendedprice) AS avg_yearly
+		 FROM lineitem, part
+		 WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+		   AND p_container = 'MED BOX' AND l_quantity < 5`,
+
+		// Q18: large volume customer.
+		`SELECT TOP 100 c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty
+		 FROM customer, orders, lineitem
+		 WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey
+		 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+		 HAVING SUM(l_quantity) > 300
+		 ORDER BY o_totalprice DESC, o_orderdate`,
+
+		// Q19: discounted revenue (the three-way OR of bracketed predicates
+		// is preserved structurally).
+		`SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		 FROM lineitem, part
+		 WHERE p_partkey = l_partkey
+		   AND l_shipinstruct = 'DELIVER IN PERSON'
+		   AND (l_shipmode = 'AIR' OR l_shipmode = 'REG AIR')
+		   AND ((p_brand = 'Brand#12' AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+		     OR (p_brand = 'Brand#23' AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+		     OR (p_brand = 'Brand#33' AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))`,
+
+		// Q20: potential part promotion (the nested EXISTS chain becomes a
+		// filtered join).
+		`SELECT DISTINCT s_name
+		 FROM supplier, nation, partsupp, part
+		 WHERE s_suppkey = ps_suppkey AND ps_partkey = p_partkey
+		   AND p_name LIKE 'forest%' AND s_nationkey = n_nationkey
+		   AND n_name = 'CANADA' AND ps_availqty > 5000
+		 ORDER BY s_name`,
+
+		// Q21: suppliers who kept orders waiting (the anti-join paraphrased
+		// as the late-supplier join).
+		`SELECT TOP 100 s_name, COUNT(*) AS numwait
+		 FROM supplier, lineitem, orders, nation
+		 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+		   AND o_orderstatus = 'F' AND l_receiptdate > l_commitdate
+		   AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA'
+		 GROUP BY s_name
+		 ORDER BY numwait DESC, s_name`,
+
+		// Q22: global sales opportunity (the country-code substring becomes
+		// a nation-key filter; the avg-balance subquery a constant bound).
+		`SELECT c_nationkey, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+		 FROM customer
+		 WHERE c_acctbal > 4500 AND c_nationkey IN (13, 21, 23, 9, 20, 18, 17)
+		 GROUP BY c_nationkey
+		 ORDER BY c_nationkey`,
+	}
+}
+
+// Workload returns the 22-query benchmark workload.
+func Workload() *workload.Workload {
+	return workload.MustNew(Queries()...)
+}

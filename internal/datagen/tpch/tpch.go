@@ -1,0 +1,344 @@
+// Package tpch generates a TPC-H-like database: the eight-table schema, a
+// deterministic scaled-down dbgen equivalent, and parser-compatible
+// paraphrases of the 22 benchmark queries. The paper evaluates DTA on TPC-H
+// 10GB (§7.2) and 1GB (§7.3, §7.4); this package reproduces the schema,
+// relative table sizes, predicates and join structure at configurable scale
+// so improvement percentages and plan choices carry over.
+//
+// Dates are encoded as days since 1992-01-01 (domain 0..2557, covering
+// 1992-01-01 through 1998-12-31), matching the dbgen date range.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+// Date range in days since 1992-01-01.
+const (
+	DateMin = 0
+	DateMax = 2557
+	// Day1994 and friends anchor the paraphrased query constants.
+	Day1993 = 365
+	Day1994 = 730
+	Day1995 = 1095
+	Day1996 = 1461
+	Day1997 = 1826
+	Day1998 = 2191
+)
+
+// Rows at scale factor 1.
+const (
+	sfSupplier = 10000
+	sfCustomer = 150000
+	sfPart     = 200000
+	sfPartsupp = 800000
+	sfOrders   = 1500000
+	sfLineitem = 6000000
+)
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	instructs  = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"JUMBO BOX", "LG CASE", "MED BAG", "MED BOX", "SM CASE", "SM PKG", "WRAP BAG", "WRAP CASE"}
+	brands     = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32", "Brand#33", "Brand#41", "Brand#42", "Brand#43", "Brand#51", "Brand#52", "Brand#53"}
+	types      = []string{"ECONOMY ANODIZED STEEL", "ECONOMY BRUSHED COPPER", "LARGE POLISHED NICKEL", "MEDIUM BURNISHED TIN", "PROMO BURNISHED COPPER", "PROMO PLATED STEEL", "SMALL ANODIZED BRASS", "STANDARD POLISHED BRASS"}
+	nations    = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	flags      = []string{"A", "N", "R"}
+	statusesL  = []string{"F", "O"}
+)
+
+// nationRegion maps nation ordinal to region ordinal (per TPC-H spec).
+var nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+// Catalog builds the TPC-H schema at the given scale factor. Row counts and
+// distinct counts scale with sf; columns carry their real domains.
+func Catalog(sf float64) *catalog.Catalog {
+	n := func(base int) int64 {
+		v := int64(float64(base) * sf)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	cat := catalog.New()
+	db := catalog.NewDatabase("tpch")
+
+	db.AddTable(catalog.NewTable("tpch", "region", 5,
+		&catalog.Column{Name: "r_regionkey", Type: catalog.TypeInt, Width: 8, Distinct: 5, Min: 0, Max: 4},
+		&catalog.Column{Name: "r_name", Type: catalog.TypeString, Width: 12, Distinct: 5, Min: 0, Max: 4},
+	))
+	db.AddTable(catalog.NewTable("tpch", "nation", 25,
+		&catalog.Column{Name: "n_nationkey", Type: catalog.TypeInt, Width: 8, Distinct: 25, Min: 0, Max: 24},
+		&catalog.Column{Name: "n_name", Type: catalog.TypeString, Width: 16, Distinct: 25, Min: 0, Max: 24},
+		&catalog.Column{Name: "n_regionkey", Type: catalog.TypeInt, Width: 8, Distinct: 5, Min: 0, Max: 4},
+	))
+	db.AddTable(catalog.NewTable("tpch", "supplier", n(sfSupplier),
+		&catalog.Column{Name: "s_suppkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfSupplier), Min: 1, Max: float64(n(sfSupplier))},
+		&catalog.Column{Name: "s_name", Type: catalog.TypeString, Width: 26, Distinct: n(sfSupplier), Min: 0, Max: float64(n(sfSupplier) - 1)},
+		&catalog.Column{Name: "s_nationkey", Type: catalog.TypeInt, Width: 8, Distinct: 25, Min: 0, Max: 24},
+		&catalog.Column{Name: "s_acctbal", Type: catalog.TypeFloat, Width: 8, Distinct: n(sfSupplier) / 2, Min: -999, Max: 9999},
+	))
+	db.AddTable(catalog.NewTable("tpch", "customer", n(sfCustomer),
+		&catalog.Column{Name: "c_custkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfCustomer), Min: 1, Max: float64(n(sfCustomer))},
+		&catalog.Column{Name: "c_name", Type: catalog.TypeString, Width: 26, Distinct: n(sfCustomer), Min: 0, Max: float64(n(sfCustomer) - 1)},
+		&catalog.Column{Name: "c_nationkey", Type: catalog.TypeInt, Width: 8, Distinct: 25, Min: 0, Max: 24},
+		&catalog.Column{Name: "c_acctbal", Type: catalog.TypeFloat, Width: 8, Distinct: n(sfCustomer) / 2, Min: -999, Max: 9999},
+		&catalog.Column{Name: "c_mktsegment", Type: catalog.TypeString, Width: 12, Distinct: 5, Min: 0, Max: 4},
+		&catalog.Column{Name: "c_phone", Type: catalog.TypeString, Width: 16, Distinct: n(sfCustomer), Min: 0, Max: float64(n(sfCustomer) - 1)},
+	))
+	db.AddTable(catalog.NewTable("tpch", "part", n(sfPart),
+		&catalog.Column{Name: "p_partkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfPart), Min: 1, Max: float64(n(sfPart))},
+		&catalog.Column{Name: "p_name", Type: catalog.TypeString, Width: 36, Distinct: n(sfPart), Min: 0, Max: float64(n(sfPart) - 1)},
+		&catalog.Column{Name: "p_brand", Type: catalog.TypeString, Width: 10, Distinct: int64(len(brands)), Min: 0, Max: float64(len(brands) - 1)},
+		&catalog.Column{Name: "p_type", Type: catalog.TypeString, Width: 26, Distinct: int64(len(types)), Min: 0, Max: float64(len(types) - 1)},
+		&catalog.Column{Name: "p_size", Type: catalog.TypeInt, Width: 8, Distinct: 50, Min: 1, Max: 50},
+		&catalog.Column{Name: "p_container", Type: catalog.TypeString, Width: 12, Distinct: int64(len(containers)), Min: 0, Max: float64(len(containers) - 1)},
+		&catalog.Column{Name: "p_retailprice", Type: catalog.TypeFloat, Width: 8, Distinct: n(sfPart) / 4, Min: 900, Max: 2000},
+	))
+	db.AddTable(catalog.NewTable("tpch", "partsupp", n(sfPartsupp),
+		&catalog.Column{Name: "ps_partkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfPart), Min: 1, Max: float64(n(sfPart))},
+		&catalog.Column{Name: "ps_suppkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfSupplier), Min: 1, Max: float64(n(sfSupplier))},
+		&catalog.Column{Name: "ps_availqty", Type: catalog.TypeInt, Width: 8, Distinct: 9999, Min: 1, Max: 9999},
+		&catalog.Column{Name: "ps_supplycost", Type: catalog.TypeFloat, Width: 8, Distinct: 1000, Min: 1, Max: 1000},
+	))
+	db.AddTable(catalog.NewTable("tpch", "orders", n(sfOrders),
+		&catalog.Column{Name: "o_orderkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfOrders), Min: 1, Max: float64(n(sfOrders))},
+		&catalog.Column{Name: "o_custkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfCustomer), Min: 1, Max: float64(n(sfCustomer))},
+		&catalog.Column{Name: "o_orderstatus", Type: catalog.TypeString, Width: 2, Distinct: 3, Min: 0, Max: 2},
+		&catalog.Column{Name: "o_totalprice", Type: catalog.TypeFloat, Width: 8, Distinct: n(sfOrders) / 2, Min: 800, Max: 550000},
+		&catalog.Column{Name: "o_orderdate", Type: catalog.TypeDate, Width: 8, Distinct: 2406, Min: DateMin, Max: DateMax - 151},
+		&catalog.Column{Name: "o_orderpriority", Type: catalog.TypeString, Width: 16, Distinct: 5, Min: 0, Max: 4},
+		&catalog.Column{Name: "o_shippriority", Type: catalog.TypeInt, Width: 8, Distinct: 1, Min: 0, Max: 0},
+	))
+	db.AddTable(catalog.NewTable("tpch", "lineitem", n(sfLineitem),
+		&catalog.Column{Name: "l_orderkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfOrders), Min: 1, Max: float64(n(sfOrders))},
+		&catalog.Column{Name: "l_partkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfPart), Min: 1, Max: float64(n(sfPart))},
+		&catalog.Column{Name: "l_suppkey", Type: catalog.TypeInt, Width: 8, Distinct: n(sfSupplier), Min: 1, Max: float64(n(sfSupplier))},
+		&catalog.Column{Name: "l_linenumber", Type: catalog.TypeInt, Width: 8, Distinct: 7, Min: 1, Max: 7},
+		&catalog.Column{Name: "l_quantity", Type: catalog.TypeFloat, Width: 8, Distinct: 50, Min: 1, Max: 50},
+		&catalog.Column{Name: "l_extendedprice", Type: catalog.TypeFloat, Width: 8, Distinct: n(sfLineitem) / 8, Min: 900, Max: 100000},
+		&catalog.Column{Name: "l_discount", Type: catalog.TypeFloat, Width: 8, Distinct: 11, Min: 0, Max: 0.10},
+		&catalog.Column{Name: "l_tax", Type: catalog.TypeFloat, Width: 8, Distinct: 9, Min: 0, Max: 0.08},
+		&catalog.Column{Name: "l_returnflag", Type: catalog.TypeString, Width: 2, Distinct: 3, Min: 0, Max: 2},
+		&catalog.Column{Name: "l_linestatus", Type: catalog.TypeString, Width: 2, Distinct: 2, Min: 0, Max: 1},
+		&catalog.Column{Name: "l_shipdate", Type: catalog.TypeDate, Width: 8, Distinct: 2526, Min: DateMin, Max: DateMax},
+		&catalog.Column{Name: "l_commitdate", Type: catalog.TypeDate, Width: 8, Distinct: 2466, Min: DateMin, Max: DateMax},
+		&catalog.Column{Name: "l_receiptdate", Type: catalog.TypeDate, Width: 8, Distinct: 2554, Min: DateMin, Max: DateMax},
+		&catalog.Column{Name: "l_shipmode", Type: catalog.TypeString, Width: 10, Distinct: 7, Min: 0, Max: 6},
+		&catalog.Column{Name: "l_shipinstruct", Type: catalog.TypeString, Width: 18, Distinct: 4, Min: 0, Max: 3},
+	))
+	cat.AddDatabase(db)
+	pk := func(table string, cols ...string) {
+		db.Table(table).PrimaryKey = cols
+	}
+	pk("region", "r_regionkey")
+	pk("nation", "n_nationkey")
+	pk("supplier", "s_suppkey")
+	pk("customer", "c_custkey")
+	pk("part", "p_partkey")
+	pk("partsupp", "ps_partkey", "ps_suppkey")
+	pk("orders", "o_orderkey")
+	pk("lineitem", "l_orderkey", "l_linenumber")
+	return cat
+}
+
+// ConstraintConfig returns the "raw" configuration of the experiments:
+// only the indexes that enforce referential-integrity / primary-key
+// constraints (§7.1 drops everything else).
+func ConstraintConfig(cat *catalog.Catalog) *catalog.Configuration {
+	cfg := catalog.NewConfiguration()
+	for _, t := range cat.Tables() {
+		if len(t.PrimaryKey) == 0 {
+			continue
+		}
+		ix := catalog.NewIndex(t.Name, t.PrimaryKey...)
+		ix.Clustered = true // SQL Server primary keys cluster by default
+		ix.FromConstraint = true
+		cfg.AddIndex(ix)
+	}
+	return cfg
+}
+
+// Load generates deterministic data for the catalog's row counts and loads
+// it into a fresh engine database.
+func Load(cat *catalog.Catalog, seed int64) (*engine.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDatabase(cat)
+	num := engine.Num
+	str := engine.Str
+
+	rowsOf := func(table string) int {
+		return int(cat.ResolveTable(table).Rows)
+	}
+
+	// region, nation.
+	var rrows, nrows [][]engine.Value
+	for i, r := range regions {
+		rrows = append(rrows, []engine.Value{num(float64(i)), str(r)})
+	}
+	for i, n := range nations {
+		nrows = append(nrows, []engine.Value{num(float64(i)), str(n), num(float64(nationRegion[i]))})
+	}
+	if err := db.Load("region", rrows); err != nil {
+		return nil, err
+	}
+	if err := db.Load("nation", nrows); err != nil {
+		return nil, err
+	}
+
+	// supplier.
+	nSupp := rowsOf("supplier")
+	srows := make([][]engine.Value, 0, nSupp)
+	for i := 1; i <= nSupp; i++ {
+		srows = append(srows, []engine.Value{
+			num(float64(i)),
+			str(fmt.Sprintf("Supplier#%09d", i)),
+			num(float64(rng.Intn(25))),
+			num(float64(rng.Intn(10999)) - 999),
+		})
+	}
+	if err := db.Load("supplier", srows); err != nil {
+		return nil, err
+	}
+
+	// customer.
+	nCust := rowsOf("customer")
+	crows := make([][]engine.Value, 0, nCust)
+	for i := 1; i <= nCust; i++ {
+		crows = append(crows, []engine.Value{
+			num(float64(i)),
+			str(fmt.Sprintf("Customer#%09d", i)),
+			num(float64(rng.Intn(25))),
+			num(float64(rng.Intn(10999)) - 999),
+			str(segments[rng.Intn(len(segments))]),
+			str(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))),
+		})
+	}
+	if err := db.Load("customer", crows); err != nil {
+		return nil, err
+	}
+
+	// part.
+	nPart := rowsOf("part")
+	prows := make([][]engine.Value, 0, nPart)
+	for i := 1; i <= nPart; i++ {
+		prows = append(prows, []engine.Value{
+			num(float64(i)),
+			str(fmt.Sprintf("part name %06d", i)),
+			str(brands[rng.Intn(len(brands))]),
+			str(types[rng.Intn(len(types))]),
+			num(float64(1 + rng.Intn(50))),
+			str(containers[rng.Intn(len(containers))]),
+			num(900 + float64(rng.Intn(1100))),
+		})
+	}
+	if err := db.Load("part", prows); err != nil {
+		return nil, err
+	}
+
+	// partsupp: 4 suppliers per part (scaled).
+	nPS := rowsOf("partsupp")
+	psrows := make([][]engine.Value, 0, nPS)
+	for i := 0; i < nPS; i++ {
+		psrows = append(psrows, []engine.Value{
+			num(float64(i%nPart + 1)),
+			num(float64(rng.Intn(nSupp) + 1)),
+			num(float64(1 + rng.Intn(9999))),
+			num(float64(1 + rng.Intn(1000))),
+		})
+	}
+	if err := db.Load("partsupp", psrows); err != nil {
+		return nil, err
+	}
+
+	// orders.
+	nOrd := rowsOf("orders")
+	orows := make([][]engine.Value, 0, nOrd)
+	orderDate := make([]int, nOrd+1)
+	for i := 1; i <= nOrd; i++ {
+		od := rng.Intn(DateMax - 151)
+		orderDate[i] = od
+		status := "O"
+		if od < Day1995 {
+			status = "F"
+		} else if rng.Intn(10) == 0 {
+			status = "P"
+		}
+		orows = append(orows, []engine.Value{
+			num(float64(i)),
+			num(float64(rng.Intn(nCust) + 1)),
+			str(status),
+			num(800 + float64(rng.Intn(549200))),
+			num(float64(od)),
+			str(priorities[rng.Intn(len(priorities))]),
+			num(0),
+		})
+	}
+	if err := db.Load("orders", orows); err != nil {
+		return nil, err
+	}
+
+	// lineitem: lines per order to reach the target count.
+	nLine := rowsOf("lineitem")
+	lrows := make([][]engine.Value, 0, nLine)
+	for i := 0; i < nLine; i++ {
+		ok := i%nOrd + 1
+		od := orderDate[ok]
+		ship := od + 1 + rng.Intn(121)
+		commit := od + 30 + rng.Intn(60)
+		receipt := ship + 1 + rng.Intn(30)
+		if ship > DateMax {
+			ship = DateMax
+		}
+		if commit > DateMax {
+			commit = DateMax
+		}
+		if receipt > DateMax {
+			receipt = DateMax
+		}
+		qty := float64(1 + rng.Intn(50))
+		price := qty * (900 + float64(rng.Intn(1100)))
+		rf := "N"
+		if receipt < Day1995 {
+			rf = flags[rng.Intn(2)] // A or N... spec: A/R for old, N for recent
+			if rng.Intn(2) == 0 {
+				rf = "R"
+			} else {
+				rf = "A"
+			}
+		}
+		ls := statusesL[1]
+		if ship < Day1995+170 {
+			ls = statusesL[0]
+		}
+		lrows = append(lrows, []engine.Value{
+			num(float64(ok)),
+			num(float64(rng.Intn(nPart) + 1)),
+			num(float64(rng.Intn(nSupp) + 1)),
+			num(float64(i/nOrd + 1)),
+			num(qty),
+			num(price),
+			num(float64(rng.Intn(11)) / 100),
+			num(float64(rng.Intn(9)) / 100),
+			str(rf),
+			str(ls),
+			num(float64(ship)),
+			num(float64(commit)),
+			num(float64(receipt)),
+			str(shipmodes[rng.Intn(len(shipmodes))]),
+			str(instructs[rng.Intn(len(instructs))]),
+		})
+	}
+	if err := db.Load("lineitem", lrows); err != nil {
+		return nil, err
+	}
+	db.SyncRowCounts()
+	return db, nil
+}

@@ -1,0 +1,143 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog(1)
+	li := cat.ResolveTable("lineitem")
+	ord := cat.ResolveTable("orders")
+	if li == nil || ord == nil {
+		t.Fatal("schema incomplete")
+	}
+	if li.Rows != 6000000 || ord.Rows != 1500000 {
+		t.Fatalf("SF1 rows: lineitem=%d orders=%d", li.Rows, ord.Rows)
+	}
+	// Relative sizes preserved at smaller scales.
+	small := Catalog(0.01)
+	if small.ResolveTable("lineitem").Rows != 60000 {
+		t.Fatalf("SF0.01 lineitem = %d", small.ResolveTable("lineitem").Rows)
+	}
+	if small.ResolveTable("region").Rows != 5 || small.ResolveTable("nation").Rows != 25 {
+		t.Fatal("fixed tables must not scale")
+	}
+}
+
+func TestAll22QueriesParseAndAnalyze(t *testing.T) {
+	cat := Catalog(0.01)
+	qs := Queries()
+	if len(qs) != 22 {
+		t.Fatalf("queries = %d, want 22", len(qs))
+	}
+	for i, q := range qs {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("Q%d does not parse: %v", i+1, err)
+		}
+		if _, err := optimizer.Analyze(cat, stmt); err != nil {
+			t.Fatalf("Q%d does not analyze: %v", i+1, err)
+		}
+	}
+}
+
+func TestAll22QueriesOptimize(t *testing.T) {
+	cat := Catalog(0.01)
+	opt := optimizer.New(cat, nil, optimizer.DefaultHardware())
+	raw := ConstraintConfig(cat)
+	for i, q := range Queries() {
+		res, err := opt.Optimize(sqlparser.MustParse(q), raw)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i+1, err)
+		}
+		if res.Cost <= 0 {
+			t.Fatalf("Q%d: cost %v", i+1, res.Cost)
+		}
+	}
+}
+
+func TestLoadAndExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("data generation")
+	}
+	cat := Catalog(0.002)
+	db, err := Load(cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("lineitem").LiveRows(); got != 12000 {
+		t.Fatalf("lineitem rows = %d", got)
+	}
+	p, err := db.Materialize(ConstraintConfig(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range Queries() {
+		res, err := p.ExecSQL(q)
+		if err != nil {
+			t.Fatalf("Q%d execution: %v", i+1, err)
+		}
+		_ = res
+	}
+	// Q1 sanity: grouping by (returnflag, linestatus) yields ≤ 6 groups and
+	// counts sum to the qualifying rows.
+	res, err := p.ExecSQL(Queries()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 6 {
+		t.Fatalf("Q1 groups = %d", len(res.Rows))
+	}
+	var totalCount float64
+	for _, r := range res.Rows {
+		totalCount += r[len(r)-1].F
+	}
+	cnt, err := p.ExecSQL("SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= 2465")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalCount != cnt.Rows[0][0].F {
+		t.Fatalf("Q1 counts: %g vs %g", totalCount, cnt.Rows[0][0].F)
+	}
+}
+
+func TestConstraintConfig(t *testing.T) {
+	cat := Catalog(0.01)
+	cfg := ConstraintConfig(cat)
+	if len(cfg.Indexes) != 8 {
+		t.Fatalf("constraint indexes = %d, want 8", len(cfg.Indexes))
+	}
+	for _, ix := range cfg.Indexes {
+		if !ix.FromConstraint {
+			t.Fatal("constraint flag missing")
+		}
+	}
+	if err := cfg.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicLoad(t *testing.T) {
+	cat1 := Catalog(0.001)
+	db1, err := Load(cat1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2 := Catalog(0.001)
+	db2, err := Load(cat2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := db1.Table("orders").Rows[100]
+	r2 := db2.Table("orders").Rows[100]
+	for i := range r1 {
+		if !r1[i].Equal(r2[i]) {
+			t.Fatalf("row mismatch at col %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	_ = engine.Value{}
+}

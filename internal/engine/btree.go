@@ -1,0 +1,268 @@
+package engine
+
+// btree is an in-memory B+-tree over (key []Value, rowID int) entries,
+// ordered by key then rowID. It backs IndexData: inserts and deletes are
+// logarithmic, and range scans walk the linked leaf level — the structure
+// whose page behaviour the optimizer's B-tree cost model describes.
+type btree struct {
+	root   *btreeNode
+	degree int // max keys per node (order = degree+1 children)
+	size   int
+}
+
+type btreeEntry struct {
+	key []Value
+	row int
+}
+
+type btreeNode struct {
+	leaf     bool
+	entries  []btreeEntry // leaf: data entries; internal: separator keys
+	children []*btreeNode // internal only: len(entries)+1 children
+	next     *btreeNode   // leaf-level sibling link
+}
+
+const defaultBtreeDegree = 64
+
+func newBtree() *btree {
+	return &btree{root: &btreeNode{leaf: true}, degree: defaultBtreeDegree}
+}
+
+// cmp orders two entries by key, breaking ties by row id so deletes can
+// locate their exact entry.
+func cmpEntries(a, b btreeEntry) int {
+	n := len(a.key)
+	if len(b.key) < n {
+		n = len(b.key)
+	}
+	for i := 0; i < n; i++ {
+		if c := a.key[i].Compare(b.key[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a.key) != len(b.key) {
+		if len(a.key) < len(b.key) {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.row < b.row:
+		return -1
+	case a.row > b.row:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cmpPrefix compares an entry's key against a probe prefix only (no row
+// tiebreak): 0 means the entry's leading columns equal the probe.
+func cmpPrefix(e btreeEntry, probe []Value) int {
+	for i, v := range probe {
+		if i >= len(e.key) {
+			return -1
+		}
+		if c := e.key[i].Compare(v); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// search returns the index of the first entry in n.entries that is ≥ e.
+func searchEntries(entries []btreeEntry, e btreeEntry) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntries(entries[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds an entry.
+func (t *btree) Insert(key []Value, row int) {
+	e := btreeEntry{key: key, row: row}
+	newChild, sep := t.insert(t.root, e)
+	if newChild != nil {
+		t.root = &btreeNode{
+			entries:  []btreeEntry{sep},
+			children: []*btreeNode{t.root, newChild},
+		}
+	}
+	t.size++
+}
+
+// insert descends, splitting full children on the way back up. Returns a
+// new right sibling and its separator when the node split.
+func (t *btree) insert(n *btreeNode, e btreeEntry) (*btreeNode, btreeEntry) {
+	if n.leaf {
+		i := searchEntries(n.entries, e)
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= t.degree {
+			return nil, btreeEntry{}
+		}
+		// Split leaf: right half moves to a new node.
+		mid := len(n.entries) / 2
+		right := &btreeNode{leaf: true, entries: append([]btreeEntry(nil), n.entries[mid:]...), next: n.next}
+		n.entries = n.entries[:mid:mid]
+		n.next = right
+		return right, right.entries[0]
+	}
+	// Internal: find child.
+	ci := searchEntries(n.entries, e)
+	// Entries in internal nodes are separators: child i holds keys < entries[i].
+	if ci < len(n.entries) && cmpEntries(e, n.entries[ci]) >= 0 {
+		ci++
+	}
+	newChild, sep := t.insert(n.children[ci], e)
+	if newChild == nil {
+		return nil, btreeEntry{}
+	}
+	i := searchEntries(n.entries, sep)
+	n.entries = append(n.entries, btreeEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = newChild
+	if len(n.entries) <= t.degree {
+		return nil, btreeEntry{}
+	}
+	// Split internal node: middle separator moves up.
+	mid := len(n.entries) / 2
+	up := n.entries[mid]
+	right := &btreeNode{
+		entries:  append([]btreeEntry(nil), n.entries[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.entries = n.entries[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return right, up
+}
+
+// Delete removes the entry with the exact key and row id; it reports
+// whether an entry was removed. Underflow is tolerated (nodes may become
+// sparse); the tree stays correct, which is the property the engine needs.
+func (t *btree) Delete(key []Value, row int) bool {
+	e := btreeEntry{key: key, row: row}
+	n := t.root
+	for !n.leaf {
+		ci := searchEntries(n.entries, e)
+		if ci < len(n.entries) && cmpEntries(e, n.entries[ci]) >= 0 {
+			ci++
+		}
+		n = n.children[ci]
+	}
+	i := searchEntries(n.entries, e)
+	if i < len(n.entries) && cmpEntries(n.entries[i], e) == 0 {
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		t.size--
+		return true
+	}
+	return false
+}
+
+// leafFor descends to the leaf that would contain e.
+func (t *btree) leafFor(e btreeEntry) *btreeNode {
+	n := t.root
+	for !n.leaf {
+		ci := searchEntries(n.entries, e)
+		if ci < len(n.entries) && cmpEntries(e, n.entries[ci]) >= 0 {
+			ci++
+		}
+		n = n.children[ci]
+	}
+	return n
+}
+
+// ScanPrefix appends to out the row ids of all entries whose leading key
+// columns equal probe, in key order.
+func (t *btree) ScanPrefix(probe []Value, out []int) []int {
+	start := btreeEntry{key: probe, row: -1 << 62}
+	n := t.leafFor(start)
+	for n != nil {
+		i := searchEntries(n.entries, start)
+		for ; i < len(n.entries); i++ {
+			c := cmpPrefix(n.entries[i], probe)
+			if c > 0 {
+				return out
+			}
+			if c == 0 {
+				out = append(out, n.entries[i].row)
+			}
+		}
+		n = n.next
+	}
+	return out
+}
+
+// ScanRange appends row ids with lo ≤ leadingKey ≤ hi (nil bounds open,
+// inclusivity flags as given), in key order.
+func (t *btree) ScanRange(lo, hi *Value, incLo, incHi bool, out []int) []int {
+	var n *btreeNode
+	if lo == nil {
+		// Leftmost leaf.
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		n = t.leafFor(btreeEntry{key: []Value{*lo}, row: -1 << 62})
+	}
+	for n != nil {
+		for i := 0; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if lo != nil && len(e.key) > 0 {
+				c := e.key[0].Compare(*lo)
+				if c < 0 || (c == 0 && !incLo) {
+					continue
+				}
+			}
+			if hi != nil && len(e.key) > 0 {
+				c := e.key[0].Compare(*hi)
+				if c > 0 || (c == 0 && !incHi) {
+					return out
+				}
+			}
+			out = append(out, e.row)
+		}
+		n = n.next
+	}
+	return out
+}
+
+// ScanAll appends every row id in key order.
+func (t *btree) ScanAll(out []int) []int {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for _, e := range n.entries {
+			out = append(out, e.row)
+		}
+		n = n.next
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// depth returns the tree height (leaf = 1), for tests.
+func (t *btree) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBtreeInsertScanOrder(t *testing.T) {
+	bt := newBtree()
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	keys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = float64(rng.Intn(800)) // heavy duplicates
+		bt.Insert([]Value{Num(keys[i])}, i)
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if bt.depth() < 2 {
+		t.Fatalf("5000 entries should split: depth %d", bt.depth())
+	}
+	all := bt.ScanAll(nil)
+	if len(all) != n {
+		t.Fatalf("ScanAll = %d", len(all))
+	}
+	prev := -1.0
+	for _, id := range all {
+		if keys[id] < prev {
+			t.Fatal("ScanAll out of order")
+		}
+		prev = keys[id]
+	}
+}
+
+func TestBtreeSeekAndDelete(t *testing.T) {
+	bt := newBtree()
+	for i := 0; i < 3000; i++ {
+		bt.Insert([]Value{Num(float64(i % 300)), Num(float64(i))}, i)
+	}
+	// Prefix scan on the leading column.
+	rows := bt.ScanPrefix([]Value{Num(42)}, nil)
+	if len(rows) != 10 {
+		t.Fatalf("prefix scan = %d, want 10", len(rows))
+	}
+	for _, id := range rows {
+		if id%300 != 42 {
+			t.Fatalf("wrong row %d", id)
+		}
+	}
+	// Composite prefix.
+	rows = bt.ScanPrefix([]Value{Num(42), Num(42)}, nil)
+	if len(rows) != 1 || rows[0] != 42 {
+		t.Fatalf("composite prefix = %v", rows)
+	}
+	// Delete one entry and rescan.
+	if !bt.Delete([]Value{Num(42), Num(342)}, 342) {
+		t.Fatal("delete failed")
+	}
+	if bt.Delete([]Value{Num(42), Num(342)}, 342) {
+		t.Fatal("double delete should fail")
+	}
+	rows = bt.ScanPrefix([]Value{Num(42)}, nil)
+	if len(rows) != 9 {
+		t.Fatalf("after delete = %d, want 9", len(rows))
+	}
+}
+
+func TestBtreeRangeScan(t *testing.T) {
+	bt := newBtree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert([]Value{Num(float64(i))}, i)
+	}
+	lo, hi := Num(100), Num(199)
+	rows := bt.ScanRange(&lo, &hi, true, true, nil)
+	if len(rows) != 100 {
+		t.Fatalf("range = %d, want 100", len(rows))
+	}
+	rows = bt.ScanRange(&lo, &hi, false, false, nil)
+	if len(rows) != 98 {
+		t.Fatalf("exclusive range = %d, want 98", len(rows))
+	}
+	rows = bt.ScanRange(nil, &lo, true, true, nil)
+	if len(rows) != 101 {
+		t.Fatalf("open-lo range = %d, want 101", len(rows))
+	}
+	rows = bt.ScanRange(&hi, nil, false, false, nil)
+	if len(rows) != 800 {
+		t.Fatalf("open-hi range = %d, want 800", len(rows))
+	}
+}
+
+func TestBtreeStrings(t *testing.T) {
+	bt := newBtree()
+	words := []string{"delta", "alpha", "charlie", "bravo", "echo", "alpha"}
+	for i, w := range words {
+		bt.Insert([]Value{Str(w)}, i)
+	}
+	rows := bt.ScanPrefix([]Value{Str("alpha")}, nil)
+	if len(rows) != 2 {
+		t.Fatalf("alpha rows = %v", rows)
+	}
+	lo := Str("b")
+	hi := Str("d")
+	rows = bt.ScanRange(&lo, &hi, true, true, nil)
+	if len(rows) != 2 { // bravo, charlie
+		t.Fatalf("string range = %d, want 2", len(rows))
+	}
+}
+
+// TestBtreePropertyAgainstSortedSlice cross-checks the tree against a plain
+// sorted slice under random interleaved inserts, deletes and scans.
+func TestBtreePropertyAgainstSortedSlice(t *testing.T) {
+	type op struct {
+		Insert bool
+		Key    uint8
+	}
+	f := func(ops []op, probe uint8, lo8, hi8 uint8) bool {
+		bt := newBtree()
+		bt.degree = 4 // force deep trees
+		type ent struct {
+			k   float64
+			row int
+		}
+		var ref []ent
+		row := 0
+		for _, o := range ops {
+			k := float64(o.Key % 50)
+			if o.Insert || len(ref) == 0 {
+				bt.Insert([]Value{Num(k)}, row)
+				ref = append(ref, ent{k: k, row: row})
+				row++
+			} else {
+				victim := ref[int(o.Key)%len(ref)]
+				if !bt.Delete([]Value{Num(victim.k)}, victim.row) {
+					return false
+				}
+				for i := range ref {
+					if ref[i] == victim {
+						ref = append(ref[:i], ref[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		// Prefix scan equivalence.
+		pk := float64(probe % 50)
+		var want []int
+		for _, e := range ref {
+			if e.k == pk {
+				want = append(want, e.row)
+			}
+		}
+		got := bt.ScanPrefix([]Value{Num(pk)}, nil)
+		if !sameSet(got, want) {
+			return false
+		}
+		// Range scan equivalence.
+		loV, hiV := float64(lo8%50), float64(hi8%50)
+		if hiV < loV {
+			loV, hiV = hiV, loV
+		}
+		want = want[:0]
+		for _, e := range ref {
+			if e.k >= loV && e.k <= hiV {
+				want = append(want, e.row)
+			}
+		}
+		l, h := Num(loV), Num(hiV)
+		got = bt.ScanRange(&l, &h, true, true, nil)
+		return sameSet(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	x := append([]int(nil), a...)
+	y := append([]int(nil), b...)
+	sort.Ints(x)
+	sort.Ints(y)
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+)
+
+// execInsert appends rows and maintains every index and view on the table.
+func (p *Prepared) execInsert(s *sqlparser.Insert) (*Result, error) {
+	td := p.DB.Table(s.Table)
+	if td == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(td.Meta.Columns))
+		for i, c := range td.Meta.Columns {
+			cols[i] = c.Name
+		}
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values for %d columns", len(exprRow), len(cols))
+		}
+		row := make([]Value, len(td.Meta.Columns))
+		for i, e := range exprRow {
+			ci := td.ColIndex(cols[i])
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", cols[i])
+			}
+			v, err := evalScalar(e, func(string, string) (Value, bool) { return Value{}, false }, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = v
+		}
+		id := td.Append(row)
+		p.maintainInsert(td, id)
+	}
+	p.invalidateViews(td.Meta.Name, int64(len(s.Rows)))
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+// maintainInsert updates indexes and partition assignments for a new row.
+func (p *Prepared) maintainInsert(td *TableData, id int) {
+	for _, ix := range p.indexesOn(td.Meta.Name) {
+		ix.insertRow(id)
+		p.Metrics.RowsMaintained++
+	}
+	if scheme := p.Cfg.TablePartitioning(td.Meta.Name); scheme != nil {
+		if parts, ok := p.parts[td.Meta.Name]; ok {
+			ci := td.ColIndex(scheme.Column)
+			pi := scheme.Locate(td.Rows[id][ci].Numeric())
+			parts[pi] = append(parts[pi], id)
+			p.parts[td.Meta.Name] = parts
+			p.Metrics.RowsMaintained++
+		}
+	}
+}
+
+// targetRows finds the row ids a DML statement's WHERE selects.
+func (p *Prepared) targetRows(table string, where sqlparser.Expr) (*TableData, []int, error) {
+	td := p.DB.Table(table)
+	if td == nil {
+		return nil, nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	// Reuse the SELECT machinery for analysis-driven access.
+	sel := &sqlparser.Select{
+		Items: []sqlparser.SelectItem{{Expr: nil}},
+		From:  []sqlparser.TableRef{{Name: td.Meta.Name}},
+		Where: where,
+	}
+	q, err := optimizer.Analyze(p.DB.Cat, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	candidates := p.scopeRowIDs(q, 0, td)
+	p.Metrics.RowsScanned += int64(len(candidates))
+	var ids []int
+	for _, id := range candidates {
+		if td.Deleted[id] {
+			continue
+		}
+		keep := true
+		if where != nil {
+			lk := func(qual, name string) (Value, bool) {
+				ci := td.ColIndex(name)
+				if ci < 0 {
+					return Value{}, false
+				}
+				return td.Rows[id][ci], true
+			}
+			pass, err := evalBool(where, lk, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			keep = pass
+		}
+		if keep {
+			ids = append(ids, id)
+		}
+	}
+	return td, ids, nil
+}
+
+// execUpdate modifies rows in place and maintains dependent structures.
+func (p *Prepared) execUpdate(s *sqlparser.Update) (*Result, error) {
+	td, ids, err := p.targetRows(s.Table, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	indexes := p.indexesOn(td.Meta.Name)
+	for _, id := range ids {
+		lk := func(qual, name string) (Value, bool) {
+			ci := td.ColIndex(name)
+			if ci < 0 {
+				return Value{}, false
+			}
+			return td.Rows[id][ci], true
+		}
+		// Evaluate all assignments against the pre-update row.
+		newVals := make(map[int]Value, len(s.Set))
+		for _, asn := range s.Set {
+			ci := td.ColIndex(asn.Column)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", asn.Column)
+			}
+			v, err := evalScalar(asn.Value, lk, nil)
+			if err != nil {
+				return nil, err
+			}
+			newVals[ci] = v
+		}
+		// Indexes whose columns change must be repositioned.
+		for _, ix := range indexes {
+			touched := false
+			for _, kc := range ix.Def.KeyColumns {
+				if _, ok := newVals[td.ColIndex(kc)]; ok {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				ix.removeRow(id)
+			}
+		}
+		for ci, v := range newVals {
+			td.Rows[id][ci] = v
+		}
+		for _, ix := range indexes {
+			touched := false
+			for _, kc := range ix.Def.KeyColumns {
+				if _, ok := newVals[td.ColIndex(kc)]; ok {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				ix.insertRow(id)
+				p.Metrics.RowsMaintained++
+			}
+		}
+		// Repartition if the partitioning column moved.
+		if scheme := p.Cfg.TablePartitioning(td.Meta.Name); scheme != nil {
+			if _, ok := newVals[td.ColIndex(scheme.Column)]; ok {
+				p.rebuildPartitions(td)
+			}
+		}
+	}
+	if len(ids) > 0 {
+		p.invalidateViews(td.Meta.Name, int64(len(ids)))
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+// execDelete tombstones rows and maintains dependent structures.
+func (p *Prepared) execDelete(s *sqlparser.Delete) (*Result, error) {
+	td, ids, err := p.targetRows(s.Table, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		td.Deleted[id] = true
+		td.live--
+		for _, ix := range p.indexesOn(td.Meta.Name) {
+			ix.removeRow(id)
+			p.Metrics.RowsMaintained++
+		}
+	}
+	if len(ids) > 0 {
+		if p.Cfg.TablePartitioning(td.Meta.Name) != nil {
+			p.rebuildPartitions(td)
+		}
+		p.invalidateViews(td.Meta.Name, int64(len(ids)))
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+func (p *Prepared) rebuildPartitions(td *TableData) {
+	if scheme := p.Cfg.TablePartitioning(td.Meta.Name); scheme != nil {
+		_ = p.buildPartitions(td, scheme)
+		p.Metrics.RowsMaintained += int64(td.LiveRows())
+	}
+}

@@ -1,0 +1,173 @@
+// Package engine is the in-memory storage and execution engine: heap tables,
+// ordered (B-tree-like) indexes, single-column range partitioning, and
+// materialized views, plus a physical executor for the SQL subset. It exists
+// so recommendations can actually be implemented and run — the paper's §7.2
+// compares optimizer-estimated improvement against the actual improvement in
+// execution time, and the engine is what makes "actual" measurable.
+//
+// The engine consumes the same analyzed-query shape (optimizer.Analyze) and
+// the same view-matching predicate (optimizer.MatchView) as the optimizer,
+// so the estimated and executed plans agree on structure usage while actual
+// row counts still diverge from estimates the way real systems do.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Value is one SQL value: numeric (int/float/date) or string.
+type Value struct {
+	F   float64
+	S   string
+	Str bool
+}
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{S: s, Str: true} }
+
+// Less orders two values (strings lexicographically, numbers numerically;
+// numbers sort before strings in mixed comparisons, which do not occur in
+// well-typed queries).
+func (v Value) Less(o Value) bool {
+	if v.Str != o.Str {
+		return !v.Str
+	}
+	if v.Str {
+		return v.S < o.S
+	}
+	return v.F < o.F
+}
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool {
+	if v.Str != o.Str {
+		return false
+	}
+	if v.Str {
+		return v.S == o.S
+	}
+	return v.F == o.F
+}
+
+// Compare returns -1, 0 or +1.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.Equal(o):
+		return 0
+	case v.Less(o):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Str {
+		return v.S
+	}
+	return trimFloat(v.F)
+}
+
+func trimFloat(f float64) string { return strings.TrimSuffix(fmt.Sprintf("%g", f), ".0") }
+
+// Numeric returns the numeric interpretation (strings yield 0).
+func (v Value) Numeric() float64 {
+	if v.Str {
+		return 0
+	}
+	return v.F
+}
+
+// TableData holds the rows of one table, row-major in column order.
+type TableData struct {
+	Meta    *catalog.Table
+	Rows    [][]Value
+	Deleted []bool // tombstones; len == len(Rows)
+	colIdx  map[string]int
+	live    int
+}
+
+// NewTableData creates empty storage for a table.
+func NewTableData(meta *catalog.Table) *TableData {
+	td := &TableData{Meta: meta, colIdx: map[string]int{}}
+	for i, c := range meta.Columns {
+		td.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return td
+}
+
+// ColIndex returns the position of the column in a row, or -1.
+func (td *TableData) ColIndex(name string) int {
+	if i, ok := td.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Append adds a row (in column order) and returns its row id.
+func (td *TableData) Append(row []Value) int {
+	td.Rows = append(td.Rows, row)
+	td.Deleted = append(td.Deleted, false)
+	td.live++
+	return len(td.Rows) - 1
+}
+
+// LiveRows returns the number of non-deleted rows.
+func (td *TableData) LiveRows() int { return td.live }
+
+// Database is the data of one server: table contents keyed by table name.
+type Database struct {
+	Cat    *catalog.Catalog
+	tables map[string]*TableData
+}
+
+// NewDatabase creates an empty database over the catalog.
+func NewDatabase(cat *catalog.Catalog) *Database {
+	return &Database{Cat: cat, tables: map[string]*TableData{}}
+}
+
+// Table returns (creating on demand) the storage of the named table, or nil
+// if the catalog does not know it.
+func (db *Database) Table(name string) *TableData {
+	key := strings.ToLower(name)
+	if td, ok := db.tables[key]; ok {
+		return td
+	}
+	meta := db.Cat.ResolveTable(name)
+	if meta == nil {
+		return nil
+	}
+	td := NewTableData(meta)
+	db.tables[key] = td
+	return td
+}
+
+// Load bulk-appends rows into a table.
+func (db *Database) Load(table string, rows [][]Value) error {
+	td := db.Table(table)
+	if td == nil {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	for _, r := range rows {
+		if len(r) != len(td.Meta.Columns) {
+			return fmt.Errorf("engine: row width %d != %d columns of %q", len(r), len(td.Meta.Columns), table)
+		}
+		td.Append(r)
+	}
+	return nil
+}
+
+// SyncRowCounts updates the catalog's row counts from the stored data, so
+// the optimizer's estimates track reality after loads and DML.
+func (db *Database) SyncRowCounts() {
+	for _, td := range db.tables {
+		td.Meta.Rows = int64(td.LiveRows())
+	}
+}

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// lookupFn resolves a column reference in the current row context.
+// It returns the value and whether the reference resolved.
+type lookupFn func(qualifier, name string) (Value, bool)
+
+// aggFn evaluates an aggregate in the current group context; nil when
+// aggregates are not allowed in the expression.
+type aggFn func(f *sqlparser.FuncExpr) (Value, error)
+
+// evalScalar evaluates a scalar expression.
+func evalScalar(e sqlparser.Expr, lk lookupFn, agg aggFn) (Value, error) {
+	switch v := e.(type) {
+	case *sqlparser.ColName:
+		if val, ok := lk(v.Qualifier, v.Name); ok {
+			return val, nil
+		}
+		return Value{}, fmt.Errorf("engine: cannot resolve column %s", v)
+	case *sqlparser.Literal:
+		if v.Kind == sqlparser.LitString {
+			return Str(v.S), nil
+		}
+		return Num(v.F), nil
+	case *sqlparser.BinaryExpr:
+		l, err := evalScalar(v.Left, lk, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := evalScalar(v.Right, lk, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		a, b := l.Numeric(), r.Numeric()
+		switch v.Op {
+		case "+":
+			return Num(a + b), nil
+		case "-":
+			return Num(a - b), nil
+		case "*":
+			return Num(a * b), nil
+		case "/":
+			if b == 0 {
+				return Num(0), nil
+			}
+			return Num(a / b), nil
+		}
+		return Value{}, fmt.Errorf("engine: unknown operator %q", v.Op)
+	case *sqlparser.FuncExpr:
+		if agg == nil {
+			return Value{}, fmt.Errorf("engine: aggregate %s not allowed here", v)
+		}
+		return agg(v)
+	default:
+		return Value{}, fmt.Errorf("engine: unsupported scalar %T", e)
+	}
+}
+
+// evalBool evaluates a boolean expression.
+func evalBool(e sqlparser.Expr, lk lookupFn, agg aggFn) (bool, error) {
+	switch v := e.(type) {
+	case *sqlparser.AndExpr:
+		l, err := evalBool(v.Left, lk, agg)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalBool(v.Right, lk, agg)
+	case *sqlparser.OrExpr:
+		l, err := evalBool(v.Left, lk, agg)
+		if err != nil || l {
+			return l, err
+		}
+		return evalBool(v.Right, lk, agg)
+	case *sqlparser.NotExpr:
+		b, err := evalBool(v.Inner, lk, agg)
+		return !b, err
+	case *sqlparser.ComparisonExpr:
+		l, err := evalScalar(v.Left, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalScalar(v.Right, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		switch v.Op {
+		case "=":
+			return l.Equal(r), nil
+		case "<>":
+			return !l.Equal(r), nil
+		case "<":
+			return l.Less(r), nil
+		case ">":
+			return r.Less(l), nil
+		case "<=":
+			return !r.Less(l), nil
+		case ">=":
+			return !l.Less(r), nil
+		case "like":
+			return matchLike(l.String(), r.String()), nil
+		}
+		return false, fmt.Errorf("engine: unknown comparison %q", v.Op)
+	case *sqlparser.BetweenExpr:
+		x, err := evalScalar(v.Expr, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		lo, err := evalScalar(v.Lo, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		hi, err := evalScalar(v.Hi, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		return !x.Less(lo) && !hi.Less(x), nil
+	case *sqlparser.InExpr:
+		x, err := evalScalar(v.Expr, lk, agg)
+		if err != nil {
+			return false, err
+		}
+		for _, item := range v.List {
+			iv, err := evalScalar(item, lk, agg)
+			if err != nil {
+				return false, err
+			}
+			if x.Equal(iv) {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("engine: unsupported boolean %T", e)
+	}
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any single char).
+func matchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Dynamic programming over the pattern, iterative two-pointer with
+	// backtracking on '%'.
+	si, pi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || equalFoldByte(p[pi], s[si])):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+func equalFoldByte(a, b byte) bool {
+	if a == b {
+		return true
+	}
+	if 'A' <= a && a <= 'Z' {
+		a += 'a' - 'A'
+	}
+	if 'A' <= b && b <= 'Z' {
+		b += 'a' - 'A'
+	}
+	return a == b
+}
+
+// parseExprText parses a bare SQL expression (used to evaluate synthetic
+// "expr:" aggregate arguments stored in view definitions).
+func parseExprText(text string) (sqlparser.Expr, error) {
+	stmt, err := sqlparser.Parse("SELECT " + text + " FROM __x")
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad expression %q: %w", text, err)
+	}
+	sel := stmt.(*sqlparser.Select)
+	if len(sel.Items) != 1 || sel.Items[0].Expr == nil {
+		return nil, fmt.Errorf("engine: bad expression %q", text)
+	}
+	return sel.Items[0].Expr, nil
+}
+
+// exprQualifiers collects the distinct qualifiers used in an expression.
+func exprQualifiers(e sqlparser.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) {
+		if c, ok := x.(*sqlparser.ColName); ok {
+			q := strings.ToLower(c.Qualifier)
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	})
+	return out
+}

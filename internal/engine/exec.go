@@ -1,0 +1,529 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+)
+
+// Result is the output of executing one statement.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Affected is the number of rows changed by DML.
+	Affected int
+	// Stats is the physical work of this statement alone.
+	Stats ExecStats
+}
+
+// Exec executes a statement against the prepared (materialized)
+// configuration.
+func (p *Prepared) Exec(stmt sqlparser.Statement) (*Result, error) {
+	before := p.Metrics
+	var res *Result
+	var err error
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		res, err = p.execSelect(s)
+	case *sqlparser.Insert:
+		res, err = p.execInsert(s)
+	case *sqlparser.Update:
+		res, err = p.execUpdate(s)
+	case *sqlparser.Delete:
+		res, err = p.execDelete(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = diffStats(p.Metrics, before)
+	return res, nil
+}
+
+// ExecSQL parses and executes one statement.
+func (p *Prepared) ExecSQL(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec(stmt)
+}
+
+func diffStats(after, before ExecStats) ExecStats {
+	return ExecStats{
+		RowsScanned:    after.RowsScanned - before.RowsScanned,
+		IndexSeeks:     after.IndexSeeks - before.IndexSeeks,
+		RowsReturned:   after.RowsReturned - before.RowsReturned,
+		ViewsScanned:   after.ViewsScanned - before.ViewsScanned,
+		RowsMaintained: after.RowsMaintained - before.RowsMaintained,
+	}
+}
+
+func (p *Prepared) execSelect(s *sqlparser.Select) (*Result, error) {
+	q, err := optimizer.Analyze(p.DB.Cat, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefer a matching materialized view (smallest first), mirroring the
+	// optimizer's view matching so estimated and actual plans agree.
+	var bestView *ViewData
+	for _, vd := range p.views {
+		if _, ok := optimizer.MatchView(q, vd.Def); ok {
+			fresh := p.viewByKey(vd.Def.Key())
+			if bestView == nil || len(fresh.Rows) < len(bestView.Rows) {
+				bestView = fresh
+			}
+		}
+	}
+	if bestView != nil {
+		return p.execSelectFromView(s, q, bestView)
+	}
+	return p.execSelectBase(s, q)
+}
+
+// resolver binds column references to scopes for the engine, mirroring the
+// analyzer's rules (qualifier = binding or table name; unqualified = unique
+// owning table).
+type resolver struct {
+	q        *optimizer.QueryInfo
+	colScope map[string]int // unqualified column → scope (-2 = ambiguous)
+}
+
+func newResolver(q *optimizer.QueryInfo) *resolver {
+	r := &resolver{q: q, colScope: map[string]int{}}
+	for si, sc := range q.Scopes {
+		for _, c := range sc.Table.Columns {
+			name := strings.ToLower(c.Name)
+			if prev, ok := r.colScope[name]; ok && prev != si {
+				r.colScope[name] = -2
+			} else {
+				r.colScope[name] = si
+			}
+		}
+	}
+	return r
+}
+
+// scopeOf resolves a reference to a scope index, or -1.
+func (r *resolver) scopeOf(qualifier, name string) int {
+	qualifier = strings.ToLower(qualifier)
+	name = strings.ToLower(name)
+	if qualifier != "" {
+		for si, sc := range r.q.Scopes {
+			if sc.Binding == qualifier || sc.Table.Name == qualifier {
+				if sc.Table.HasColumn(name) {
+					return si
+				}
+				return -1
+			}
+		}
+		return -1
+	}
+	if si, ok := r.colScope[name]; ok && si >= 0 {
+		return si
+	}
+	return -1
+}
+
+// exprScopes returns the set of scopes an expression touches.
+func (r *resolver) exprScopes(e sqlparser.Expr) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	var badRef error
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) {
+		if c, ok := x.(*sqlparser.ColName); ok {
+			si := r.scopeOf(c.Qualifier, c.Name)
+			if si < 0 {
+				badRef = fmt.Errorf("engine: cannot resolve %s", c)
+				return
+			}
+			if !seen[si] {
+				seen[si] = true
+				out = append(out, si)
+			}
+		}
+	})
+	sort.Ints(out)
+	return out, badRef
+}
+
+// execSelectBase runs the query over base tables.
+func (p *Prepared) execSelectBase(s *sqlparser.Select, q *optimizer.QueryInfo) (*Result, error) {
+	r := newResolver(q)
+	tds := make([]*TableData, len(q.Scopes))
+	for si, sc := range q.Scopes {
+		tds[si] = p.DB.Table(sc.Table.Name)
+		if tds[si] == nil {
+			return nil, fmt.Errorf("engine: no data for table %q", sc.Table.Name)
+		}
+	}
+
+	// Classify WHERE conjuncts by scope coverage.
+	type cond struct {
+		expr   sqlparser.Expr
+		scopes []int
+	}
+	var conds []cond
+	for _, conj := range sqlparser.Conjuncts(s.Where) {
+		sc, err := r.exprScopes(conj)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond{expr: conj, scopes: sc})
+	}
+
+	// Per-scope candidate rows, filtered by single-scope conjuncts.
+	rowIDs := make([][]int, len(q.Scopes))
+	for si := range q.Scopes {
+		ids := p.scopeRowIDs(q, si, tds[si])
+		lk := func(id int) lookupFn {
+			return func(qual, name string) (Value, bool) {
+				if sj := r.scopeOf(qual, name); sj == si {
+					return tds[si].Rows[id][tds[si].ColIndex(name)], true
+				}
+				return Value{}, false
+			}
+		}
+		var kept []int
+		for _, id := range ids {
+			if tds[si].Deleted[id] {
+				continue
+			}
+			ok := true
+			for _, cd := range conds {
+				if len(cd.scopes) == 1 && cd.scopes[0] == si {
+					pass, err := evalBool(cd.expr, lk(id), nil)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				kept = append(kept, id)
+			}
+		}
+		p.Metrics.RowsScanned += int64(len(ids))
+		rowIDs[si] = kept
+	}
+
+	// Left-deep join.
+	n := len(q.Scopes)
+	joinedSet := map[int]bool{}
+	var tuples [][]int
+	// Seed with the smallest filtered scope.
+	seed := 0
+	for si := 1; si < n; si++ {
+		if len(rowIDs[si]) < len(rowIDs[seed]) {
+			seed = si
+		}
+	}
+	for _, id := range rowIDs[seed] {
+		tp := make([]int, n)
+		for i := range tp {
+			tp[i] = -1
+		}
+		tp[seed] = id
+		tuples = append(tuples, tp)
+	}
+	joinedSet[seed] = true
+
+	tupleLookup := func(tp []int) lookupFn {
+		return func(qual, name string) (Value, bool) {
+			si := r.scopeOf(qual, name)
+			if si < 0 || tp[si] < 0 {
+				return Value{}, false
+			}
+			return tds[si].Rows[tp[si]][tds[si].ColIndex(name)], true
+		}
+	}
+
+	applied := make([]bool, len(conds))
+	applyConds := func() error {
+		var kept [][]int
+		for _, tp := range tuples {
+			ok := true
+			for ci, cd := range conds {
+				if applied[ci] || len(cd.scopes) < 2 {
+					continue
+				}
+				ready := true
+				for _, sx := range cd.scopes {
+					if !joinedSet[sx] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				pass, err := evalBool(cd.expr, tupleLookup(tp), nil)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+		return nil
+	}
+
+	for len(joinedSet) < n {
+		// Pick a scope connected to the joined set, else the smallest left.
+		next := -1
+		var edges []optimizer.JoinEdge
+		for si := 0; si < n; si++ {
+			if joinedSet[si] {
+				continue
+			}
+			var es []optimizer.JoinEdge
+			for _, e := range q.Joins {
+				if e.L == si && joinedSet[e.R] {
+					es = append(es, e)
+				} else if e.R == si && joinedSet[e.L] {
+					es = append(es, optimizer.JoinEdge{L: e.R, R: e.L, LCol: e.RCol, RCol: e.LCol})
+				}
+			}
+			if len(es) > 0 && (next < 0 || len(rowIDs[si]) < len(rowIDs[next])) {
+				next = si
+				edges = es
+			}
+		}
+		if next < 0 { // cartesian fallback
+			for si := 0; si < n; si++ {
+				if !joinedSet[si] {
+					next = si
+					break
+				}
+			}
+			edges = nil
+		}
+
+		if len(edges) > 0 {
+			// Hash join: build on the new scope's rows keyed by its join cols.
+			// Edges are normalized as L = next side.
+			keyOf := func(vals []Value) string {
+				var b strings.Builder
+				for _, v := range vals {
+					b.WriteString(v.String())
+					b.WriteByte('\x00')
+				}
+				return b.String()
+			}
+			build := map[string][]int{}
+			td := tds[next]
+			for _, id := range rowIDs[next] {
+				vals := make([]Value, len(edges))
+				for i, e := range edges {
+					vals[i] = td.Rows[id][td.ColIndex(e.LCol)]
+				}
+				k := keyOf(vals)
+				build[k] = append(build[k], id)
+			}
+			var out [][]int
+			for _, tp := range tuples {
+				vals := make([]Value, len(edges))
+				okAll := true
+				for i, e := range edges {
+					otd := tds[e.R]
+					if tp[e.R] < 0 {
+						okAll = false
+						break
+					}
+					vals[i] = otd.Rows[tp[e.R]][otd.ColIndex(e.RCol)]
+				}
+				if !okAll {
+					continue
+				}
+				for _, id := range build[keyOf(vals)] {
+					ntp := append([]int(nil), tp...)
+					ntp[next] = id
+					out = append(out, ntp)
+				}
+			}
+			tuples = out
+		} else {
+			var out [][]int
+			for _, tp := range tuples {
+				for _, id := range rowIDs[next] {
+					ntp := append([]int(nil), tp...)
+					ntp[next] = id
+					out = append(out, ntp)
+				}
+			}
+			if len(tuples) == 0 && n == 1 {
+				// unreachable; seed handles single scope
+			}
+			tuples = out
+		}
+		joinedSet[next] = true
+		if err := applyConds(); err != nil {
+			return nil, err
+		}
+	}
+	// Mark multi-scope conds applied (all scopes joined by now).
+	if err := applyConds(); err != nil {
+		return nil, err
+	}
+
+	src := &baseSource{r: r, tds: tds, tuples: tuples}
+	ids := make([]int, len(tuples))
+	for i := range ids {
+		ids[i] = i
+	}
+	res, err := finishQuery(s, q, src, ids)
+	if err != nil {
+		return nil, err
+	}
+	p.Metrics.RowsReturned += int64(len(res.Rows))
+	return res, nil
+}
+
+// scopeRowIDs returns candidate row ids for one scope, using the best
+// available index seek or partition elimination, else a full scan.
+func (p *Prepared) scopeRowIDs(q *optimizer.QueryInfo, si int, td *TableData) []int {
+	sc := q.Scopes[si]
+	var best []int
+	haveBest := false
+
+	consider := func(ids []int) {
+		if !haveBest || len(ids) < len(best) {
+			best = ids
+			haveBest = true
+		}
+	}
+
+	for _, ix := range p.indexesOn(sc.Table.Name) {
+		// Longest all-equality prefix probe.
+		var probe []Value
+		for _, kc := range ix.Def.KeyColumns {
+			pr := findEqPred(sc.Preds, kc)
+			if pr == nil {
+				break
+			}
+			probe = append(probe, predValue(*pr))
+		}
+		if len(probe) > 0 {
+			p.Metrics.IndexSeeks++
+			consider(ix.SeekEqual(probe))
+			continue
+		}
+		// Leading-column range / LIKE-prefix seek.
+		lead := ix.Def.KeyColumns[0]
+		for _, pr := range sc.Preds {
+			if pr.Column != lead {
+				continue
+			}
+			switch pr.Kind {
+			case optimizer.PredRange:
+				if pr.IsStr {
+					continue
+				}
+				var lo, hi *Value
+				if pr.Lo > -1e300 {
+					v := Num(pr.Lo)
+					lo = &v
+				}
+				if pr.Hi < 1e300 {
+					v := Num(pr.Hi)
+					hi = &v
+				}
+				p.Metrics.IndexSeeks++
+				consider(ix.SeekRange(lo, hi, pr.IncLo, pr.IncHi))
+			case optimizer.PredLike:
+				prefix := likePrefixOf(pr.Pattern)
+				if prefix == "" {
+					continue
+				}
+				lo := Str(prefix)
+				hi := Str(prefix + "\xff")
+				p.Metrics.IndexSeeks++
+				consider(ix.SeekRange(&lo, &hi, true, true))
+			}
+		}
+	}
+	if haveBest {
+		return best
+	}
+
+	// Partition elimination.
+	if parts, ok := p.parts[sc.Table.Name]; ok {
+		scheme := p.Cfg.TablePartitioning(sc.Table.Name)
+		if scheme != nil {
+			for _, pr := range sc.Preds {
+				if pr.Column != scheme.Column {
+					continue
+				}
+				switch pr.Kind {
+				case optimizer.PredEq:
+					if !pr.IsStr {
+						return parts[scheme.Locate(pr.Value)]
+					}
+				case optimizer.PredRange:
+					if pr.IsStr {
+						continue
+					}
+					loP, hiP := 0, len(parts)-1
+					if pr.Lo > -1e300 {
+						loP = scheme.Locate(pr.Lo)
+					}
+					if pr.Hi < 1e300 {
+						hiP = scheme.Locate(pr.Hi)
+					}
+					var ids []int
+					for pi := loP; pi <= hiP && pi < len(parts); pi++ {
+						ids = append(ids, parts[pi]...)
+					}
+					return ids
+				}
+			}
+		}
+	}
+
+	// Full scan.
+	ids := make([]int, 0, td.LiveRows())
+	for id := range td.Rows {
+		if !td.Deleted[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func findEqPred(preds []optimizer.Pred, col string) *optimizer.Pred {
+	for i := range preds {
+		if preds[i].Column == col && preds[i].Kind == optimizer.PredEq {
+			return &preds[i]
+		}
+	}
+	return nil
+}
+
+func predValue(p optimizer.Pred) Value {
+	if p.IsStr {
+		return Str(p.StrValue)
+	}
+	return Num(p.Value)
+}
+
+func likePrefixOf(pattern string) string {
+	i := strings.IndexAny(pattern, "%_")
+	if i < 0 {
+		return pattern
+	}
+	return pattern[:i]
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+)
+
+// tupleSource abstracts where tuples come from (base-table join output or a
+// materialized view) for the shared grouping / ordering / projection
+// pipeline.
+type tupleSource interface {
+	// lookup resolves columns for tuple ti.
+	lookup(ti int) lookupFn
+	// evalAgg evaluates an aggregate over a group of tuples.
+	evalAgg(f *sqlparser.FuncExpr, group []int) (Value, error)
+}
+
+// baseSource serves tuples produced by the base-table join.
+type baseSource struct {
+	r      *resolver
+	tds    []*TableData
+	tuples [][]int
+}
+
+func (b *baseSource) lookup(ti int) lookupFn {
+	tp := b.tuples[ti]
+	return func(qual, name string) (Value, bool) {
+		si := b.r.scopeOf(qual, name)
+		if si < 0 || tp[si] < 0 {
+			return Value{}, false
+		}
+		return b.tds[si].Rows[tp[si]][b.tds[si].ColIndex(name)], true
+	}
+}
+
+func (b *baseSource) evalAgg(f *sqlparser.FuncExpr, group []int) (Value, error) {
+	return genericAgg(f, group, b.lookup)
+}
+
+// genericAgg computes an aggregate by evaluating the argument per tuple.
+func genericAgg(f *sqlparser.FuncExpr, group []int, lk func(int) lookupFn) (Value, error) {
+	name := strings.ToLower(f.Name)
+	if f.Star || name == "count" && f.Arg == nil {
+		return Num(float64(len(group))), nil
+	}
+	var sum float64
+	var minV, maxV Value
+	first := true
+	for _, ti := range group {
+		v, err := evalScalar(f.Arg, lk(ti), nil)
+		if err != nil {
+			return Value{}, err
+		}
+		sum += v.Numeric()
+		if first {
+			minV, maxV = v, v
+			first = false
+		} else {
+			if v.Less(minV) {
+				minV = v
+			}
+			if maxV.Less(v) {
+				maxV = v
+			}
+		}
+	}
+	switch name {
+	case "count":
+		return Num(float64(len(group))), nil
+	case "sum":
+		return Num(sum), nil
+	case "avg":
+		if len(group) == 0 {
+			return Num(0), nil
+		}
+		return Num(sum / float64(len(group))), nil
+	case "min":
+		return minV, nil
+	case "max":
+		return maxV, nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown aggregate %q", f.Name)
+}
+
+// finishQuery applies grouping, HAVING, DISTINCT, ORDER BY, TOP, and
+// projection over the source tuples.
+func finishQuery(s *sqlparser.Select, q *optimizer.QueryInfo, src tupleSource, tuples []int) (*Result, error) {
+	grouped := len(s.GroupBy) > 0 || len(q.Aggs) > 0
+
+	// Expand the select list (resolving '*').
+	type outItem struct {
+		expr  sqlparser.Expr
+		alias string
+	}
+	var items []outItem
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			items = append(items, outItem{expr: it.Expr, alias: it.Alias})
+			continue
+		}
+		for _, sc := range q.Scopes {
+			for _, c := range sc.Table.Columns {
+				items = append(items, outItem{expr: &sqlparser.ColName{Qualifier: sc.Binding, Name: strings.ToLower(c.Name)}})
+			}
+		}
+	}
+	columns := make([]string, len(items))
+	for i, it := range items {
+		if it.alias != "" {
+			columns[i] = it.alias
+		} else {
+			columns[i] = it.expr.String()
+		}
+	}
+
+	// Resolve ORDER BY expressions (alias substitution).
+	orderExpr := make([]sqlparser.Expr, len(s.OrderBy))
+	for i, o := range s.OrderBy {
+		e := o.Expr
+		if c, ok := e.(*sqlparser.ColName); ok && c.Qualifier == "" {
+			for _, it := range items {
+				if it.alias == c.Name {
+					e = it.expr
+					break
+				}
+			}
+		}
+		orderExpr[i] = e
+	}
+
+	type outRow struct {
+		vals []Value
+		keys []Value
+	}
+	var outs []outRow
+
+	emit := func(rep int, group []int) error {
+		aggCtx := func(f *sqlparser.FuncExpr) (Value, error) {
+			return src.evalAgg(f, group)
+		}
+		if s.Having != nil {
+			ok, err := evalBool(s.Having, src.lookup(rep), aggCtx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		row := outRow{vals: make([]Value, len(items))}
+		for i, it := range items {
+			v, err := evalScalar(it.expr, src.lookup(rep), aggCtx)
+			if err != nil {
+				return err
+			}
+			row.vals[i] = v
+		}
+		row.keys = make([]Value, len(orderExpr))
+		for i, e := range orderExpr {
+			v, err := evalScalar(e, src.lookup(rep), aggCtx)
+			if err != nil {
+				return err
+			}
+			row.keys[i] = v
+		}
+		outs = append(outs, row)
+		return nil
+	}
+
+	if grouped {
+		// Group tuples by the GROUP BY column values.
+		keys := []string{}
+		groups := map[string][]int{}
+		for _, ti := range tuples {
+			var b strings.Builder
+			for _, g := range s.GroupBy {
+				v, err := evalScalar(g, src.lookup(ti), nil)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(v.String())
+				b.WriteByte('\x00')
+			}
+			k := b.String()
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], ti)
+		}
+		if len(s.GroupBy) == 0 {
+			// Scalar aggregate: one group over everything (possibly empty).
+			keys = []string{""}
+			groups[""] = tuples
+		}
+		for _, k := range keys {
+			g := groups[k]
+			if len(g) == 0 {
+				// Empty scalar-aggregate group (no qualifying rows):
+				// aggregates evaluate to zero, other outputs to NULL-ish.
+				row := outRow{vals: make([]Value, len(items)), keys: make([]Value, len(orderExpr))}
+				for i, it := range items {
+					if _, ok := it.expr.(*sqlparser.FuncExpr); ok {
+						row.vals[i] = Num(0)
+					}
+				}
+				outs = append(outs, row)
+				continue
+			}
+			if err := emit(g[0], g); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, ti := range tuples {
+			if err := emit(ti, []int{ti}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ORDER BY.
+	if len(orderExpr) > 0 {
+		sort.SliceStable(outs, func(a, b int) bool {
+			for i := range orderExpr {
+				c := outs[a].keys[i].Compare(outs[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if s.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := map[string]bool{}
+		var dedup []outRow
+		for _, r := range outs {
+			var b strings.Builder
+			for _, v := range r.vals {
+				b.WriteString(v.String())
+				b.WriteByte('\x00')
+			}
+			if !seen[b.String()] {
+				seen[b.String()] = true
+				dedup = append(dedup, r)
+			}
+		}
+		outs = dedup
+	}
+
+	// TOP.
+	if s.Top > 0 && len(outs) > s.Top {
+		outs = outs[:s.Top]
+	}
+
+	res := &Result{Columns: columns}
+	for _, r := range outs {
+		res.Rows = append(res.Rows, r.vals)
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package engine
+
+import "strings"
+
+// Sampler adapts a Database to the stats.Sampler interface so statistics can
+// be created from actual data (the production-server side of §5.3). String
+// values are folded to a stable numeric code for histogram purposes.
+type Sampler struct {
+	DB *Database
+	// Stride controls deterministic systematic sampling: every k-th row is
+	// taken so up to n values are returned.
+}
+
+// NewSampler wraps a database.
+func NewSampler(db *Database) *Sampler { return &Sampler{DB: db} }
+
+// SampleColumn returns up to n values of the column in numeric encoding.
+func (s *Sampler) SampleColumn(table, column string, n int) []float64 {
+	td := s.DB.Table(table)
+	if td == nil {
+		return nil
+	}
+	ci := td.ColIndex(column)
+	if ci < 0 || td.LiveRows() == 0 {
+		return nil
+	}
+	stride := td.LiveRows()/n + 1
+	out := make([]float64, 0, n)
+	seen := 0
+	for id, row := range td.Rows {
+		if td.Deleted[id] {
+			continue
+		}
+		if seen%stride == 0 {
+			out = append(out, numCode(row[ci]))
+		}
+		seen++
+	}
+	return out
+}
+
+// SampleRows returns up to n rows projected to the given columns.
+func (s *Sampler) SampleRows(table string, columns []string, n int) [][]float64 {
+	td := s.DB.Table(table)
+	if td == nil {
+		return nil
+	}
+	cis := make([]int, len(columns))
+	for i, c := range columns {
+		cis[i] = td.ColIndex(c)
+		if cis[i] < 0 {
+			return nil
+		}
+	}
+	if td.LiveRows() == 0 {
+		return nil
+	}
+	stride := td.LiveRows()/n + 1
+	var out [][]float64
+	seen := 0
+	for id, row := range td.Rows {
+		if td.Deleted[id] {
+			continue
+		}
+		if seen%stride == 0 {
+			r := make([]float64, len(cis))
+			for i, ci := range cis {
+				r[i] = numCode(row[ci])
+			}
+			out = append(out, r)
+		}
+		seen++
+	}
+	return out
+}
+
+// numCode maps a value to a number preserving order reasonably for strings
+// (first 8 bytes packed big-endian-ish).
+func numCode(v Value) float64 {
+	if !v.Str {
+		return v.F
+	}
+	s := strings.ToLower(v.S)
+	var code float64
+	for i := 0; i < 8; i++ {
+		var b byte
+		if i < len(s) {
+			b = s[i]
+		}
+		code = code*256 + float64(b)
+	}
+	return code
+}

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+)
+
+// viewSource serves tuples out of a materialized view.
+type viewSource struct {
+	vd *ViewData
+	q  *optimizer.QueryInfo
+	r  *resolver
+}
+
+func (v *viewSource) colFor(qual, name string) int {
+	si := v.r.scopeOf(qual, name)
+	if si < 0 {
+		return -1
+	}
+	return v.vd.ColIndex(v.q.Scopes[si].Table.Name + "." + strings.ToLower(name))
+}
+
+func (v *viewSource) lookup(ti int) lookupFn {
+	row := v.vd.Rows[ti]
+	return func(qual, name string) (Value, bool) {
+		ci := v.colFor(qual, name)
+		if ci < 0 {
+			return Value{}, false
+		}
+		return row[ci], true
+	}
+}
+
+func (v *viewSource) evalAgg(f *sqlparser.FuncExpr, group []int) (Value, error) {
+	if len(v.vd.Def.GroupBy) == 0 {
+		// SPJ view: aggregate arguments are plain view columns.
+		return genericAgg(f, group, v.lookup)
+	}
+	canon, ok := v.q.AggCanon[f]
+	if !ok {
+		return Value{}, fmt.Errorf("engine: aggregate %s missing canonical form", f)
+	}
+	ci := v.vd.ColIndex(canon.String())
+	fn := strings.ToUpper(canon.Func)
+	if ci < 0 && fn != "AVG" {
+		return Value{}, fmt.Errorf("engine: view %s lacks aggregate %s", v.vd.Def.Name, canon)
+	}
+	switch fn {
+	case "SUM", "COUNT":
+		var s float64
+		for _, ti := range group {
+			s += v.vd.Rows[ti][ci].Numeric()
+		}
+		return Num(s), nil
+	case "MIN", "MAX":
+		out := v.vd.Rows[group[0]][ci]
+		for _, ti := range group[1:] {
+			x := v.vd.Rows[ti][ci]
+			if fn == "MIN" && x.Less(out) || fn == "MAX" && out.Less(x) {
+				out = x
+			}
+		}
+		return out, nil
+	case "AVG":
+		if ci >= 0 && len(group) == 1 {
+			return v.vd.Rows[group[0]][ci], nil
+		}
+		// Re-derive from SUM and COUNT.
+		si := v.vd.ColIndex(catalog.Agg{Func: "SUM", Col: canon.Col}.String())
+		cnt := v.vd.ColIndex(catalog.Agg{Func: "COUNT"}.String())
+		if cnt < 0 {
+			cnt = v.vd.ColIndex(catalog.Agg{Func: "COUNT", Col: canon.Col}.String())
+		}
+		if si < 0 || cnt < 0 {
+			return Value{}, fmt.Errorf("engine: view %s cannot re-derive AVG", v.vd.Def.Name)
+		}
+		var s, n float64
+		for _, ti := range group {
+			s += v.vd.Rows[ti][si].Numeric()
+			n += v.vd.Rows[ti][cnt].Numeric()
+		}
+		if n == 0 {
+			return Num(0), nil
+		}
+		return Num(s / n), nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown aggregate %q", canon.Func)
+}
+
+// execSelectFromView answers the query from a matched materialized view.
+func (p *Prepared) execSelectFromView(s *sqlparser.Select, q *optimizer.QueryInfo, vd *ViewData) (*Result, error) {
+	r := newResolver(q)
+	src := &viewSource{vd: vd, q: q, r: r}
+	p.Metrics.ViewsScanned++
+	p.Metrics.RowsScanned += int64(len(vd.Rows))
+
+	// Filter view rows with the WHERE conjuncts, skipping equality join
+	// predicates: those are satisfied by the view's construction and their
+	// columns are consumed (not exposed) by the view. Every other conjunct's
+	// columns are exposed, per MatchView.
+	var residual []sqlparser.Expr
+	for _, conj := range sqlparser.Conjuncts(s.Where) {
+		if cmp, ok := conj.(*sqlparser.ComparisonExpr); ok && cmp.Op == "=" {
+			_, lok := cmp.Left.(*sqlparser.ColName)
+			_, rok := cmp.Right.(*sqlparser.ColName)
+			if lok && rok {
+				if scopes, err := r.exprScopes(conj); err == nil && len(scopes) == 2 {
+					continue // cross-table join predicate
+				}
+			}
+		}
+		residual = append(residual, conj)
+	}
+	var tuples []int
+	for ti := range vd.Rows {
+		ok := true
+		for _, conj := range residual {
+			pass, err := evalBool(conj, src.lookup(ti), nil)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			tuples = append(tuples, ti)
+		}
+	}
+	res, err := finishQuery(s, q, src, tuples)
+	if err != nil {
+		return nil, err
+	}
+	p.Metrics.RowsReturned += int64(len(res.Rows))
+	return res, nil
+}
+
+// materializeView computes a view's contents: join the member tables on the
+// join predicates, project the output columns, and group with aggregates.
+func (p *Prepared) materializeView(def *catalog.MaterializedView) (*ViewData, error) {
+	// Gather member tables.
+	tds := make([]*TableData, len(def.Tables))
+	scopeOf := map[string]int{}
+	for i, tn := range def.Tables {
+		td := p.DB.Table(tn)
+		if td == nil {
+			return nil, fmt.Errorf("engine: view %s over unknown table %q", def.Name, tn)
+		}
+		tds[i] = td
+		scopeOf[tn] = i
+	}
+
+	// Seed tuples from the first table, then hash-join the rest using
+	// whatever join predicates connect them.
+	liveIDs := func(td *TableData) []int {
+		ids := make([]int, 0, td.LiveRows())
+		for id := range td.Rows {
+			if !td.Deleted[id] {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+
+	type edge struct {
+		a, b       int
+		aCol, bCol string
+	}
+	var edges []edge
+	for _, jp := range def.JoinPreds {
+		ai, aok := scopeOf[jp.Left.Table]
+		bi, bok := scopeOf[jp.Right.Table]
+		if !aok || !bok {
+			return nil, fmt.Errorf("engine: view %s join references foreign table", def.Name)
+		}
+		edges = append(edges, edge{a: ai, b: bi, aCol: jp.Left.Column, bCol: jp.Right.Column})
+	}
+
+	joined := map[int]bool{0: true}
+	var tuples [][]int
+	for _, id := range liveIDs(tds[0]) {
+		tp := make([]int, len(tds))
+		for i := range tp {
+			tp[i] = -1
+		}
+		tp[0] = id
+		tuples = append(tuples, tp)
+	}
+	for len(joined) < len(tds) {
+		// Find a scope connected to the joined set.
+		next := -1
+		var myEdges []edge
+		for si := range tds {
+			if joined[si] {
+				continue
+			}
+			var es []edge
+			for _, e := range edges {
+				if e.a == si && joined[e.b] {
+					es = append(es, e)
+				} else if e.b == si && joined[e.a] {
+					es = append(es, edge{a: e.b, b: e.a, aCol: e.bCol, bCol: e.aCol})
+				}
+			}
+			if len(es) > 0 {
+				next = si
+				myEdges = es
+				break
+			}
+		}
+		if next < 0 { // cartesian fallback
+			for si := range tds {
+				if !joined[si] {
+					next = si
+					break
+				}
+			}
+		}
+		build := map[string][]int{}
+		for _, id := range liveIDs(tds[next]) {
+			var b strings.Builder
+			for _, e := range myEdges {
+				b.WriteString(tds[next].Rows[id][tds[next].ColIndex(e.aCol)].String())
+				b.WriteByte('\x00')
+			}
+			build[b.String()] = append(build[b.String()], id)
+		}
+		var out [][]int
+		for _, tp := range tuples {
+			var b strings.Builder
+			ok := true
+			for _, e := range myEdges {
+				if tp[e.b] < 0 {
+					ok = false
+					break
+				}
+				b.WriteString(tds[e.b].Rows[tp[e.b]][tds[e.b].ColIndex(e.bCol)].String())
+				b.WriteByte('\x00')
+			}
+			if !ok {
+				continue
+			}
+			for _, id := range build[b.String()] {
+				ntp := append([]int(nil), tp...)
+				ntp[next] = id
+				out = append(out, ntp)
+			}
+		}
+		tuples = out
+		joined[next] = true
+	}
+	p.Metrics.RowsMaintained += int64(len(tuples))
+
+	// Column lookup for a tuple, resolving "table.column" references.
+	lkOf := func(tp []int) lookupFn {
+		return func(qual, name string) (Value, bool) {
+			qual = strings.ToLower(qual)
+			name = strings.ToLower(name)
+			if qual == "" {
+				for si, td := range tds {
+					if td.ColIndex(name) >= 0 && tp[si] >= 0 {
+						return td.Rows[tp[si]][td.ColIndex(name)], true
+					}
+				}
+				return Value{}, false
+			}
+			si, ok := scopeOf[qual]
+			if !ok || tp[si] < 0 {
+				return Value{}, false
+			}
+			ci := tds[si].ColIndex(name)
+			if ci < 0 {
+				return Value{}, false
+			}
+			return tds[si].Rows[tp[si]][ci], true
+		}
+	}
+
+	// Pre-parse aggregate argument expressions.
+	type aggSpec struct {
+		def catalog.Agg
+		arg sqlparser.Expr // nil for COUNT(*)
+	}
+	var aggs []aggSpec
+	for _, a := range def.Aggs {
+		spec := aggSpec{def: a}
+		if a.Col.Column != "" {
+			if strings.HasPrefix(a.Col.Column, "expr:") {
+				e, err := parseExprText(strings.TrimPrefix(a.Col.Column, "expr:"))
+				if err != nil {
+					return nil, err
+				}
+				spec.arg = e
+			} else {
+				spec.arg = &sqlparser.ColName{Qualifier: a.Col.Table, Name: a.Col.Column}
+			}
+		}
+		aggs = append(aggs, spec)
+	}
+
+	vd := &ViewData{Def: def, colIdx: map[string]int{}}
+	for _, o := range def.OutputColumns {
+		vd.Columns = append(vd.Columns, o.String())
+	}
+	for _, a := range def.Aggs {
+		vd.Columns = append(vd.Columns, a.String())
+	}
+	for i, c := range vd.Columns {
+		vd.colIdx[strings.ToLower(c)] = i
+	}
+
+	outVals := func(tp []int) ([]Value, error) {
+		lk := lkOf(tp)
+		vals := make([]Value, 0, len(def.OutputColumns))
+		for _, o := range def.OutputColumns {
+			v, ok := lk(o.Table, o.Column)
+			if !ok {
+				return nil, fmt.Errorf("engine: view %s: cannot resolve %s", def.Name, o)
+			}
+			vals = append(vals, v)
+		}
+		return vals, nil
+	}
+
+	if len(def.GroupBy) == 0 && len(def.Aggs) == 0 {
+		// SPJ view: one output row per joined tuple.
+		for _, tp := range tuples {
+			vals, err := outVals(tp)
+			if err != nil {
+				return nil, err
+			}
+			vd.Rows = append(vd.Rows, vals)
+		}
+		def.Rows = int64(len(vd.Rows))
+		return vd, nil
+	}
+
+	// Grouped view (group key = the output columns, which subsume GroupBy).
+	keys := []string{}
+	groups := map[string][][]int{}
+	groupVals := map[string][]Value{}
+	for _, tp := range tuples {
+		vals, err := outVals(tp)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteString(v.String())
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+			groupVals[k] = vals
+		}
+		groups[k] = append(groups[k], tp)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		row := append([]Value(nil), groupVals[k]...)
+		for _, spec := range aggs {
+			switch strings.ToUpper(spec.def.Func) {
+			case "COUNT":
+				if spec.arg == nil {
+					row = append(row, Num(float64(len(g))))
+					continue
+				}
+				row = append(row, Num(float64(len(g))))
+			case "SUM", "AVG", "MIN", "MAX":
+				var sum float64
+				var minV, maxV Value
+				for i, tp := range g {
+					v, err := evalScalar(spec.arg, lkOf(tp), nil)
+					if err != nil {
+						return nil, err
+					}
+					sum += v.Numeric()
+					if i == 0 {
+						minV, maxV = v, v
+					} else {
+						if v.Less(minV) {
+							minV = v
+						}
+						if maxV.Less(v) {
+							maxV = v
+						}
+					}
+				}
+				switch strings.ToUpper(spec.def.Func) {
+				case "SUM":
+					row = append(row, Num(sum))
+				case "AVG":
+					row = append(row, Num(sum/float64(len(g))))
+				case "MIN":
+					row = append(row, minV)
+				case "MAX":
+					row = append(row, maxV)
+				}
+			default:
+				return nil, fmt.Errorf("engine: view %s: unknown aggregate %q", def.Name, spec.def.Func)
+			}
+		}
+		vd.Rows = append(vd.Rows, row)
+	}
+	def.Rows = int64(len(vd.Rows))
+	return vd, nil
+}

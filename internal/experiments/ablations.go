@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
+	"repro/internal/workload"
+)
+
+// Sec3Result compares the integrated search against the staged baseline of
+// paper §3 (Example 2): choosing indexes first and partitioning second can
+// foreclose the optimal combination (clustered index on the grouping column
+// plus range partitioning on the selection column).
+type Sec3Result struct {
+	IntegratedQuality float64
+	StagedQuality     float64
+	IntegratedPicks   []string
+	StagedPicks       []string
+}
+
+// Sec3IntegratedVsStaged runs the paper's Example 1/2 workload shape — a
+// selection on X with grouping on A over a large table — restricted to
+// clustered indexes and partitioning, integrated vs staged (indexes first).
+func Sec3IntegratedVsStaged(cfg Config) (*Sec3Result, error) {
+	srv, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The Example 1/2 query shape over lineitem: a range selection on
+	// l_shipdate (the paper's X) with ordered output on l_partkey (the
+	// paper's A). The tiny storage budget leaves only the non-redundant
+	// structures — clustered indexes and partitioning — exactly the setting
+	// of Example 2. Clustering on the output column avoids the sort while
+	// partitioning on the selection column eliminates partitions; the staged
+	// solution commits to clustering on the selection column first and can
+	// never reach that combination.
+	w := workload.MustNew(
+		"SELECT l_partkey, l_quantity FROM lineitem WHERE l_shipdate < 600 ORDER BY l_partkey",
+		"SELECT l_partkey, l_extendedprice FROM lineitem WHERE l_shipdate < 700 ORDER BY l_partkey",
+	)
+	features := core.FeatureIndexes | core.FeaturePartitioning
+	opts := core.Options{Features: features, StorageBudget: 1 << 20} // non-redundant only
+
+	intRec, err := core.Tune(srv, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	stagedRec, err := core.TuneStaged(srv, w, opts,
+		[]core.FeatureMask{core.FeatureIndexes, core.FeaturePartitioning})
+	if err != nil {
+		return nil, err
+	}
+	res := &Sec3Result{
+		IntegratedQuality: intRec.Improvement,
+		StagedQuality:     stagedRec.Improvement,
+	}
+	for _, s := range intRec.NewStructures {
+		res.IntegratedPicks = append(res.IntegratedPicks, s.String())
+	}
+	for _, s := range stagedRec.NewStructures {
+		res.StagedPicks = append(res.StagedPicks, s.String())
+	}
+	return res, nil
+}
+
+// String renders the §3 comparison.
+func (r *Sec3Result) String() string {
+	rows := [][]string{
+		{"integrated", pct1(r.IntegratedQuality), fmt.Sprint(len(r.IntegratedPicks))},
+		{"staged (indexes → partitioning)", pct1(r.StagedQuality), fmt.Sprint(len(r.StagedPicks))},
+	}
+	return renderTable("Section 3: integrated vs staged physical design selection",
+		[]string{"Approach", "Quality", "#structures"}, rows)
+}
+
+// AblationRow is one on/off comparison of a design choice.
+type AblationRow struct {
+	Name       string
+	QualityOn  float64
+	QualityOff float64
+	TimeOn     time.Duration
+	TimeOff    time.Duration
+	CallsOn    int64
+	CallsOff   int64
+	StorageOn  int64
+	StorageOff int64
+}
+
+// AblationColumnGroupRestriction measures the column-group restriction
+// (§2.2) on SYNT1: disabling it explodes the candidate space with little
+// quality gain.
+func AblationColumnGroupRestriction(cfg Config) (*AblationRow, error) {
+	build := func() (*core.Options, core.Tuner, *workload.Workload, error) {
+		s, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts := cfg.tuneOpts(s, core.FeatureIndexes)
+		opts.SkipReports = true
+		return &opts, s, setquery.Workload(s.Cat, cfg.SYNT1Events/4, cfg.SYNT1Templ, cfg.Seed), nil
+	}
+	optsOn, srvOn, w, err := build()
+	if err != nil {
+		return nil, err
+	}
+	recOn, err := core.Tune(srvOn, w, *optsOn)
+	if err != nil {
+		return nil, err
+	}
+	optsOff, srvOff, w2, err := build()
+	if err != nil {
+		return nil, err
+	}
+	optsOff.NoColGroupRestriction = true
+	recOff, err := core.Tune(srvOff, w2, *optsOff)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Name:      "column-group restriction",
+		QualityOn: recOn.Improvement, QualityOff: recOff.Improvement,
+		TimeOn: recOn.Duration, TimeOff: recOff.Duration,
+		CallsOn: recOn.WhatIfCalls, CallsOff: recOff.WhatIfCalls,
+	}, nil
+}
+
+// AblationMerging measures the merging step (§2.2) under a tight storage
+// budget on TPC-H: merged structures serve several queries at once, which
+// matters exactly when storage is scarce.
+func AblationMerging(cfg Config) (*AblationRow, error) {
+	run := func(noMerge bool) (*core.Recommendation, error) {
+		s, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			Features:      core.FeatureIndexes | core.FeatureViews,
+			StorageBudget: int64(0.4 * float64(s.Cat.Bytes())), // tight
+			NoMerging:     noMerge,
+			SkipReports:   true,
+			BaseConfig:    tpch.ConstraintConfig(s.Cat),
+		}
+		return core.Tune(s, tpch.Workload(), opts)
+	}
+	recOn, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	recOff, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Name:      "merging under tight storage",
+		QualityOn: recOn.Improvement, QualityOff: recOff.Improvement,
+		TimeOn: recOn.Duration, TimeOff: recOff.Duration,
+		CallsOn: recOn.WhatIfCalls, CallsOff: recOff.WhatIfCalls,
+		StorageOn: recOn.StorageBytes, StorageOff: recOff.StorageBytes,
+	}, nil
+}
+
+// AblationLazyAlignment compares lazy vs eager introduction of aligned
+// candidates (§4): eager expansion multiplies the candidate pool.
+func AblationLazyAlignment(cfg Config) (*AblationRow, error) {
+	run := func(eager bool) (*core.Recommendation, error) {
+		s, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.tuneOpts(s, core.FeatureIndexes|core.FeaturePartitioning)
+		opts.Aligned = true
+		opts.EagerAlignment = eager
+		opts.SkipReports = true
+		opts.BaseConfig = tpch.ConstraintConfig(s.Cat)
+		return core.Tune(s, tpch.Workload(), opts)
+	}
+	lazy, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	eager, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Name:      "lazy (on) vs eager (off) alignment",
+		QualityOn: lazy.Improvement, QualityOff: eager.Improvement,
+		TimeOn: lazy.Duration, TimeOff: eager.Duration,
+		CallsOn: lazy.WhatIfCalls, CallsOff: eager.WhatIfCalls,
+	}, nil
+}
+
+// AblationGreedySeed compares Greedy(1,k) against Greedy(2,k) on TPC-H:
+// the larger exhaustive seed can only improve quality, at a running-time
+// price.
+func AblationGreedySeed(cfg Config) (*AblationRow, error) {
+	run := func(m int) (*core.Recommendation, error) {
+		s, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.tuneOpts(s, core.FeatureIndexes)
+		opts.GreedyM = m
+		opts.SkipReports = true
+		opts.BaseConfig = tpch.ConstraintConfig(s.Cat)
+		return core.Tune(s, tpch.Workload(), opts)
+	}
+	m2, err := run(2)
+	if err != nil {
+		return nil, err
+	}
+	m1, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationRow{
+		Name:      "Greedy(2,k) (on) vs Greedy(1,k) (off)",
+		QualityOn: m2.Improvement, QualityOff: m1.Improvement,
+		TimeOn: m2.Duration, TimeOff: m1.Duration,
+		CallsOn: m2.WhatIfCalls, CallsOff: m1.WhatIfCalls,
+	}, nil
+}
+
+// AblationString renders one ablation row.
+func AblationString(r *AblationRow) string {
+	rows := [][]string{
+		{"on", pct1(r.QualityOn), r.TimeOn.Round(time.Millisecond).String(), fmt.Sprint(r.CallsOn)},
+		{"off", pct1(r.QualityOff), r.TimeOff.Round(time.Millisecond).String(), fmt.Sprint(r.CallsOff)},
+	}
+	return renderTable("Ablation: "+r.Name, []string{"Variant", "Quality", "Time", "What-if calls"}, rows)
+}

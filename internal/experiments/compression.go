@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen/psoft"
+	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Table3Row is one row of Table 3: the impact of workload compression on
+// quality and running time of DTA for one database/workload.
+type Table3Row struct {
+	Name            string
+	Events          int
+	EventsTuned     int // after compression
+	QualityFull     float64
+	QualityCompress float64
+	QualityDecrease float64
+	TimeFull        time.Duration
+	TimeCompress    time.Duration
+	Speedup         float64
+}
+
+// Table3 reproduces §7.4: tune each workload with and without workload
+// compression and compare quality and running time. The paper reports:
+// TPCH22 (22 distinct queries) compresses not at all (1×, 0–1% quality
+// change); PSOFT (~6000 templatized events) speeds up 5.8× at 0.5% quality
+// loss; SYNT1 (8000 queries from ~100 templates) speeds up 43× at 1% loss.
+func Table3(cfg Config) ([]Table3Row, error) {
+	type caseDef struct {
+		name  string
+		build func() (*whatif.Server, *workload.Workload, error)
+	}
+	cases := []caseDef{
+		{"TPCH22", func() (*whatif.Server, *workload.Workload, error) {
+			s, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+			return s, tpch.Workload(), err
+		}},
+		{"PSOFT", func() (*whatif.Server, *workload.Workload, error) {
+			s, err := newPSOFTServer(cfg.PSOFTScale, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, psoft.Workload(s.Cat, cfg.PSOFTEvents, cfg.Seed), nil
+		}},
+		{"SYNT1", func() (*whatif.Server, *workload.Workload, error) {
+			s, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, setquery.Workload(s.Cat, cfg.SYNT1Events, cfg.SYNT1Templ, cfg.Seed), nil
+		}},
+	}
+
+	var rows []Table3Row
+	for _, tc := range cases {
+		// Fresh servers per run so statistics creation is charged equally.
+		srvFull, w, err := tc.build()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		optsFull := cfg.tuneOpts(srvFull, core.FeatureAll)
+		optsFull.NoCompression = true
+		optsFull.SkipReports = true
+		recFull, err := core.Tune(srvFull, w, optsFull)
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", tc.name, err)
+		}
+
+		srvC, w2, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		optsC := cfg.tuneOpts(srvC, core.FeatureAll)
+		optsC.CompressWorkload = true
+		optsC.SkipReports = true
+		recC, err := core.Tune(srvC, w2, optsC)
+		if err != nil {
+			return nil, fmt.Errorf("%s compressed: %w", tc.name, err)
+		}
+
+		row := Table3Row{
+			Name:            tc.name,
+			Events:          w.Len(),
+			EventsTuned:     recC.EventsTuned,
+			QualityFull:     recFull.Improvement,
+			QualityCompress: recC.Improvement,
+			QualityDecrease: recFull.Improvement - recC.Improvement,
+			TimeFull:        recFull.Duration,
+			TimeCompress:    recC.Duration,
+		}
+		if recC.Duration > 0 {
+			row.Speedup = float64(recFull.Duration) / float64(recC.Duration)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table3String renders Table 3.
+func Table3String(rows []Table3Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%d (%.0f%%)", r.EventsTuned, 100*float64(r.EventsTuned)/float64(max(1, r.Events))),
+			pct1(r.QualityDecrease),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	return renderTable("Table 3: Impact of workload compression on quality and running time of DTA",
+		[]string{"Workload", "#events", "events tuned", "quality decrease", "speedup"}, out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen/tpch"
+	"repro/internal/testsrv"
+	"repro/internal/workload"
+)
+
+// Figure3Row is one bar of Figure 3: the reduction in production-server
+// overhead obtained by tuning through a test server, for one workload /
+// feature-set combination.
+type Figure3Row struct {
+	Name             string // TPCHQ1-I, TPCHQ1-A, TPCH22-I, TPCH22-A
+	DirectOverhead   float64
+	SessionOverhead  float64
+	Reduction        float64
+	ProdWhatIfDirect int64
+}
+
+// Figure3 reproduces §7.3 on TPC-H (the paper uses the 1 GB configuration):
+// tune {the first query, all 22 queries} × {indexes only, indexes and
+// materialized views}, once directly against the production server and once
+// through a test server, and compare the total simulated duration of
+// statements submitted to production. The paper reports ~60% reduction for
+// TPCHQ1-I growing to ~90% for TPCH22-A: the more complex the tuning, the
+// more what-if work the test server absorbs, while production pays only for
+// statistics creation.
+func Figure3(cfg Config) ([]Figure3Row, error) {
+	cases := []struct {
+		name     string
+		queries  []string
+		features core.FeatureMask
+	}{
+		{"TPCHQ1-I", tpch.Queries()[:1], core.FeatureIndexes},
+		{"TPCHQ1-A", tpch.Queries()[:1], core.FeatureIndexes | core.FeatureViews},
+		{"TPCH22-I", tpch.Queries(), core.FeatureIndexes},
+		{"TPCH22-A", tpch.Queries(), core.FeatureIndexes | core.FeatureViews},
+	}
+	var rows []Figure3Row
+	for _, tc := range cases {
+		w := workload.MustNew(tc.queries...)
+
+		// Direct: everything lands on production.
+		direct, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.tuneOpts(direct, tc.features)
+		opts.BaseConfig = tpch.ConstraintConfig(direct.Cat)
+		if _, err := core.Tune(direct, w, opts); err != nil {
+			return nil, fmt.Errorf("%s direct: %w", tc.name, err)
+		}
+
+		// Through a test server: production pays only for statistics.
+		prod, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sess := testsrv.NewSession(prod)
+		opts2 := cfg.tuneOpts(prod, tc.features)
+		opts2.BaseConfig = tpch.ConstraintConfig(sess.Catalog())
+		if _, err := core.Tune(sess, w, opts2); err != nil {
+			return nil, fmt.Errorf("%s session: %w", tc.name, err)
+		}
+
+		row := Figure3Row{
+			Name:             tc.name,
+			DirectOverhead:   direct.Acct.Overhead,
+			SessionOverhead:  sess.ProductionOverhead(),
+			ProdWhatIfDirect: direct.Acct.WhatIfCalls,
+		}
+		if row.DirectOverhead > 0 {
+			row.Reduction = 1 - row.SessionOverhead/row.DirectOverhead
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure3String renders Figure 3 as a table.
+func Figure3String(rows []Figure3Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, pct(r.Reduction),
+			fmt.Sprintf("%.0f", r.DirectOverhead),
+			fmt.Sprintf("%.0f", r.SessionOverhead),
+			fmt.Sprint(r.ProdWhatIfDirect),
+		})
+	}
+	return renderTable("Figure 3: Reduction in production server overhead by exploiting a test server",
+		[]string{"Workload", "Reduction", "Direct overhead", "Test-server overhead", "What-if calls (direct)"}, out)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen/psoft"
+	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Figure45Row is one workload's end-to-end comparison of DTA against the
+// SQL Server 2000 Index Tuning Wizard (paper §7.6, Figures 4 and 5).
+type Figure45Row struct {
+	Name          string
+	QualityDTA    float64
+	QualityITW    float64
+	TimeDTA       time.Duration
+	TimeITW       time.Duration
+	TimeReduction float64 // DTA running time relative to ITW (1 − dta/itw)
+	CallsDTA      int64
+	CallsITW      int64
+}
+
+// Figure45 reproduces §7.6: both tools run against the same server, tuning
+// indexes and materialized views only (ITW cannot recommend partitioning).
+// The paper's Figure 4 shows comparable recommendation quality (DTA slightly
+// better in all cases) and Figure 5 shows DTA significantly faster on the
+// large workloads (its scalability devices — workload compression and
+// column-group restriction — do not exist in ITW).
+func Figure45(cfg Config) ([]Figure45Row, error) {
+	cases := []struct {
+		name  string
+		build func() (*whatif.Server, *workload.Workload, error)
+	}{
+		{"TPCH22", func() (*whatif.Server, *workload.Workload, error) {
+			s, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+			return s, tpch.Workload(), err
+		}},
+		{"PSOFT", func() (*whatif.Server, *workload.Workload, error) {
+			s, err := newPSOFTServer(cfg.PSOFTScale, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, psoft.Workload(s.Cat, cfg.PSOFTEvents, cfg.Seed), nil
+		}},
+		{"SYNT1", func() (*whatif.Server, *workload.Workload, error) {
+			s, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, setquery.Workload(s.Cat, cfg.SYNT1Events, cfg.SYNT1Templ, cfg.Seed), nil
+		}},
+	}
+	var rows []Figure45Row
+	for _, tc := range cases {
+		srvD, w, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		optsD := cfg.tuneOpts(srvD, core.FeatureIndexes|core.FeatureViews)
+		optsD.SkipReports = true
+		recD, err := core.Tune(srvD, w, optsD)
+		if err != nil {
+			return nil, fmt.Errorf("%s DTA: %w", tc.name, err)
+		}
+
+		srvI, w2, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		optsI := cfg.tuneOpts(srvI, 0)
+		optsI.SkipReports = true
+		recI, err := core.TuneITW(srvI, w2, optsI)
+		if err != nil {
+			return nil, fmt.Errorf("%s ITW: %w", tc.name, err)
+		}
+
+		row := Figure45Row{
+			Name:       tc.name,
+			QualityDTA: recD.Improvement,
+			QualityITW: recI.Improvement,
+			TimeDTA:    recD.Duration,
+			TimeITW:    recI.Duration,
+			CallsDTA:   recD.WhatIfCalls,
+			CallsITW:   recI.WhatIfCalls,
+		}
+		if recI.Duration > 0 {
+			row.TimeReduction = 1 - float64(recD.Duration)/float64(recI.Duration)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure45String renders Figures 4 and 5 as tables.
+func Figure45String(rows []Figure45Row) string {
+	var q, t [][]string
+	for _, r := range rows {
+		q = append(q, []string{r.Name, pct1(r.QualityDTA), pct1(r.QualityITW)})
+		t = append(t, []string{
+			r.Name,
+			r.TimeDTA.Round(time.Millisecond).String(),
+			r.TimeITW.Round(time.Millisecond).String(),
+			pct(r.TimeReduction),
+			fmt.Sprintf("%d vs %d", r.CallsDTA, r.CallsITW),
+		})
+	}
+	return renderTable("Figure 4: Quality of recommendation — DTA vs SQL2K Index Tuning Wizard",
+		[]string{"Workload", "DTA quality", "ITW quality"}, q) + "\n" +
+		renderTable("Figure 5: Running time — DTA vs SQL2K Index Tuning Wizard",
+			[]string{"Workload", "DTA time", "ITW time", "time reduction", "what-if calls"}, t)
+}

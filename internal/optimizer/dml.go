@@ -1,0 +1,156 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+)
+
+// Maintenance cost constants (sequential-page units).
+const (
+	baseWritePerRow = 0.002 // write one heap/clustered row
+	viewMaintPerRow = 0.02  // incremental maintenance of one view per changed row
+)
+
+// indexMaintPerRow returns the per-row maintenance cost of one index: a
+// B-tree descent plus a leaf write.
+func (c *optContext) indexMaintPerRow() float64 {
+	return 2*c.hw().RandomFactor*0.25 + baseWritePerRow
+}
+
+// optimizeInsert costs an INSERT: base write plus maintenance of every
+// index and every materialized view referencing the table. This is what
+// makes redundant structures expensive for update-intensive workloads
+// (paper §3).
+func (c *optContext) optimizeInsert(s *sqlparser.Insert) (*Plan, error) {
+	q, err := c.opt.analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	t := q.Scopes[0].Table
+	rows := float64(q.InsertRowCount)
+	if rows < 1 {
+		rows = 1
+	}
+	return c.maintenancePlan("Insert", t, rows, nil, nil), nil
+}
+
+// optimizeUpdate costs an UPDATE: locating the affected rows (a SELECT-like
+// access) plus per-row maintenance of the base data, of every index whose
+// columns are modified, and of every view referencing the table.
+func (c *optContext) optimizeUpdate(s *sqlparser.Update) (*Plan, error) {
+	q, err := c.opt.analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	scope := q.Scopes[0]
+	access, _ := c.bestAccess(scope, nil)
+	modified := map[string]bool{}
+	for _, col := range q.SetColumns {
+		modified[col] = true
+	}
+	return c.maintenancePlan("Update", scope.Table, access.rows, modified, access.plan), nil
+}
+
+// optimizeDelete costs a DELETE: locating the rows plus removing them from
+// the base data, every index, and every referencing view.
+func (c *optContext) optimizeDelete(s *sqlparser.Delete) (*Plan, error) {
+	q, err := c.opt.analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	scope := q.Scopes[0]
+	access, _ := c.bestAccess(scope, nil)
+	return c.maintenancePlan("Delete", scope.Table, access.rows, nil, access.plan), nil
+}
+
+// maintenancePlan builds the modification plan. modifiedCols, when non-nil
+// (UPDATE), restricts index maintenance to indexes touching those columns.
+func (c *optContext) maintenancePlan(op string, t *catalog.Table, rows float64, modifiedCols map[string]bool, access *Plan) *Plan {
+	cost := startupCost + rows*baseWritePerRow
+	var children []*Plan
+	if access != nil {
+		cost += access.Cost
+		children = append(children, access)
+	}
+
+	maintained := 0
+	for _, ix := range c.cfg.IndexesOn(t.Name) {
+		if modifiedCols != nil && !ix.Clustered {
+			touched := false
+			for _, col := range ix.AllColumns() {
+				if modifiedCols[col] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+		}
+		if modifiedCols != nil && ix.Clustered {
+			// A clustered index is maintained only when its key moves.
+			touched := false
+			for _, col := range ix.KeyColumns {
+				if modifiedCols[col] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+		}
+		cost += rows * c.indexMaintPerRow()
+		maintained++
+		children = append(children, &Plan{Op: "IndexMaintenance", Detail: ix.String(),
+			Cost: rows * c.indexMaintPerRow(), Rows: rows, Structure: ix.Key()})
+	}
+
+	for _, v := range c.cfg.ViewsOver(t.Name) {
+		// View maintenance scales with the view's complexity: each extra
+		// joined table multiplies the per-row work (the change must be
+		// joined against the other tables).
+		factor := viewMaintPerRow * float64(len(v.Tables))
+		if len(v.GroupBy) > 0 {
+			factor *= 1.5
+		}
+		if modifiedCols != nil && !viewTouches(v, t.Name, modifiedCols) {
+			continue
+		}
+		cost += rows * factor
+		children = append(children, &Plan{Op: "ViewMaintenance", Detail: v.Name,
+			Cost: rows * factor, Rows: rows, Structure: v.Key()})
+	}
+
+	detail := fmt.Sprintf("%s %s (%d structures maintained)", op, t.Name, len(children))
+	return &Plan{Op: op, Detail: detail, Cost: cost, Rows: rows, Children: children}
+}
+
+// viewTouches reports whether an UPDATE of the given columns affects the
+// view's contents.
+func viewTouches(v *catalog.MaterializedView, table string, modified map[string]bool) bool {
+	for _, o := range v.OutputColumns {
+		if o.Table == table && modified[o.Column] {
+			return true
+		}
+	}
+	for _, g := range v.GroupBy {
+		if g.Table == table && modified[g.Column] {
+			return true
+		}
+	}
+	for _, a := range v.Aggs {
+		if a.Col.Table == table && modified[a.Col.Column] {
+			return true
+		}
+	}
+	for _, j := range v.JoinPreds {
+		if (j.Left.Table == table && modified[j.Left.Column]) ||
+			(j.Right.Table == table && modified[j.Right.Column]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+package optimizer
+
+import (
+	"math"
+	"math/bits"
+)
+
+// joined is a DP state: the best left-deep plan for a subset of scopes.
+type joined struct {
+	plan  *Plan
+	rows  float64
+	width int // summed required-column width, for page estimates
+}
+
+func (j joined) pages() float64 { return pagesF(j.rows, j.width) }
+
+// joinScopes computes the best left-deep join over all scopes of the query
+// using dynamic programming over connected subsets (greedy fallback above
+// dpMaxTables tables).
+func (c *optContext) joinScopes(q *QueryInfo) joined {
+	n := len(q.Scopes)
+	if n == 1 {
+		best, _ := c.bestAccess(q.Scopes[0], nil)
+		return joined{plan: best.plan, rows: best.rows, width: q.Scopes[0].Table.ColumnWidth(q.Scopes[0].Required)}
+	}
+	if n <= dpMaxTables {
+		return c.joinDP(q)
+	}
+	return c.joinGreedy(q)
+}
+
+const dpMaxTables = 10
+
+func (c *optContext) joinDP(q *QueryInfo) joined {
+	n := len(q.Scopes)
+	best := make(map[uint64]joined, 1<<n)
+	// Singletons.
+	for i := 0; i < n; i++ {
+		ap, _ := c.bestAccess(q.Scopes[i], nil)
+		best[1<<i] = joined{plan: ap.plan, rows: ap.rows, width: q.Scopes[i].Table.ColumnWidth(q.Scopes[i].Required)}
+	}
+	full := uint64(1)<<n - 1
+	// Grow subsets by size.
+	for size := 2; size <= n; size++ {
+		for sub := uint64(1); sub <= full; sub++ {
+			if bits.OnesCount64(sub) != size {
+				continue
+			}
+			var cur joined
+			found := false
+			for j := 0; j < n; j++ {
+				bit := uint64(1) << j
+				if sub&bit == 0 {
+					continue
+				}
+				rest := sub &^ bit
+				left, ok := best[rest]
+				if !ok {
+					continue
+				}
+				// Require connectivity unless the subset has no internal
+				// joins at all (cross join fallback).
+				connected := c.connects(q, rest, j)
+				if !connected && c.hasAnyJoin(q, rest, j) {
+					continue
+				}
+				cand := c.joinWith(q, left, rest, j)
+				if !found || cand.plan.Cost < cur.plan.Cost {
+					cur, found = cand, true
+				}
+			}
+			if found {
+				best[sub] = cur
+			}
+		}
+	}
+	if res, ok := best[full]; ok {
+		return res
+	}
+	// Disconnected join graph: fall back to greedy, which always completes.
+	return c.joinGreedy(q)
+}
+
+// connects reports whether scope j has a join edge into the subset.
+func (c *optContext) connects(q *QueryInfo, subset uint64, j int) bool {
+	for _, e := range q.Joins {
+		if e.L == j && subset&(1<<e.R) != 0 {
+			return true
+		}
+		if e.R == j && subset&(1<<e.L) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAnyJoin reports whether any join edge exists between the subset ∪ {j}
+// and anything — used to permit cartesian products only for genuinely
+// join-free queries.
+func (c *optContext) hasAnyJoin(q *QueryInfo, subset uint64, j int) bool {
+	return len(q.Joins) > 0
+}
+
+// joinWith extends the left intermediate with scope j, choosing the cheapest
+// of hash join and index nested loops.
+func (c *optContext) joinWith(q *QueryInfo, left joined, leftSet uint64, j int) joined {
+	right := q.Scopes[j]
+	rightBest, _ := c.bestAccess(right, nil)
+
+	// Combined cardinality: apply every edge between leftSet and j.
+	sel := 1.0
+	var joinCols []string // join columns on the right side, for INL
+	for _, e := range q.Joins {
+		var rcol string
+		switch {
+		case e.L == j && leftSet&(1<<e.R) != 0:
+			rcol = e.LCol
+			sel *= c.joinSelectivity(q.Scopes[e.R], e.RCol, right, e.LCol)
+		case e.R == j && leftSet&(1<<e.L) != 0:
+			rcol = e.RCol
+			sel *= c.joinSelectivity(q.Scopes[e.L], e.LCol, right, e.RCol)
+		default:
+			continue
+		}
+		joinCols = append(joinCols, rcol)
+	}
+	outRows := left.rows * rightBest.rows * sel
+	if len(joinCols) == 0 {
+		outRows = left.rows * rightBest.rows // cartesian
+	}
+	if outRows < 1 {
+		outRows = 1
+	}
+	width := left.width + right.Table.ColumnWidth(right.Required)
+	out := joined{rows: outRows, width: width}
+
+	// Hash join (build on the smaller input).
+	buildRows, probeRows := rightBest.rows, left.rows
+	buildPages := rightBest.pages
+	if left.rows < rightBest.rows {
+		buildRows, probeRows = left.rows, rightBest.rows
+		buildPages = left.pages()
+	}
+	hashCost := left.plan.Cost + rightBest.plan.Cost + c.hashCost(buildRows, buildPages, probeRows)
+	out.plan = &Plan{
+		Op: "HashJoin", Detail: right.Binding, Cost: hashCost, Rows: outRows,
+		Pages: out.pages(), Children: []*Plan{left.plan, rightBest.plan},
+	}
+
+	// Index nested loops: for each join column on the right, look for an
+	// index (clustered or not) whose leading key is that column.
+	for _, jc := range joinCols {
+		if inl := c.indexLoopCost(right, jc, left.rows); inl != nil {
+			cost := left.plan.Cost + inl.Cost
+			if cost < out.plan.Cost {
+				out.plan = &Plan{
+					Op: "IndexLoopJoin", Detail: right.Binding + " via " + inl.Detail,
+					Cost: cost, Rows: outRows, Pages: out.pages(),
+					Children: []*Plan{left.plan, inl}, Structure: inl.Structure,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// indexLoopCost returns a pseudo-plan for probing the right table once per
+// outer row through an index on the join column, or nil when no such index
+// exists.
+func (c *optContext) indexLoopCost(s *Scope, joinCol string, outerRows float64) *Plan {
+	t := s.Table
+	// Rows matching one probe value.
+	matchRows := float64(t.Rows) * c.density(t, []string{joinCol})
+	if matchRows < 1 {
+		matchRows = 1
+	}
+	// Residual local predicates still apply per probe.
+	localSel := c.scopeSelectivity(s)
+
+	var bestPlan *Plan
+	consider := func(cost float64, detail, structure string) {
+		total := startupCost + outerRows*cost
+		if bestPlan == nil || total < bestPlan.Cost {
+			bestPlan = &Plan{Op: "IndexProbe", Detail: detail, Cost: total,
+				Rows: outerRows * matchRows * localSel, Structure: structure}
+		}
+	}
+	if cl := c.cfg.ClusteredIndex(t.Name); cl != nil && cl.KeyColumns[0] == joinCol {
+		c.wantStat(t.Name, cl.KeyColumns)
+		perProbe := btreeDepth(float64(t.Pages()))*c.hw().RandomFactor + matchRows*cpuPerRow
+		consider(perProbe, cl.String(), cl.Key())
+	}
+	for _, ix := range c.cfg.IndexesOn(t.Name) {
+		if ix.Clustered || ix.KeyColumns[0] != joinCol {
+			continue
+		}
+		c.wantStat(t.Name, ix.KeyColumns)
+		perProbe := btreeDepth(float64(ix.Pages(t)))*c.hw().RandomFactor + matchRows*cpuPerRow
+		if !ix.Covers(s.Required) {
+			perProbe += matchRows * c.hw().RandomFactor
+		}
+		consider(perProbe, ix.String(), ix.Key())
+	}
+	return bestPlan
+}
+
+// joinGreedy builds a left-deep join greedily: start from the cheapest
+// access path, repeatedly add the connected scope with the lowest resulting
+// cost. It always produces a complete plan.
+func (c *optContext) joinGreedy(q *QueryInfo) joined {
+	n := len(q.Scopes)
+	remaining := make(map[int]bool, n)
+	for i := range q.Scopes {
+		remaining[i] = true
+	}
+	// Seed with the scope whose access is cheapest.
+	seed, seedCost := 0, math.Inf(1)
+	for i := range q.Scopes {
+		ap, _ := c.bestAccess(q.Scopes[i], nil)
+		if ap.plan.Cost < seedCost {
+			seed, seedCost = i, ap.plan.Cost
+		}
+	}
+	ap, _ := c.bestAccess(q.Scopes[seed], nil)
+	cur := joined{plan: ap.plan, rows: ap.rows, width: q.Scopes[seed].Table.ColumnWidth(q.Scopes[seed].Required)}
+	curSet := uint64(1) << seed
+	delete(remaining, seed)
+	for len(remaining) > 0 {
+		bestJ, bestCand, found := -1, joined{}, false
+		for j := range remaining {
+			if !c.connects(q, curSet, j) && anyConnected(q, remaining, curSet) {
+				continue // prefer connected extensions while any exist
+			}
+			cand := c.joinWith(q, cur, curSet, j)
+			if !found || cand.plan.Cost < bestCand.plan.Cost {
+				bestJ, bestCand, found = j, cand, true
+			}
+		}
+		if !found {
+			for j := range remaining {
+				bestJ = j
+				bestCand = c.joinWith(q, cur, curSet, j)
+				break
+			}
+		}
+		cur = bestCand
+		curSet |= 1 << bestJ
+		delete(remaining, bestJ)
+	}
+	return cur
+}
+
+func anyConnected(q *QueryInfo, remaining map[int]bool, curSet uint64) bool {
+	for _, e := range q.Joins {
+		if remaining[e.L] && curSet&(1<<e.R) != 0 {
+			return true
+		}
+		if remaining[e.R] && curSet&(1<<e.L) != 0 {
+			return true
+		}
+	}
+	return false
+}

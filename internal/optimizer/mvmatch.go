@@ -1,0 +1,255 @@
+package optimizer
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// bestViewPlan returns the cheapest plan answering the query from a
+// materialized view in the configuration, or nil when no view matches.
+// A view matches when it joins exactly the query's tables on exactly the
+// query's join predicates, exposes every plain column the query consumes,
+// and (for grouped views) its grouping subsumes the query's grouping with
+// derivable aggregates ([3]-style view matching).
+func (c *optContext) bestViewPlan(q *QueryInfo) *joined {
+	if len(c.cfg.Views) == 0 {
+		return nil
+	}
+	// Self-joins reference a table twice; view matching skips those.
+	seen := map[string]bool{}
+	var tables []string
+	for _, s := range q.Scopes {
+		if seen[s.Table.Name] {
+			return nil
+		}
+		seen[s.Table.Name] = true
+		tables = append(tables, strings.ToLower(s.Table.Name))
+	}
+	sort.Strings(tables)
+
+	joinSet := map[string]bool{}
+	for _, e := range q.Joins {
+		jp := catalog.JoinPred{
+			Left:  catalog.NewColRef(q.Scopes[e.L].Table.Name, e.LCol),
+			Right: catalog.NewColRef(q.Scopes[e.R].Table.Name, e.RCol),
+		}
+		joinSet[jp.String()] = true
+	}
+
+	var best *joined
+	for _, v := range c.cfg.Views {
+		if cand := c.tryView(q, v, tables, joinSet); cand != nil {
+			if best == nil || cand.plan.Cost < best.plan.Cost {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// ViewMatch describes how a view answers a query.
+type ViewMatch struct {
+	// Regroup is true when the query's grouping is strictly coarser than the
+	// view's, so a re-aggregation over the view rows is needed.
+	Regroup bool
+}
+
+// MatchView reports whether the materialized view can answer the query:
+// exact table and join-predicate sets, every plain column the query consumes
+// exposed by the view, and (for grouped views) derivable aggregates with the
+// query grouping a subset of the view grouping. The engine uses the same
+// predicate so estimated and actual plans agree on view usage.
+func MatchView(q *QueryInfo, v *catalog.MaterializedView) (ViewMatch, bool) {
+	seen := map[string]bool{}
+	var tables []string
+	for _, s := range q.Scopes {
+		if seen[s.Table.Name] {
+			return ViewMatch{}, false // self-join
+		}
+		seen[s.Table.Name] = true
+		tables = append(tables, strings.ToLower(s.Table.Name))
+	}
+	sort.Strings(tables)
+	joinSet := map[string]bool{}
+	for _, e := range q.Joins {
+		jp := catalog.JoinPred{
+			Left:  catalog.NewColRef(q.Scopes[e.L].Table.Name, e.LCol),
+			Right: catalog.NewColRef(q.Scopes[e.R].Table.Name, e.RCol),
+		}
+		joinSet[jp.String()] = true
+	}
+	return matchView(q, v, tables, joinSet)
+}
+
+func matchView(q *QueryInfo, v *catalog.MaterializedView, tables []string, joinSet map[string]bool) (ViewMatch, bool) {
+	// Table sets must match exactly.
+	if len(v.Tables) != len(tables) {
+		return ViewMatch{}, false
+	}
+	for i := range tables {
+		if v.Tables[i] != tables[i] {
+			return ViewMatch{}, false
+		}
+	}
+	// Join predicate sets must match exactly.
+	if len(v.JoinPreds) != len(joinSet) {
+		return ViewMatch{}, false
+	}
+	for _, jp := range v.JoinPreds {
+		if !joinSet[jp.String()] {
+			return ViewMatch{}, false
+		}
+	}
+
+	outSet := map[string]bool{}
+	for _, o := range v.OutputColumns {
+		outSet[o.String()] = true
+	}
+	groupSet := map[string]bool{}
+	for _, g := range v.GroupBy {
+		groupSet[g.String()] = true
+	}
+	aggSet := map[string]bool{}
+	for _, a := range v.Aggs {
+		aggSet[a.String()] = true
+	}
+	colOf := func(sc ScopedCol) string {
+		return catalog.NewColRef(q.Scopes[sc.Scope].Table.Name, sc.Column).String()
+	}
+
+	grouped := len(v.GroupBy) > 0
+
+	// Every plain column the query consumes must be exposed by the view.
+	var needPlain []ScopedCol
+	needPlain = append(needPlain, q.PlainSelectCols...)
+	needPlain = append(needPlain, q.GroupBy...)
+	for _, o := range q.OrderBy {
+		if o.Scope >= 0 {
+			needPlain = append(needPlain, o)
+		}
+	}
+	for si, s := range q.Scopes {
+		for _, p := range s.Preds {
+			for _, col := range p.InputColumns() {
+				needPlain = append(needPlain, ScopedCol{Scope: si, Column: col})
+			}
+			if p.Column == "" && len(p.Cols) == 0 {
+				return ViewMatch{}, false // opaque residual cannot be applied on the view
+			}
+		}
+	}
+	for _, f := range q.PostFilters {
+		if len(f.Cols) == 0 {
+			return ViewMatch{}, false
+		}
+		needPlain = append(needPlain, f.Cols...)
+	}
+	for _, sc := range needPlain {
+		if sc.Column == "" {
+			return ViewMatch{}, false
+		}
+		if !outSet[colOf(sc)] {
+			return ViewMatch{}, false
+		}
+	}
+
+	// Aggregates must be derivable from the view.
+	regroup := false
+	if grouped {
+		if len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+			return ViewMatch{}, false // plain row query cannot read grouped view
+		}
+		// Query grouping must be a subset of the view grouping.
+		for _, g := range q.GroupBy {
+			if !groupSet[colOf(g)] {
+				return ViewMatch{}, false
+			}
+		}
+		regroup = len(q.GroupBy) < len(v.GroupBy)
+		for _, a := range q.Aggs {
+			if !aggSet[a.String()] {
+				return ViewMatch{}, false
+			}
+			if regroup {
+				switch strings.ToUpper(a.Func) {
+				case "SUM", "COUNT", "MIN", "MAX":
+					// re-aggregable
+				case "AVG":
+					// AVG re-derives from SUM and COUNT of the same argument.
+					if !aggSet[catalog.Agg{Func: "SUM", Col: a.Col}.String()] || !(aggSet[catalog.Agg{Func: "COUNT"}.String()] || aggSet[catalog.Agg{Func: "COUNT", Col: a.Col}.String()]) {
+						return ViewMatch{}, false
+					}
+				default:
+					return ViewMatch{}, false
+				}
+			}
+		}
+	} else if len(q.Aggs) > 0 {
+		// SPJ view under an aggregating query: the aggregate arguments must
+		// be exposed as plain columns.
+		for _, a := range q.Aggs {
+			if a.Col.Column != "" && !strings.HasPrefix(a.Col.Column, "expr:") && !outSet[a.Col.String()] {
+				return ViewMatch{}, false
+			}
+			if strings.HasPrefix(a.Col.Column, "expr:") {
+				return ViewMatch{}, false // expression args cannot be matched conservatively
+			}
+		}
+	}
+	return ViewMatch{Regroup: regroup}, true
+}
+
+func (c *optContext) tryView(q *QueryInfo, v *catalog.MaterializedView, tables []string, joinSet map[string]bool) *joined {
+	m, ok := matchView(q, v, tables, joinSet)
+	if !ok {
+		return nil
+	}
+	regroup := m.Regroup
+
+	// Cost: scan the view (with partition elimination), filter with the
+	// query's local predicates, regroup if needed.
+	rows := float64(v.Rows)
+	if rows < 1 {
+		rows = 1
+	}
+	pages := float64(v.Pages(c.opt.Cat))
+
+	fr := 1.0
+	if v.Partitioning != nil {
+		// Elimination applies when some scope has a sargable predicate on
+		// the partitioning column of its table.
+		for _, s := range q.Scopes {
+			if s.Table.HasColumn(v.Partitioning.Column) {
+				if f := c.partitionFraction(s.Table, v.Partitioning, s.Preds); f < fr {
+					fr = f
+				}
+			}
+		}
+	}
+
+	// Local predicates filter the view scan; post-join residuals are applied
+	// uniformly by finishSelect.
+	sel := 1.0
+	for _, s := range q.Scopes {
+		sel *= c.scopeSelectivity(s)
+	}
+	outRows := rows * sel
+	if outRows < 1 {
+		outRows = 1
+	}
+
+	scanPages := pages * fr
+	cost := startupCost + scanPages + rows*fr*cpuPerRow
+	cost /= c.parallelism(scanPages)
+	plan := &Plan{Op: "ViewScan", Detail: v.Name, Cost: cost, Rows: outRows,
+		Pages: pagesF(outRows, v.RowWidth(c.opt.Cat)), Structure: v.Key()}
+	if regroup {
+		groups := c.groupCardinality(q, outRows)
+		plan = &Plan{Op: "HashAggregate", Detail: "regroup view", Cost: cost + c.hashCost(groups, pagesF(groups, v.RowWidth(c.opt.Cat)), outRows),
+			Rows: groups, Pages: pagesF(groups, v.RowWidth(c.opt.Cat)), Children: []*Plan{plan}, Structure: v.Key()}
+		outRows = groups
+	}
+	return &joined{plan: plan, rows: outRows, width: v.RowWidth(c.opt.Cat)}
+}

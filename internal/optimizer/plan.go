@@ -1,0 +1,81 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plan is a node of the chosen physical plan tree. Cost is cumulative
+// (includes children); Rows and Pages describe the node's output.
+type Plan struct {
+	Op       string  // operator name, e.g. "HeapScan", "IndexSeek", "HashJoin"
+	Detail   string  // human-readable detail, e.g. the index used
+	Cost     float64 // cumulative estimated cost
+	Rows     float64 // estimated output cardinality
+	Pages    float64 // estimated output volume in pages
+	Children []*Plan
+	// Structure is the Key() of the configuration structure this node uses
+	// (index, view, or table partitioning), if any.
+	Structure string
+	// Ordered lists the columns (table-qualified, lower-case) the node's
+	// output is ordered on, for sort avoidance upstream.
+	Ordered []string
+}
+
+// String renders the plan tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	p.render(&b, 0)
+	return b.String()
+}
+
+func (p *Plan) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s", p.Op)
+	if p.Detail != "" {
+		fmt.Fprintf(b, " [%s]", p.Detail)
+	}
+	fmt.Fprintf(b, " (cost=%.2f rows=%.0f)\n", p.Cost, p.Rows)
+	for _, c := range p.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// structureKeys collects the distinct structure keys used anywhere in the
+// plan, sorted for determinism.
+func (p *Plan) structureKeys() []string {
+	set := map[string]bool{}
+	p.walk(func(n *Plan) {
+		if n.Structure != "" {
+			set[n.Structure] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Plan) walk(fn func(*Plan)) {
+	fn(p)
+	for _, c := range p.Children {
+		c.walk(fn)
+	}
+}
+
+// orderedPrefix reports whether the plan output order covers want as a
+// prefix (enough to skip a sort on want).
+func orderedPrefix(have, want []string) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i, w := range want {
+		if have[i] != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/sqlparser"
+)
+
+// optimizeSelect plans a SELECT: the best of (a) the join plan over base
+// tables and (b) any matching materialized view, followed by grouping,
+// having, ordering and TOP.
+func (c *optContext) optimizeSelect(s *sqlparser.Select) (*Plan, error) {
+	q, err := c.opt.analyze(s)
+	if err != nil {
+		return nil, err
+	}
+
+	base := c.basePlan(q)
+	if mv := c.bestViewPlan(q); mv != nil && mv.plan.Cost < base.plan.Cost {
+		base = *mv
+	}
+	plan := c.finishSelect(q, base)
+	return plan, nil
+}
+
+// basePlan computes the join-over-base-tables plan, using an
+// order-preserving single-table access when it lets the query skip a sort
+// for GROUP BY / ORDER BY.
+func (c *optContext) basePlan(q *QueryInfo) joined {
+	j := c.joinScopes(q)
+
+	// Single-table queries can exploit an access path whose order matches
+	// the grouping or ordering columns (Example 1 of the paper: a clustered
+	// index on the GROUP BY column).
+	if len(q.Scopes) == 1 {
+		want := c.interestingOrder(q)
+		if len(want) > 0 {
+			_, op := c.bestAccess(q.Scopes[0], want)
+			if op != nil {
+				alt := joined{plan: op.plan, rows: op.rows, width: q.Scopes[0].Table.ColumnWidth(q.Scopes[0].Required)}
+				// Compare end-to-end: the ordered path may lose on access
+				// cost but win by skipping the sort/hash.
+				if c.finishSelect(q, alt).Cost < c.finishSelect(q, j).Cost {
+					return alt
+				}
+			}
+		}
+	}
+	return j
+}
+
+// interestingOrder returns the qualified column order that would let the
+// query avoid a sort or use stream aggregation: GROUP BY columns first,
+// else ORDER BY columns.
+func (c *optContext) interestingOrder(q *QueryInfo) []string {
+	if len(q.GroupBy) > 0 {
+		var want []string
+		for _, g := range q.GroupBy {
+			if g.Scope < 0 {
+				return nil
+			}
+			want = append(want, q.Scopes[g.Scope].Table.Name+"."+g.Column)
+		}
+		return want
+	}
+	var want []string
+	for _, o := range q.OrderBy {
+		if o.Scope < 0 {
+			return nil
+		}
+		want = append(want, q.Scopes[o.Scope].Table.Name+"."+o.Column)
+	}
+	return want
+}
+
+// finishSelect appends residual filters, aggregation, having, distinct,
+// ordering and TOP on top of the input.
+func (c *optContext) finishSelect(q *QueryInfo, in joined) *Plan {
+	plan := in.plan
+	rows := in.rows
+	width := in.width
+
+	// Post-join residual filters.
+	for _, f := range q.PostFilters {
+		rows *= clampSel(f.Sel)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+
+	// Grouping / aggregation.
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		groups := c.groupCardinality(q, rows)
+		want := c.interestingOrder(q)
+		if len(q.GroupBy) > 0 && orderedPrefix(plan.Ordered, want) {
+			cost := plan.Cost + rows*cpuPerRow
+			plan = &Plan{Op: "StreamAggregate", Cost: cost, Rows: groups,
+				Pages: pagesF(groups, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+		} else {
+			cost := plan.Cost + c.hashCost(groups, pagesF(groups, width), rows)
+			plan = &Plan{Op: "HashAggregate", Cost: cost, Rows: groups,
+				Pages: pagesF(groups, width), Children: []*Plan{plan}}
+		}
+		rows = groups
+	}
+
+	if q.HasHaving {
+		rows = math.Max(1, rows*0.3)
+		plan = &Plan{Op: "Filter", Detail: "HAVING", Cost: plan.Cost + rows*cpuPerRow,
+			Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+	}
+
+	if q.Distinct {
+		d := math.Max(1, rows/2)
+		plan = &Plan{Op: "HashDistinct", Cost: plan.Cost + c.hashCost(d, pagesF(d, width), rows),
+			Rows: d, Pages: pagesF(d, width), Children: []*Plan{plan}}
+		rows = d
+	}
+
+	// Ordering.
+	if len(q.OrderBy) > 0 {
+		var want []string
+		ok := true
+		for _, o := range q.OrderBy {
+			if o.Scope < 0 {
+				ok = false
+				break
+			}
+			want = append(want, q.Scopes[o.Scope].Table.Name+"."+o.Column)
+		}
+		if !ok || !orderedPrefix(plan.Ordered, want) {
+			plan = &Plan{Op: "Sort", Cost: plan.Cost + c.sortCost(rows, pagesF(rows, width)),
+				Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: want}
+		}
+	}
+
+	if q.Top > 0 && float64(q.Top) < rows {
+		rows = float64(q.Top)
+		plan = &Plan{Op: "Top", Cost: plan.Cost + startupCost, Rows: rows,
+			Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+	}
+	return plan
+}

@@ -1,0 +1,112 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+)
+
+// predSelectivity estimates the fraction of the table's rows satisfying one
+// local predicate, consulting histograms for ranges and densities for
+// equalities, and recording any statistic it wished for.
+func (c *optContext) predSelectivity(t *catalog.Table, p Pred) float64 {
+	switch p.Kind {
+	case PredEq:
+		if p.IsStr {
+			// String equality: histogram positions are dictionary codes the
+			// optimizer does not see; use density.
+			return clampSel(c.density(t, []string{p.Column}))
+		}
+		if h := c.histogram(t.Name, p.Column); h != nil {
+			return clampSel(h.SelEq(p.Value))
+		}
+		return clampSel(c.density(t, []string{p.Column}))
+	case PredRange:
+		if p.IsStr {
+			return 0.3
+		}
+		if h := c.histogram(t.Name, p.Column); h != nil {
+			return clampSel(h.SelRange(p.Lo, p.Hi, p.IncLo, p.IncHi))
+		}
+		// No histogram: guess from the catalog domain, assuming uniformity.
+		col := t.Column(p.Column)
+		if col == nil || col.Max <= col.Min {
+			return 0.3
+		}
+		lo := math.Max(p.Lo, col.Min)
+		hi := math.Min(p.Hi, col.Max)
+		if hi < lo {
+			return 0.0001
+		}
+		return clampSel((hi - lo) / (col.Max - col.Min))
+	case PredIn:
+		n := float64(p.InSize)
+		if n < 1 {
+			n = 1
+		}
+		return clampSel(n * c.density(t, []string{p.Column}))
+	case PredLike:
+		prefix := likePrefix(p.Pattern)
+		switch {
+		case prefix == p.Pattern: // exact match, no wildcard
+			return clampSel(c.density(t, []string{p.Column}))
+		case prefix != "":
+			return 0.05 // prefix match
+		default:
+			return 0.1 // contains / suffix match
+		}
+	default:
+		if p.DefaultSel > 0 {
+			return clampSel(p.DefaultSel)
+		}
+		return 0.3
+	}
+}
+
+// scopeSelectivity multiplies the selectivities of every local predicate on
+// the scope.
+func (c *optContext) scopeSelectivity(s *Scope) float64 {
+	sel := 1.0
+	for _, p := range s.Preds {
+		sel *= c.predSelectivity(s.Table, p)
+	}
+	return clampSel(sel)
+}
+
+// joinSelectivity estimates the selectivity of an equality join using the
+// classic 1/max(distinct(L), distinct(R)) rule with densities.
+func (c *optContext) joinSelectivity(l *Scope, lcol string, r *Scope, rcol string) float64 {
+	dl := c.density(l.Table, []string{lcol})
+	dr := c.density(r.Table, []string{rcol})
+	// density = 1/distinct, so min(density) = 1/max(distinct).
+	return clampSel(math.Min(dl, dr))
+}
+
+// groupCardinality estimates the number of groups produced by grouping
+// inputRows on the given columns. Per-scope densities combine under
+// independence; the result is capped by the input cardinality.
+func (c *optContext) groupCardinality(q *QueryInfo, inputRows float64) float64 {
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	// Group columns of the same scope use a single multi-column density.
+	byScope := map[int][]string{}
+	for _, g := range q.GroupBy {
+		byScope[g.Scope] = append(byScope[g.Scope], g.Column)
+	}
+	distinct := 1.0
+	for si, cols := range byScope {
+		d := c.density(q.Scopes[si].Table, cols)
+		if d <= 0 {
+			d = 1
+		}
+		distinct *= 1 / d
+	}
+	if distinct > inputRows {
+		distinct = inputRows
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	return distinct
+}

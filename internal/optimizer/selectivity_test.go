@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+)
+
+func selCtx(t *testing.T) (*optContext, *catalog.Table) {
+	t.Helper()
+	cat := testCatalog()
+	o := newOpt(cat)
+	return &optContext{opt: o, cfg: catalog.NewConfiguration(), wanted: map[string]stats.Request{}}, cat.ResolveTable("t")
+}
+
+func TestPredSelectivityEq(t *testing.T) {
+	c, tbl := selCtx(t)
+	// x has 10k distinct values uniformly.
+	got := c.predSelectivity(tbl, Pred{Column: "x", Kind: PredEq, Value: 500})
+	if math.Abs(got-1.0/10000) > 1.0/10000 {
+		t.Fatalf("eq sel = %g, want ~1e-4", got)
+	}
+	// String equality uses density.
+	gotS := c.predSelectivity(tbl, Pred{Column: "pad", Kind: PredEq, IsStr: true, StrValue: "q"})
+	if gotS > 1.0/100000 {
+		t.Fatalf("string eq sel = %g", gotS)
+	}
+}
+
+func TestPredSelectivityRange(t *testing.T) {
+	c, tbl := selCtx(t)
+	got := c.predSelectivity(tbl, Pred{Column: "x", Kind: PredRange, Lo: 0, Hi: 4999.5, IncLo: true})
+	if math.Abs(got-0.5) > 0.06 {
+		t.Fatalf("range sel = %g, want ~0.5", got)
+	}
+	open := c.predSelectivity(tbl, Pred{Column: "x", Kind: PredRange, Lo: math.Inf(-1), Hi: 1000})
+	if math.Abs(open-0.1) > 0.03 {
+		t.Fatalf("open range sel = %g, want ~0.1", open)
+	}
+}
+
+func TestPredSelectivityInLikeResidual(t *testing.T) {
+	c, tbl := selCtx(t)
+	in := c.predSelectivity(tbl, Pred{Column: "a", Kind: PredIn, InSize: 5})
+	if math.Abs(in-0.05) > 0.01 { // 5/100 distinct
+		t.Fatalf("IN sel = %g, want ~0.05", in)
+	}
+	prefix := c.predSelectivity(tbl, Pred{Column: "pad", Kind: PredLike, Pattern: "ab%"})
+	if prefix != 0.05 {
+		t.Fatalf("prefix LIKE sel = %g", prefix)
+	}
+	contains := c.predSelectivity(tbl, Pred{Column: "pad", Kind: PredLike, Pattern: "%ab%"})
+	if contains != 0.1 {
+		t.Fatalf("contains LIKE sel = %g", contains)
+	}
+	exact := c.predSelectivity(tbl, Pred{Column: "pad", Kind: PredLike, Pattern: "abc"})
+	if exact > 0.001 {
+		t.Fatalf("exact LIKE behaves like equality: %g", exact)
+	}
+	res := c.predSelectivity(tbl, Pred{Kind: PredResidual, DefaultSel: 0.42})
+	if res != 0.42 {
+		t.Fatalf("residual sel = %g", res)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	c, _ := selCtx(t)
+	cat := c.opt.Cat
+	l := &Scope{Table: cat.ResolveTable("t")}
+	r := &Scope{Table: cat.ResolveTable("d")}
+	got := c.joinSelectivity(l, "d_id", r, "d_id")
+	if math.Abs(got-1.0/50000) > 1e-6 {
+		t.Fatalf("join sel = %g, want 1/50000", got)
+	}
+}
+
+func TestGroupCardinality(t *testing.T) {
+	c, _ := selCtx(t)
+	q, err := Analyze(c.opt.Cat, mustSel("SELECT a, COUNT(*) FROM t GROUP BY a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := c.groupCardinality(q, 1e6)
+	if math.Abs(groups-100) > 5 {
+		t.Fatalf("groups = %g, want ~100", groups)
+	}
+	// Cap by input cardinality.
+	if got := c.groupCardinality(q, 10); got != 10 {
+		t.Fatalf("cap failed: %g", got)
+	}
+	// No grouping: one group.
+	q2, _ := Analyze(c.opt.Cat, mustSel("SELECT COUNT(*) FROM t"))
+	if got := c.groupCardinality(q2, 1e6); got != 1 {
+		t.Fatalf("scalar group = %g", got)
+	}
+}
+
+func TestBtreeDepth(t *testing.T) {
+	cases := []struct {
+		pages float64
+		want  float64
+	}{
+		{1, 1}, {100, 1}, {151, 2}, {20000, 2}, {1e6, 3}, {1e12, 4}, {1e30, 4},
+	}
+	for _, tc := range cases {
+		if got := btreeDepth(tc.pages); got != tc.want {
+			t.Errorf("btreeDepth(%g) = %g, want %g", tc.pages, got, tc.want)
+		}
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	if likePrefix("abc%def") != "abc" || likePrefix("a_c") != "a" || likePrefix("xyz") != "xyz" || likePrefix("%x") != "" {
+		t.Fatal("likePrefix wrong")
+	}
+}
+
+func TestOrderedPrefix(t *testing.T) {
+	if !orderedPrefix([]string{"t.a", "t.b"}, []string{"t.a"}) {
+		t.Fatal("prefix should match")
+	}
+	if orderedPrefix([]string{"t.a"}, []string{"t.a", "t.b"}) {
+		t.Fatal("longer want cannot match")
+	}
+	if orderedPrefix([]string{"t.b", "t.a"}, []string{"t.a"}) {
+		t.Fatal("order matters")
+	}
+	if !orderedPrefix(nil, nil) {
+		t.Fatal("empty want always matches")
+	}
+}
+
+func mustSel(q string) sqlparser.Statement { return sqlparser.MustParse(q) }

@@ -1,0 +1,172 @@
+// Package sqlparser implements a lexer, abstract syntax tree, and
+// recursive-descent parser for the SQL subset the tuning advisor consumes:
+// SELECT with joins / WHERE / GROUP BY / ORDER BY / aggregates / TOP,
+// and INSERT / UPDATE / DELETE. It also provides statement deparsing and the
+// constant-insensitive query signature used by workload compression
+// (paper §5.1: two queries have the same signature if they are identical in
+// all respects except for the constants referenced in the query).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , . * and operators
+	tokParam // '?' placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // for idents: original text; keyword matching is case-insensitive
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SQL statements are short enough
+// that this is simpler and faster than a streaming lexer.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return token{}, fmt.Errorf("sqlparser: bad number %q at %d", text, start)
+		}
+		return token{kind: tokNumber, text: text, num: f, pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sqlparser: unterminated string at %d", start)
+			}
+			d := l.src[l.pos]
+			if d == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(d)
+			l.pos++
+		}
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparser: unexpected '!' at %d", start)
+	case strings.ContainsRune("(),.*=+-/;", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlparser: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '['
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '[' || r == ']'
+}

@@ -1,0 +1,75 @@
+// Package testsrv implements tuning in the production/test server scenario
+// of paper §5.3: the test server imports only metadata (Step 1), tuning's
+// what-if optimizations all run on the test server under the production
+// server's simulated hardware parameters (Step 2), and the only load imposed
+// on production is the creation of statistics the optimizer turns out to
+// need, which are imported on demand. The recommendation is then applied to
+// production (Step 3).
+package testsrv
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+	"repro/internal/whatif"
+)
+
+// Session pairs a production server with a test server and satisfies
+// core.Tuner, routing what-if calls to the test server and statistics
+// creation to production (followed by import).
+type Session struct {
+	Prod *whatif.Server
+	Test *whatif.Server
+}
+
+// NewSession imports the production server's metadata into a fresh test
+// server (charging production the metadata-scripting cost) and returns the
+// tuning session.
+func NewSession(prod *whatif.Server) *Session {
+	return &Session{Prod: prod, Test: whatif.NewTestServer(prod.Name+"-test", prod)}
+}
+
+// Catalog returns the test server's (imported) catalog.
+func (s *Session) Catalog() *catalog.Catalog { return s.Test.Cat }
+
+// WhatIfCost runs the what-if optimization on the test server.
+func (s *Session) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
+	return s.Test.WhatIfCost(stmt, cfg)
+}
+
+// WhatIfCallCount reports test-server what-if calls (production receives
+// none in this scenario).
+func (s *Session) WhatIfCallCount() int64 { return s.Test.Acct.WhatIfCalls }
+
+// EnsureStatistics makes the needed statistics available on the test
+// server: missing ones are created on the production server (the sampling
+// I/O is the production overhead) and imported. Reduction (§5.2) applies
+// before anything touches production.
+func (s *Session) EnsureStatistics(reqs []stats.Request, reduce bool) (int, error) {
+	var missing []stats.Request
+	for _, r := range reqs {
+		if reduce {
+			if !stats.Satisfied(s.Test.Stats, r) {
+				missing = append(missing, r)
+			}
+		} else if !s.Test.Stats.Has(r.Table, r.Columns) {
+			missing = append(missing, r)
+		}
+	}
+	if reduce {
+		missing = stats.Reduce(missing)
+	}
+	created := 0
+	for _, r := range missing {
+		if err := s.Test.ImportStatistic(s.Prod, r.Table, r.Columns); err != nil {
+			return created, err
+		}
+		created++
+	}
+	return created, nil
+}
+
+// ProductionOverhead reports the total simulated duration of statements the
+// tuning session submitted to the production server — the quantity Figure 3
+// compares against tuning directly on production.
+func (s *Session) ProductionOverhead() float64 { return s.Prod.Acct.Overhead }

@@ -1,0 +1,128 @@
+package testsrv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func prodServer(tb testing.TB) *whatif.Server {
+	tb.Helper()
+	cat := catalog.New()
+	db := catalog.NewDatabase("db")
+	db.AddTable(catalog.NewTable("db", "t", 0,
+		&catalog.Column{Name: "id", Type: catalog.TypeInt, Width: 8, Distinct: 50000, Min: 0, Max: 49999},
+		&catalog.Column{Name: "x", Type: catalog.TypeInt, Width: 8, Distinct: 2000, Min: 0, Max: 1999},
+		&catalog.Column{Name: "a", Type: catalog.TypeInt, Width: 8, Distinct: 50, Min: 0, Max: 49},
+		&catalog.Column{Name: "pad", Type: catalog.TypeString, Width: 60, Distinct: 50000, Min: 0, Max: 49999},
+	))
+	cat.AddDatabase(db)
+	data := engine.NewDatabase(cat)
+	var rows [][]engine.Value
+	for i := 0; i < 50000; i++ {
+		rows = append(rows, []engine.Value{
+			engine.Num(float64(i)), engine.Num(float64((i * 17) % 2000)),
+			engine.Num(float64(i % 50)), engine.Str(fmt.Sprintf("p%06d", i)),
+		})
+	}
+	if err := data.Load("t", rows); err != nil {
+		tb.Fatal(err)
+	}
+	s := whatif.NewServer("prod", cat, optimizer.DefaultHardware())
+	s.AttachData(data)
+	return s
+}
+
+var _ core.Tuner = (*Session)(nil)
+
+func testWorkload() *workload.Workload {
+	var sqls []string
+	for i := 0; i < 40; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT id FROM t WHERE x = %d", i*11))
+		sqls = append(sqls, fmt.Sprintf("SELECT a, COUNT(*) FROM t WHERE x < %d GROUP BY a", 50+i))
+	}
+	return workload.MustNew(sqls...)
+}
+
+func TestSessionReducesProductionOverhead(t *testing.T) {
+	w := testWorkload()
+
+	// Tuning directly on production.
+	direct := prodServer(t)
+	recDirect, err := core.Tune(direct, w, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directOverhead := direct.Acct.Overhead
+	if directOverhead <= 0 {
+		t.Fatal("direct tuning must load production")
+	}
+
+	// Tuning through a test server.
+	prod := prodServer(t)
+	sess := NewSession(prod)
+	recSess, err := core.Tune(sess, w, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessOverhead := sess.ProductionOverhead()
+	if sessOverhead >= directOverhead {
+		t.Fatalf("test server must reduce production overhead: %.0f vs %.0f", sessOverhead, directOverhead)
+	}
+	reduction := 1 - sessOverhead/directOverhead
+	if reduction < 0.3 {
+		t.Fatalf("overhead reduction too small: %.0f%%", 100*reduction)
+	}
+	if prod.Acct.WhatIfCalls != 0 {
+		t.Fatal("no what-if call may reach production")
+	}
+
+	// Same recommendation quality: metadata + imported statistics + simulated
+	// hardware reproduce the optimizer's view of production.
+	if d := recSess.Improvement - recDirect.Improvement; d > 0.02 || d < -0.02 {
+		t.Fatalf("test-server tuning should match direct tuning: %.3f vs %.3f",
+			recSess.Improvement, recDirect.Improvement)
+	}
+}
+
+func TestSessionStatImportOnDemand(t *testing.T) {
+	prod := prodServer(t)
+	sess := NewSession(prod)
+	if created, err := sess.EnsureStatistics(nil, true); err != nil || created != 0 {
+		t.Fatalf("empty request: created=%d err=%v", created, err)
+	}
+	overheadBefore := prod.Acct.Overhead
+	reqs := []stats.Request{
+		{Table: "t", Columns: []string{"x"}},
+		{Table: "t", Columns: []string{"x", "a"}},
+	}
+	created, err := sess.EnsureStatistics(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduction folds (x) into (x,a): one create suffices.
+	if created != 1 {
+		t.Fatalf("created = %d, want 1 after reduction", created)
+	}
+	if !sess.Test.Stats.Has("t", []string{"x", "a"}) {
+		t.Fatal("statistic not imported to the test server")
+	}
+	if prod.Acct.Overhead <= overheadBefore {
+		t.Fatal("statistics creation must charge production")
+	}
+	// Re-ensuring is free.
+	overheadBefore = prod.Acct.Overhead
+	if created, err := sess.EnsureStatistics(reqs, true); err != nil || created != 0 {
+		t.Fatalf("re-ensure: created=%d err=%v", created, err)
+	}
+	if prod.Acct.Overhead != overheadBefore {
+		t.Fatal("re-ensuring must not touch production")
+	}
+}

@@ -1,0 +1,188 @@
+// Package whatif provides the what-if analysis interfaces of [9] that the
+// tuning advisor is built on: given a statement and a hypothetical
+// configuration, obtain the optimizer-estimated cost as if the configuration
+// were materialized — without materializing anything.
+//
+// A Server bundles the catalog, statistics, hardware model, and (on a
+// production server) the actual data. Every what-if optimizer call and every
+// statistics creation is charged to the server that performs it, which is
+// what makes the production/test experiment (§5.3, Figure 3) measurable.
+package whatif
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+)
+
+// WhatIfCallCost is the simulated overhead (in sequential-page units) one
+// what-if optimization imposes on the server that runs it. Optimizing a
+// query is CPU over metadata — roughly the work of reading a hundred pages —
+// and tuning issues thousands of such calls, which is why offloading them to
+// a test server pays off (§5.3).
+const WhatIfCallCost = 100.0
+
+// MetadataImportCost is the (small) overhead of scripting out metadata —
+// a catalog-only operation independent of data size (§5.3 Step 1).
+const MetadataImportCost = 50.0
+
+// Accounting records the load tuning imposed on a server.
+type Accounting struct {
+	WhatIfCalls  int64
+	StatsCreated int64
+	// Overhead is the total simulated duration of statements submitted to
+	// this server, in sequential-page units.
+	Overhead float64
+}
+
+// Server is one database server.
+type Server struct {
+	Name  string
+	Cat   *catalog.Catalog
+	Stats *stats.Store
+	HW    optimizer.Hardware
+	// Data is the actual stored data; nil on a test server, which holds
+	// only metadata and imported statistics.
+	Data *engine.Database
+
+	Acct Accounting
+
+	opt *optimizer.Optimizer
+}
+
+// NewServer creates a server over the catalog with empty statistics.
+func NewServer(name string, cat *catalog.Catalog, hw optimizer.Hardware) *Server {
+	s := &Server{Name: name, Cat: cat, Stats: stats.NewStore(), HW: hw}
+	s.opt = optimizer.New(cat, s.Stats, hw)
+	return s
+}
+
+// AttachData associates actual data (making this a production server) and
+// syncs catalog row counts.
+func (s *Server) AttachData(db *engine.Database) {
+	s.Data = db
+	db.SyncRowCounts()
+}
+
+// Optimizer returns the server's optimizer (for direct plan inspection).
+func (s *Server) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// WhatIf optimizes the statement as if cfg were materialized, charging the
+// call to this server.
+func (s *Server) WhatIf(stmt sqlparser.Statement, cfg *catalog.Configuration) (*optimizer.Result, error) {
+	s.Acct.WhatIfCalls++
+	s.Acct.Overhead += WhatIfCallCost
+	return s.opt.Optimize(stmt, cfg)
+}
+
+// Cost is WhatIf returning only the estimated cost.
+func (s *Server) Cost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, error) {
+	res, err := s.WhatIf(stmt, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cost, nil
+}
+
+// HasStatistic reports whether the exact statistic exists on the server.
+func (s *Server) HasStatistic(table string, cols []string) bool {
+	return s.Stats.Has(table, cols)
+}
+
+// CreateStatistic builds one statistic from the server's own data (sampling
+// I/O charged to this server). It fails on a server without data — a test
+// server must import statistics instead (§5.3).
+func (s *Server) CreateStatistic(table string, cols []string) (*stats.Statistic, error) {
+	if s.Stats.Has(table, cols) {
+		return s.Stats.Lookup(table, cols), nil
+	}
+	if s.Data == nil {
+		return nil, fmt.Errorf("whatif: server %q holds no data; import statistics from the production server", s.Name)
+	}
+	st, err := stats.Build(s.Cat, table, cols, engine.NewSampler(s.Data), stats.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.Stats.Add(st)
+	s.Acct.StatsCreated++
+	s.Acct.Overhead += float64(st.SampledPages)
+	return st, nil
+}
+
+// EnsureStatistics creates the missing statistics among reqs on this server.
+// With reduce set, the redundant ones are eliminated first (§5.2) — the
+// H-List/D-List greedy cover — so fewer create-statistics statements run.
+// It returns the number of statistics actually created.
+func (s *Server) EnsureStatistics(reqs []stats.Request, reduce bool) (int, error) {
+	var missing []stats.Request
+	for _, r := range reqs {
+		if reduce {
+			if !stats.Satisfied(s.Stats, r) {
+				missing = append(missing, r)
+			}
+		} else if !s.Stats.Has(r.Table, r.Columns) {
+			missing = append(missing, r)
+		}
+	}
+	if reduce {
+		missing = stats.Reduce(missing)
+	}
+	created := 0
+	for _, r := range missing {
+		if _, err := s.CreateStatistic(r.Table, r.Columns); err != nil {
+			return created, err
+		}
+		created++
+	}
+	return created, nil
+}
+
+// ImportStatistic copies one statistic from another server (creating it
+// there if necessary — that sampling cost lands on the source server, the
+// only tuning overhead a test-server session imposes on production).
+func (s *Server) ImportStatistic(from *Server, table string, cols []string) error {
+	st := from.Stats.Lookup(table, cols)
+	if st == nil {
+		var err error
+		st, err = from.CreateStatistic(table, cols)
+		if err != nil {
+			return err
+		}
+	}
+	s.Stats.Add(st)
+	return nil
+}
+
+// NewTestServer creates a test server from a production server per §5.3
+// Step 1: metadata is imported (no data), statistics start empty, and the
+// production server's hardware parameters are simulated so the optimizer
+// produces the same plans it would produce on production.
+func NewTestServer(name string, prod *Server) *Server {
+	prod.Acct.Overhead += MetadataImportCost
+	t := NewServer(name, prod.Cat.Clone(), prod.HW)
+	return t
+}
+
+// ResetAccounting zeroes the server's accounting counters.
+func (s *Server) ResetAccounting() { s.Acct = Accounting{} }
+
+// Catalog returns the server's catalog (core.Tuner interface).
+func (s *Server) Catalog() *catalog.Catalog { return s.Cat }
+
+// WhatIfCost returns the estimated cost of stmt under cfg together with the
+// structures the chosen plan uses (core.Tuner interface).
+func (s *Server) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
+	res, err := s.WhatIf(stmt, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Cost, res.UsedStructures, nil
+}
+
+// WhatIfCallCount reports the number of what-if calls issued so far
+// (core.Tuner interface).
+func (s *Server) WhatIfCallCount() int64 { return s.Acct.WhatIfCalls }

@@ -1,0 +1,173 @@
+package whatif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+)
+
+func prodServer(t *testing.T) *Server {
+	t.Helper()
+	cat := catalog.New()
+	d := catalog.NewDatabase("db")
+	d.AddTable(catalog.NewTable("db", "t", 0,
+		&catalog.Column{Name: "a", Type: catalog.TypeInt, Width: 8, Distinct: 100, Min: 0, Max: 99},
+		&catalog.Column{Name: "b", Type: catalog.TypeInt, Width: 8, Distinct: 10, Min: 0, Max: 9},
+	))
+	cat.AddDatabase(d)
+	db := engine.NewDatabase(cat)
+	var rows [][]engine.Value
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []engine.Value{engine.Num(float64(i % 100)), engine.Num(float64(i % 10))})
+	}
+	if err := db.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("prod", cat, optimizer.DefaultHardware())
+	s.AttachData(db)
+	return s
+}
+
+func TestWhatIfChargesOverhead(t *testing.T) {
+	s := prodServer(t)
+	stmt := sqlparser.MustParse("SELECT a FROM t WHERE a = 5")
+	cfg := catalog.NewConfiguration()
+	cfg.AddIndex(catalog.NewIndex("t", "a"))
+
+	res, err := s.WhatIf(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Fatal("cost should be positive")
+	}
+	if s.Acct.WhatIfCalls != 1 || s.Acct.Overhead < WhatIfCallCost {
+		t.Fatalf("accounting = %+v", s.Acct)
+	}
+}
+
+func TestCreateStatisticFromData(t *testing.T) {
+	s := prodServer(t)
+	st, err := s.CreateStatistic("t", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hist == nil || len(st.Densities) != 2 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if s.Acct.StatsCreated != 1 || s.Acct.Overhead <= 0 {
+		t.Fatalf("accounting = %+v", s.Acct)
+	}
+	// Idempotent.
+	before := s.Acct
+	if _, err := s.CreateStatistic("t", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Acct != before {
+		t.Fatal("re-creating an existing statistic must be free")
+	}
+}
+
+func TestEnsureStatisticsReduces(t *testing.T) {
+	s := prodServer(t)
+	reqs := []stats.Request{
+		{Table: "t", Columns: []string{"a"}},
+		{Table: "t", Columns: []string{"a", "b"}},
+		{Table: "t", Columns: []string{"b", "a"}},
+		{Table: "t", Columns: []string{"b"}},
+	}
+	created, err := s.EnsureStatistics(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created >= 4 {
+		t.Fatalf("reduction should create fewer than 4 stats, created %d", created)
+	}
+	// The information is nevertheless complete: histograms on a and b.
+	if s.Stats.HistogramFor("t", "a") == nil || s.Stats.HistogramFor("t", "b") == nil {
+		t.Fatal("histograms missing after reduced creation")
+	}
+	if _, ok := s.Stats.DensityFor("t", []string{"a", "b"}); !ok {
+		t.Fatal("density (a,b) missing after reduced creation")
+	}
+}
+
+func TestTestServerFlow(t *testing.T) {
+	prod := prodServer(t)
+	test := NewTestServer("test", prod)
+
+	if test.Data != nil {
+		t.Fatal("test server must not hold data")
+	}
+	if test.Cat.ResolveTable("t") == nil {
+		t.Fatal("metadata should be imported")
+	}
+	// Mutating the test catalog must not touch production.
+	test.Cat.ResolveTable("t").Rows = 7
+	if prod.Cat.ResolveTable("t").Rows == 7 {
+		t.Fatal("catalog import must be a deep copy")
+	}
+	test.Cat.ResolveTable("t").Rows = prod.Cat.ResolveTable("t").Rows
+
+	// Statistics creation on the test server fails — they must be imported.
+	if _, err := test.CreateStatistic("t", []string{"a"}); err == nil {
+		t.Fatal("test server cannot sample data it does not have")
+	} else if !strings.Contains(err.Error(), "import") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	prodOverheadBefore := prod.Acct.Overhead
+	if err := test.ImportStatistic(prod, "t", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if !test.Stats.Has("t", []string{"a"}) {
+		t.Fatal("import failed")
+	}
+	if prod.Acct.Overhead <= prodOverheadBefore {
+		t.Fatal("creating the statistic must charge the production server")
+	}
+
+	// What-if calls on the test server charge the test server only.
+	prodCalls := prod.Acct.WhatIfCalls
+	if _, err := test.WhatIf(sqlparser.MustParse("SELECT a FROM t WHERE a = 1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if prod.Acct.WhatIfCalls != prodCalls {
+		t.Fatal("test-server what-if must not touch production")
+	}
+	if test.Acct.WhatIfCalls != 1 {
+		t.Fatalf("test accounting = %+v", test.Acct)
+	}
+}
+
+func TestTestServerSimulatesProductionHardware(t *testing.T) {
+	prod := prodServer(t)
+	prod.HW = optimizer.Hardware{CPUs: 32, MemoryPages: 1 << 20, RandomFactor: 4}
+	// Recreate optimizer with the new HW for the comparison server.
+	prod = func() *Server {
+		s := NewServer("prod", prod.Cat, prod.HW)
+		s.Data = prod.Data
+		return s
+	}()
+	test := NewTestServer("test", prod)
+	if test.HW != prod.HW {
+		t.Fatal("test server must simulate production hardware parameters")
+	}
+	stmt := sqlparser.MustParse("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a")
+	cp, err := prod.Cost(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := test.Cost(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != ct {
+		t.Fatalf("same metadata + simulated hardware must reproduce plans/costs: %g vs %g", cp, ct)
+	}
+}

@@ -1,0 +1,384 @@
+// Package workload models the workload a DBA hands to the tuning advisor —
+// a set of SQL statements obtained from a profiler-style trace or a SQL
+// file — and implements workload compression (paper §5.1): partition the
+// workload by query signature (template), then pick a small set of
+// representatives per partition with a clustering-based method, so tuning
+// time drops dramatically with almost no loss in recommendation quality.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// Event is one workload statement with its execution weight (how many times
+// it runs in the traced interval) and, when known, an observed duration from
+// the trace.
+type Event struct {
+	SQL    string
+	Stmt   sqlparser.Statement
+	Weight float64
+	// Duration is the traced per-execution duration (arbitrary units);
+	// zero when the trace carries no timing.
+	Duration float64
+}
+
+// Signature returns the event's templatization key.
+func (e *Event) Signature() string { return sqlparser.Signature(e.Stmt) }
+
+// Workload is an ordered multiset of events.
+type Workload struct {
+	Events []*Event
+}
+
+// New parses the given SQL texts into a workload with unit weights.
+func New(sqls ...string) (*Workload, error) {
+	w := &Workload{}
+	for i, q := range sqls {
+		stmt, err := sqlparser.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("workload: statement %d: %w", i+1, err)
+		}
+		w.Events = append(w.Events, &Event{SQL: q, Stmt: stmt, Weight: 1})
+	}
+	return w, nil
+}
+
+// MustNew is New for statically known workloads; it panics on parse errors.
+func MustNew(sqls ...string) *Workload {
+	w, err := New(sqls...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Add appends a parsed statement with the given weight.
+func (w *Workload) Add(sql string, weight float64) error {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	w.Events = append(w.Events, &Event{SQL: sql, Stmt: stmt, Weight: weight})
+	return nil
+}
+
+// Len returns the number of distinct events.
+func (w *Workload) Len() int { return len(w.Events) }
+
+// TotalWeight returns the summed event weights (total traced statements).
+func (w *Workload) TotalWeight() float64 {
+	var t float64
+	for _, e := range w.Events {
+		t += e.Weight
+	}
+	return t
+}
+
+// Templates partitions the workload by signature, preserving first-seen
+// template order.
+func (w *Workload) Templates() []Template {
+	idx := map[string]int{}
+	var out []Template
+	for _, e := range w.Events {
+		sig := e.Signature()
+		i, ok := idx[sig]
+		if !ok {
+			i = len(out)
+			idx[sig] = i
+			out = append(out, Template{Signature: sig})
+		}
+		out[i].Events = append(out[i].Events, e)
+	}
+	return out
+}
+
+// Template is one signature partition of a workload.
+type Template struct {
+	Signature string
+	Events    []*Event
+}
+
+// Weight returns the total weight of the template's events.
+func (t Template) Weight() float64 {
+	var s float64
+	for _, e := range t.Events {
+		s += e.Weight
+	}
+	return s
+}
+
+// ReadTrace reads a profiler-style trace: one statement per line, with
+// optional leading "weight" and "duration" numeric fields separated by tabs:
+//
+//	SQL
+//	weight <TAB> SQL
+//	weight <TAB> duration <TAB> SQL
+//
+// Blank lines and lines starting with '#' are skipped.
+func ReadTrace(r io.Reader) (*Workload, error) {
+	w := &Workload{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		weight, duration := 1.0, 0.0
+		sql := line
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) >= 2 {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err == nil {
+				weight = f
+				sql = parts[len(parts)-1]
+				if len(parts) == 3 {
+					if d, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err == nil {
+						duration = d
+					} else {
+						sql = parts[1] + "\t" + parts[2]
+					}
+				}
+			}
+		}
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		w.Events = append(w.Events, &Event{SQL: sql, Stmt: stmt, Weight: weight, Duration: duration})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return w, nil
+}
+
+// WriteTrace writes the workload in the format ReadTrace consumes.
+func WriteTrace(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range wl.Events {
+		if _, err := fmt.Fprintf(bw, "%g\t%g\t%s\n", e.Weight, e.Duration, e.SQL); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CompressOptions tunes workload compression.
+type CompressOptions struct {
+	// MaxPerTemplate caps the representatives kept per template partition
+	// (default 4).
+	MaxPerTemplate int
+	// Threshold stops adding representatives to a partition once the
+	// farthest remaining event is within this normalized constant-space
+	// distance of an existing representative (default 0.1).
+	Threshold float64
+}
+
+// Compress implements workload compression (paper §5.1, following the
+// technique of Chaudhuri, Gupta, Narasayya [7]): the workload is partitioned
+// by statement signature — exploiting the inherent templatization of real
+// workloads — and a small subset of each partition is chosen with a
+// clustering method over the statements' constant vectors. Each surviving
+// representative absorbs the weight of the events in its cluster, so the
+// compressed workload preserves total cost structure.
+//
+// Uniform random sampling ignores cost and structure; tuning the top-k
+// queries by cost can starve whole templates. Compression avoids both
+// failure modes by construction.
+func Compress(w *Workload, opt CompressOptions) *Workload {
+	maxPer := opt.MaxPerTemplate
+	if maxPer <= 0 {
+		maxPer = 4
+	}
+	threshold := opt.Threshold
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	out := &Workload{}
+	for _, tmpl := range w.Templates() {
+		reps := pickRepresentatives(tmpl.Events, maxPer, threshold)
+		out.Events = append(out.Events, reps...)
+	}
+	return out
+}
+
+// pickRepresentatives runs a greedy k-center clustering over the events'
+// constant vectors: start from the highest-weighted event, repeatedly add
+// the event farthest from the chosen set, stop at maxPer representatives or
+// when every remaining event is within threshold of a representative. Each
+// event's weight is then assigned to its nearest representative.
+func pickRepresentatives(events []*Event, maxPer int, threshold float64) []*Event {
+	if len(events) == 1 {
+		e := *events[0]
+		return []*Event{&e}
+	}
+	vecs := make([][]lit, len(events))
+	for i, e := range events {
+		vecs[i] = litVector(e.Stmt)
+	}
+	// Normalization scale per constant position.
+	scale := positionScales(vecs)
+
+	// Seed: the heaviest event (ties to the first).
+	seed := 0
+	for i, e := range events {
+		if e.Weight > events[seed].Weight {
+			seed = i
+		}
+	}
+	chosen := []int{seed}
+	minDist := make([]float64, len(events))
+	for i := range events {
+		minDist[i] = litDistance(vecs[i], vecs[seed], scale)
+	}
+	for len(chosen) < maxPer {
+		far, farDist := -1, threshold
+		for i := range events {
+			if minDist[i] > farDist {
+				far, farDist = i, minDist[i]
+			}
+		}
+		if far < 0 {
+			break // everything is close to a representative
+		}
+		chosen = append(chosen, far)
+		for i := range events {
+			if d := litDistance(vecs[i], vecs[far], scale); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Ints(chosen)
+
+	// Copy representatives and fold cluster weights into them.
+	reps := make([]*Event, len(chosen))
+	repIdx := make(map[int]int, len(chosen))
+	for k, i := range chosen {
+		cp := *events[i]
+		cp.Weight = 0
+		reps[k] = &cp
+		repIdx[i] = k
+	}
+	for i, e := range events {
+		best, bestD := 0, litDistance(vecs[i], vecs[chosen[0]], scale)
+		for k := 1; k < len(chosen); k++ {
+			if d := litDistance(vecs[i], vecs[chosen[k]], scale); d < bestD {
+				best, bestD = k, d
+			}
+		}
+		reps[best].Weight += e.Weight
+	}
+	return reps
+}
+
+// lit is a constant in normalized form for distance computation.
+type lit struct {
+	num   float64
+	str   string
+	isNum bool
+}
+
+func litVector(s sqlparser.Statement) []lit {
+	var out []lit
+	for _, l := range sqlparser.Constants(s) {
+		switch l.Kind {
+		case sqlparser.LitNumber:
+			out = append(out, lit{num: l.F, isNum: true})
+		case sqlparser.LitString:
+			out = append(out, lit{str: l.S})
+		default:
+			out = append(out, lit{})
+		}
+	}
+	return out
+}
+
+// positionScales returns, per constant position, the value spread used to
+// normalize numeric distances into [0,1].
+func positionScales(vecs [][]lit) []float64 {
+	n := 0
+	for _, v := range vecs {
+		if len(v) > n {
+			n = len(v)
+		}
+	}
+	scale := make([]float64, n)
+	for p := 0; p < n; p++ {
+		lo, hi := 0.0, 0.0
+		first := true
+		for _, v := range vecs {
+			if p >= len(v) || !v[p].isNum {
+				continue
+			}
+			if first {
+				lo, hi = v[p].num, v[p].num
+				first = false
+				continue
+			}
+			if v[p].num < lo {
+				lo = v[p].num
+			}
+			if v[p].num > hi {
+				hi = v[p].num
+			}
+		}
+		scale[p] = hi - lo
+	}
+	return scale
+}
+
+// litDistance is the normalized L∞ distance between two constant vectors of
+// the same template: numeric positions contribute their normalized absolute
+// difference; string positions contribute 0 when equal and 1 otherwise.
+func litDistance(a, b []lit, scale []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var d float64
+	for p := 0; p < n; p++ {
+		if p >= len(a) || p >= len(b) {
+			d = max64(d, 1)
+			continue
+		}
+		switch {
+		case a[p].isNum && b[p].isNum:
+			if scale[p] > 0 {
+				d = max64(d, abs64(a[p].num-b[p].num)/scale[p])
+			}
+		case !a[p].isNum && !b[p].isNum:
+			if a[p].str != b[p].str {
+				d = max64(d, 1)
+			}
+		default:
+			d = max64(d, 1)
+		}
+	}
+	return d
+}
+
+func abs64(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

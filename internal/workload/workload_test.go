@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndTemplates(t *testing.T) {
+	w := MustNew(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"SELECT b FROM t WHERE x = 1",
+	)
+	if w.Len() != 3 || w.TotalWeight() != 3 {
+		t.Fatalf("len=%d weight=%g", w.Len(), w.TotalWeight())
+	}
+	tmpls := w.Templates()
+	if len(tmpls) != 2 {
+		t.Fatalf("templates = %d, want 2", len(tmpls))
+	}
+	if len(tmpls[0].Events) != 2 || tmpls[0].Weight() != 2 {
+		t.Fatalf("first template = %+v", tmpls[0])
+	}
+}
+
+func TestNewParseError(t *testing.T) {
+	if _, err := New("SELECT a FROM t", "NOT SQL AT ALL"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	w := &Workload{}
+	if err := w.Add("garbage", 1); err == nil {
+		t.Fatal("Add should propagate parse errors")
+	}
+	if err := w.Add("SELECT a FROM t", -5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events[0].Weight != 1 {
+		t.Fatal("non-positive weights normalize to 1")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"",
+		"SELECT a FROM t WHERE x = 1",
+		"5\tSELECT a FROM t WHERE x = 2",
+		"3\t1.5\tSELECT b FROM t WHERE y = 9",
+	}, "\n")
+	w, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Events[1].Weight != 5 {
+		t.Fatalf("weight = %g", w.Events[1].Weight)
+	}
+	if w.Events[2].Duration != 1.5 {
+		t.Fatalf("duration = %g", w.Events[2].Duration)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != w.Len() || w2.TotalWeight() != w.TotalWeight() {
+		t.Fatal("round trip mismatch")
+	}
+	for i := range w.Events {
+		if w2.Events[i].SQL != w.Events[i].SQL {
+			t.Fatalf("event %d SQL mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceBadSQL(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("SELECT a FROM\n")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCompressPreservesWeightAndTemplates(t *testing.T) {
+	var sqls []string
+	rng := rand.New(rand.NewSource(5))
+	// 3 templates × 200 instances.
+	for i := 0; i < 200; i++ {
+		sqls = append(sqls,
+			fmt.Sprintf("SELECT a FROM t WHERE x = %d", rng.Intn(1000)),
+			fmt.Sprintf("SELECT b, SUM(c) FROM t WHERE y < %d GROUP BY b", rng.Intn(500)),
+			fmt.Sprintf("UPDATE t SET c = %d WHERE id = %d", rng.Intn(9), rng.Intn(10000)),
+		)
+	}
+	w := MustNew(sqls...)
+	c := Compress(w, CompressOptions{})
+	if c.Len() >= w.Len()/10 {
+		t.Fatalf("compression too weak: %d → %d", w.Len(), c.Len())
+	}
+	if got, want := c.TotalWeight(), w.TotalWeight(); got != want {
+		t.Fatalf("weight not preserved: %g vs %g", got, want)
+	}
+	// Every template survives.
+	have := map[string]bool{}
+	for _, e := range c.Events {
+		have[e.Signature()] = true
+	}
+	for _, tmpl := range w.Templates() {
+		if !have[tmpl.Signature] {
+			t.Fatalf("template lost: %s", tmpl.Signature)
+		}
+	}
+	// Per-template cap respected.
+	for _, tmpl := range c.Templates() {
+		if len(tmpl.Events) > 4 {
+			t.Fatalf("template kept %d reps, cap is 4", len(tmpl.Events))
+		}
+	}
+}
+
+func TestCompressDistinctQueriesAreKept(t *testing.T) {
+	// A workload of all-different templates (like TPCH22) cannot compress.
+	w := MustNew(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT b FROM t WHERE y = 1",
+		"SELECT c, COUNT(*) FROM t GROUP BY c",
+		"DELETE FROM t WHERE z = 0",
+	)
+	c := Compress(w, CompressOptions{})
+	if c.Len() != w.Len() {
+		t.Fatalf("distinct templates must all survive: %d → %d", w.Len(), c.Len())
+	}
+}
+
+func TestCompressSpreadConstantsKeepMultipleReps(t *testing.T) {
+	// Constants at opposite ends of the domain are far apart in the
+	// clustering distance, so more than one representative survives.
+	var sqls []string
+	for i := 0; i < 50; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT a FROM t WHERE x = %d", i))
+		sqls = append(sqls, fmt.Sprintf("SELECT a FROM t WHERE x = %d", 1000000+i))
+	}
+	w := MustNew(sqls...)
+	c := Compress(w, CompressOptions{MaxPerTemplate: 4})
+	if c.Len() < 2 {
+		t.Fatalf("spread constants should keep ≥ 2 reps, got %d", c.Len())
+	}
+	if c.TotalWeight() != 100 {
+		t.Fatalf("weight = %g", c.TotalWeight())
+	}
+}
+
+func TestCompressWeightConservationProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 120 {
+			seeds = seeds[:120]
+		}
+		w := &Workload{}
+		for _, s := range seeds {
+			sql := fmt.Sprintf("SELECT a FROM t WHERE x = %d AND s = '%c'", int(s)%2000, 'a'+rune(s%5))
+			if err := w.Add(sql, float64(s%7)+1); err != nil {
+				return false
+			}
+		}
+		c := Compress(w, CompressOptions{MaxPerTemplate: 3, Threshold: 0.2})
+		if c.Len() > w.Len() {
+			return false
+		}
+		diff := c.TotalWeight() - w.TotalWeight()
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
