@@ -23,15 +23,9 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/catalog"
 	"repro/internal/core"
-	"repro/internal/datagen/psoft"
-	"repro/internal/datagen/setquery"
-	"repro/internal/datagen/tpch"
-	"repro/internal/engine"
-	"repro/internal/optimizer"
+	"repro/internal/demo"
 	"repro/internal/testsrv"
-	"repro/internal/whatif"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
 )
@@ -51,7 +45,7 @@ func main() {
 		noCompress = flag.Bool("no-compression", false, "disable workload compression (§5.1)")
 		useTestSrv = flag.Bool("test-server", false, "tune through a test server (§5.3)")
 		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
-		quiet      = flag.Bool("q", false, "suppress the progress summary")
+		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
 	)
 	flag.Parse()
 
@@ -66,7 +60,7 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
 	noCompress, useTestSrv, quiet bool) error {
 
-	srv, builtin, err := buildServer(dbName, sf)
+	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
 		return err
 	}
@@ -98,15 +92,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 			opts.UserConfig = xmlio.ToConfiguration(doc.Input.Configuration)
 		}
 		if doc.Input.Workload != nil {
-			w = &workload.Workload{}
-			for _, st := range doc.Input.Workload.Statements {
-				weight := st.Weight
-				if weight <= 0 {
-					weight = 1
-				}
-				if err := w.Add(st.SQL, weight); err != nil {
-					return err
-				}
+			w, err = xmlio.ToWorkload(doc.Input.Workload)
+			if err != nil {
+				return err
 			}
 		}
 	} else {
@@ -139,7 +127,7 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		opts.StorageBudget = 3 * srv.Cat.Bytes()
 	}
 	if opts.BaseConfig == nil {
-		opts.BaseConfig = constraintConfigFor(dbName, srv.Cat)
+		opts.BaseConfig = demo.ConstraintConfig(dbName, srv.Cat)
 	}
 
 	var tuner core.Tuner = srv
@@ -147,6 +135,18 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	if useTestSrv {
 		sess = testsrv.NewSession(srv)
 		tuner = sess
+	}
+
+	// Live progress on stderr: the same Progress stream the tuning service
+	// exposes over HTTP, printed on phase transitions.
+	if !quiet {
+		var lastPhase core.Phase
+		opts.Progress = func(p core.Progress) {
+			if p.Phase != lastPhase {
+				lastPhase = p.Phase
+				fmt.Fprintln(os.Stderr, "  "+p.String())
+			}
+		}
 	}
 
 	rec, err := core.Tune(tuner, w, opts)
@@ -158,6 +158,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		fmt.Fprintf(os.Stderr, "tuned %d events (%d templates): improvement %.1f%%, %d structures, %s, %d what-if calls\n",
 			rec.EventsTuned, rec.TemplatesTuned, 100*rec.Improvement, len(rec.NewStructures),
 			rec.Duration.Round(time.Millisecond), rec.WhatIfCalls)
+		if rec.StopReason != "" {
+			fmt.Fprintf(os.Stderr, "  stopped early: %s (best-so-far recommendation)\n", rec.StopReason)
+		}
 		for _, s := range rec.NewStructures {
 			fmt.Fprintf(os.Stderr, "  CREATE %s\n", s)
 		}
@@ -184,61 +187,6 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	})
 }
 
-// buildServer creates one of the demonstration servers with data loaded.
-func buildServer(name string, sf float64) (*whatif.Server, *workload.Workload, error) {
-	switch name {
-	case "tpch":
-		cat := tpch.Catalog(sf)
-		db, err := tpch.Load(cat, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		s := whatif.NewServer("tpch", cat, optimizer.DefaultHardware())
-		s.AttachData(db)
-		return s, tpch.Workload(), nil
-	case "psoft":
-		cat := psoft.Catalog(sf)
-		db, err := psoft.Load(cat, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		s := whatif.NewServer("psoft", cat, optimizer.DefaultHardware())
-		s.AttachData(db)
-		return s, psoft.Workload(cat, 2000, 1), nil
-	case "synt1":
-		rows := int64(sf * 1000000)
-		if rows < 1000 {
-			rows = 1000
-		}
-		cat := setquery.Catalog(rows)
-		db, err := setquery.Load(cat, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		s := whatif.NewServer("synt1", cat, optimizer.DefaultHardware())
-		s.AttachData(db)
-		return s, setquery.Workload(cat, 2000, 100, 1), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown database %q (want tpch, psoft, or synt1)", name)
-	}
-}
-
-func constraintConfigFor(dbName string, cat *catalog.Catalog) *catalog.Configuration {
-	if dbName == "tpch" {
-		return tpch.ConstraintConfig(cat)
-	}
-	cfg := catalog.NewConfiguration()
-	for _, t := range cat.Tables() {
-		if len(t.PrimaryKey) > 0 {
-			ix := catalog.NewIndex(t.Name, t.PrimaryKey...)
-			ix.Clustered = true
-			ix.FromConstraint = true
-			cfg.AddIndex(ix)
-		}
-	}
-	return cfg
-}
-
 func readXML(path string) (*xmlio.DTAXML, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -247,5 +195,3 @@ func readXML(path string) (*xmlio.DTAXML, error) {
 	defer f.Close()
 	return xmlio.Decode(f)
 }
-
-var _ = engine.NewDatabase // keep engine linked for documentation examples

@@ -1,0 +1,104 @@
+// Command dtaserver runs the tuning advisor as a long-lived HTTP service:
+// the paper's §2.1 deployment where DTA is a server-side feature DBAs submit
+// tuning sessions to, watch progress on, and cancel — here over a JSON API.
+//
+// Usage:
+//
+//	dtaserver -addr :8700 -db tpch,psoft -sf 0.01 -workers 4
+//
+// Endpoints (see internal/service):
+//
+//	POST   /sessions             create a session (JSON or DTAXML body)
+//	GET    /sessions             list sessions
+//	GET    /sessions/{id}        session snapshot
+//	GET    /sessions/{id}/events progress stream (NDJSON)
+//	DELETE /sessions/{id}        cancel (keeps the best-so-far result)
+//	GET    /metrics              cumulative service metrics
+//	GET    /backends             registered databases
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/service"
+	"repro/internal/testsrv"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8700", "HTTP listen address")
+		dbs        = flag.String("db", "tpch", "comma-separated demonstration databases to serve: tpch,psoft,synt1")
+		sf         = flag.Float64("sf", 0.01, "scale factor / data scale for the demonstration databases")
+		workers    = flag.Int("workers", 4, "maximum concurrently running tuning sessions")
+		useTestSrv = flag.Bool("test-server", false, "tune each database through a test server (§5.3)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dbs, *sf, *workers, *useTestSrv); err != nil {
+		fmt.Fprintln(os.Stderr, "dtaserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbs string, sf float64, workers int, useTestSrv bool) error {
+	m := service.NewManager(workers)
+	for _, name := range strings.Split(dbs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		srv, builtin, err := demo.Build(name, sf)
+		if err != nil {
+			return err
+		}
+		b := &service.Backend{
+			Name:            name,
+			Tuner:           srv,
+			DefaultWorkload: builtin,
+			BaseConfig:      demo.ConstraintConfig(name, srv.Cat),
+		}
+		if useTestSrv {
+			b.Tuner = testsrv.NewSession(srv)
+		}
+		if err := m.Register(b); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dtaserver: serving %s (%d tables, %.1f MB, built-in workload of %d statements)\n",
+			name, len(srv.Cat.Tables()), float64(srv.Cat.Bytes())/(1<<20), builtin.Len())
+	}
+	if len(m.Backends()) == 0 {
+		return fmt.Errorf("no databases to serve (-db)")
+	}
+
+	hs := &http.Server{Addr: addr, Handler: m.Handler()}
+
+	// Serve until interrupted, then cancel live sessions and drain.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dtaserver: listening on %s (max %d concurrent sessions)\n", addr, workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sigc:
+		fmt.Fprintf(os.Stderr, "dtaserver: %v — cancelling sessions and shutting down\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dtaserver: session drain: %v\n", err)
+	}
+	return hs.Shutdown(ctx)
+}

@@ -24,11 +24,13 @@
 package dta
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/optimizer"
+	"repro/internal/service"
 	"repro/internal/testsrv"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -65,6 +67,20 @@ type (
 	Hardware = optimizer.Hardware
 	// Workload is the set of statements to tune.
 	Workload = workload.Workload
+
+	// Progress is a live tuning-progress snapshot; set Options.Progress to
+	// receive them, or use the tuning service's event stream.
+	Progress = core.Progress
+	// Phase identifies the pipeline step a progress snapshot belongs to.
+	Phase = core.Phase
+
+	// TuningService manages concurrent tuning sessions over registered
+	// backends and exposes them over an HTTP JSON API (see cmd/dtaserver).
+	TuningService = service.Manager
+	// TuningBackend is one tunable database registered with the service.
+	TuningBackend = service.Backend
+	// TuningSession is one managed tuning run.
+	TuningSession = service.Session
 )
 
 // Feature mask values.
@@ -100,6 +116,25 @@ func CompressWorkload(w *Workload) *Workload {
 func Tune(t Tuner, w *Workload, opts Options) (*Recommendation, error) {
 	return core.Tune(t, w, opts)
 }
+
+// TuneContext is Tune under a context: cancelling ctx stops the search
+// within one what-if optimizer call and returns the best recommendation
+// found so far with StopReason set to StopCancelled (anytime behaviour,
+// paper §2.1).
+func TuneContext(ctx context.Context, t Tuner, w *Workload, opts Options) (*Recommendation, error) {
+	return core.TuneContext(ctx, t, w, opts)
+}
+
+// Recommendation stop reasons.
+const (
+	StopTimeLimit = core.StopTimeLimit
+	StopCancelled = core.StopCancelled
+)
+
+// NewTuningService creates a session manager running at most workers
+// concurrent tuning sessions; register backends, then serve its Handler()
+// or drive it programmatically.
+func NewTuningService(workers int) *TuningService { return service.NewManager(workers) }
 
 // TuneStaged is the staged-selection baseline of paper §3 (one feature at a
 // time), for comparison against the integrated search.

@@ -28,9 +28,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	directOverhead := direct.Acct.Overhead
+	directOverhead := direct.Acct().Overhead
 	fmt.Printf("  improvement %.1f%%, what-if calls on production: %d, overhead: %.0f units\n",
-		100*recDirect.Improvement, direct.Acct.WhatIfCalls, directOverhead)
+		100*recDirect.Improvement, direct.Acct().WhatIfCalls, directOverhead)
 
 	// Through a test server.
 	fmt.Println("\ntuning through a test server (metadata + imported statistics only)...")
@@ -46,8 +46,8 @@ func main() {
 	fmt.Printf("  improvement %.1f%% (same metadata + statistics + simulated hardware → same plans)\n",
 		100*recSess.Improvement)
 	fmt.Printf("  what-if calls on production: %d (all %d ran on the test server)\n",
-		prod.Acct.WhatIfCalls, sess.Test.Acct.WhatIfCalls)
-	fmt.Printf("  statistics created on production: %d (imported on demand)\n", prod.Acct.StatsCreated)
+		prod.Acct().WhatIfCalls, sess.Test.Acct().WhatIfCalls)
+	fmt.Printf("  statistics created on production: %d (imported on demand)\n", prod.Acct().StatsCreated)
 	fmt.Printf("  production overhead: %.0f units\n", sess.ProductionOverhead())
 
 	reduction := 1 - sess.ProductionOverhead()/directOverhead

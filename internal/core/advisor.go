@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -136,6 +137,12 @@ type Options struct {
 	// TimeLimit bounds tuning time (0 = unbounded).
 	TimeLimit time.Duration
 
+	// Progress, when set, receives live progress snapshots: phase
+	// transitions, per-query completions, and periodic what-if call counts.
+	// The callback runs synchronously on the tuning goroutine; keep it
+	// fast, and do your own locking if snapshots cross goroutines.
+	Progress func(Progress)
+
 	// SkipReports suppresses the per-event analysis reports (useful when
 	// tuning traces of hundreds of thousands of events).
 	SkipReports bool
@@ -214,6 +221,12 @@ type Recommendation struct {
 	// BaseConfig.
 	StorageBytes int64
 
+	// StopReason records why tuning stopped early (StopTimeLimit or
+	// StopCancelled); empty when the search ran to completion. An
+	// early-stopped session still returns the best design found so far
+	// (anytime behaviour, paper §2.1).
+	StopReason string
+
 	EventsTuned    int
 	TemplatesTuned int
 	// SkippedEvents counts statements that did not resolve against the
@@ -243,9 +256,18 @@ func (r *Recommendation) String() string {
 // Tune produces an integrated physical design recommendation for the
 // workload (paper §2.2 pipeline).
 func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) {
+	return TuneContext(context.Background(), t, w, opts)
+}
+
+// TuneContext is Tune under a context: cancelling ctx stops the search
+// within one what-if optimizer call and returns the best recommendation
+// found so far, with StopReason set to StopCancelled. Only cancellation
+// before the baseline workload costing completes returns an error (there is
+// no meaningful partial result yet).
+func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	callsBefore := t.WhatIfCallCount()
+	tr := newTracker(ctx, opts, start)
 
 	base := opts.BaseConfig
 	if base == nil {
@@ -265,11 +287,6 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 	mandatory := base.Clone()
 	mandatory.Merge(opts.UserConfig)
 
-	var deadline time.Time
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
-	}
-
 	// Workload compression (§5.1).
 	tuned := w
 	compressed := false
@@ -277,12 +294,19 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 		tuned = workload.Compress(w, workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
 		compressed = tuned.Len() < w.Len()
 	}
+	tr.eventsTotal = tuned.Len()
 
 	ev := newEvaluator(t, tuned)
+	ev.tr = tr
+	tr.setPhase(PhaseBaseline)
 	baseCost, err := ev.configCost(base)
 	if err != nil {
+		if stopping(err) {
+			return nil, fmt.Errorf("core: session cancelled before baseline costing completed: %w", ctx.Err())
+		}
 		return nil, err
 	}
+	tr.baseCost = baseCost
 
 	rec := &Recommendation{
 		Config:      mandatory.Clone(),
@@ -295,17 +319,18 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 	rec.EventsTuned -= rec.SkippedEvents
 
 	if opts.EvaluateOnly {
-		return finishRecommendation(t, ev, rec, base, mandatory, opts, start, callsBefore)
+		return finishRecommendation(t, ev, tr, rec, base, mandatory, opts, start)
 	}
 
 	// Drop existing structures that cost more than they help (improvement
 	// is measured against the original base, so drops count as gains).
-	if opts.AllowDrops {
+	if opts.AllowDrops && !tr.stopped() {
+		tr.setPhase(PhaseDrops)
 		reduced, dropped, err := greedyDrop(ev, base)
-		if err != nil {
+		switch {
+		case err != nil && !stopping(err):
 			return nil, err
-		}
-		if len(dropped) > 0 {
+		case err == nil && len(dropped) > 0:
 			base = reduced
 			rec.DroppedStructures = dropped
 			mandatory = base.Clone()
@@ -314,21 +339,30 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 		}
 	}
 
-	// Column-group restriction (§2.2).
-	groups, err := interestingColumnGroups(t, ev, tuned, opts)
-	if err != nil {
-		return nil, err
+	var cands []catalog.Structure
+	var benefit map[string]float64
+	if !tr.stopped() {
+		// Column-group restriction (§2.2).
+		tr.setPhase(PhaseColGroups)
+		groups, err := interestingColumnGroups(t, ev, tuned, opts)
+		if err != nil && !stopping(err) {
+			return nil, err
+		}
+		if err == nil {
+			// Candidate selection (§2.2): per-query best configurations.
+			tr.setPhase(PhaseCandidates)
+			var statsCreated int
+			cands, benefit, statsCreated, err = selectCandidates(t, ev, tr, tuned, mandatory, groups, opts)
+			if err != nil {
+				return nil, err
+			}
+			rec.StatsCreated = statsCreated
+		}
 	}
-
-	// Candidate selection (§2.2): per-query best configurations.
-	cands, benefit, statsCreated, err := selectCandidates(t, ev, tuned, mandatory, groups, opts, deadline)
-	if err != nil {
-		return nil, err
-	}
-	rec.StatsCreated = statsCreated
 
 	// Merging (§2.2).
-	if !opts.NoMerging {
+	if !opts.NoMerging && !tr.stopped() {
+		tr.setPhase(PhaseMerging)
 		cands = mergeCandidates(t.Catalog(), cands, benefit, opts)
 	}
 
@@ -340,7 +374,8 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 	cands = capCandidates(cands, benefit, cap)
 
 	// Enumeration (§2.2, §4): Greedy(m,k) under storage and alignment.
-	chosen, err := enumerate(ev, mandatory, cands, opts, deadline)
+	tr.setPhase(PhaseEnumeration)
+	chosen, err := enumerate(ev, tr, mandatory, cands, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +385,19 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 	}
 	rec.Config = finalCfg
 
-	return finishRecommendation(t, ev, rec, base, finalCfg, opts, start, callsBefore)
+	return finishRecommendation(t, ev, tr, rec, base, finalCfg, opts, start)
 }
 
-// finishRecommendation fills cost, storage, and per-query reports.
-func finishRecommendation(t Tuner, ev *evaluator, rec *Recommendation, base, final *catalog.Configuration, opts Options, start time.Time, callsBefore int64) (*Recommendation, error) {
+// finishRecommendation fills cost, storage, and per-query reports. The
+// tracker enters finishing mode first: the final configuration's cost is
+// (almost always) served from the evaluator cache, and the few residual
+// what-if calls must complete even for a stopped session so the partial
+// recommendation carries real costs.
+func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendation, base, final *catalog.Configuration, opts Options, start time.Time) (*Recommendation, error) {
+	rec.StopReason = tr.stopReason()
+	if tr != nil {
+		tr.finishing = true
+	}
 	cost, err := ev.configCost(final)
 	if err != nil {
 		return nil, err
@@ -381,11 +424,18 @@ func finishRecommendation(t Tuner, ev *evaluator, rec *Recommendation, base, fin
 		rec.StorageBytes = 0
 	}
 
-	// Per-query analysis reports (paper §6.3).
-	if opts.SkipReports {
-		rec.WhatIfCalls = t.WhatIfCallCount() - callsBefore
-		rec.Duration = time.Since(start)
-		return rec, nil
+	if tr != nil {
+		tr.observeCost(cost)
+	}
+
+	// Per-query analysis reports (paper §6.3). A cancelled session skips
+	// them: the caller asked the advisor to stop working, and the partial
+	// recommendation's headline numbers are already in place.
+	if opts.SkipReports || (tr != nil && tr.cancelled) {
+		return sealRecommendation(ev, tr, rec, start), nil
+	}
+	if tr != nil {
+		tr.setPhase(PhaseReports)
 	}
 	usage := map[string]*UsageReport{}
 	var totalAfter float64
@@ -428,9 +478,19 @@ func finishRecommendation(t Tuner, ev *evaluator, rec *Recommendation, base, fin
 		}
 		return rec.Usage[i].Structure < rec.Usage[j].Structure
 	})
-	rec.WhatIfCalls = t.WhatIfCallCount() - callsBefore
+	return sealRecommendation(ev, tr, rec, start), nil
+}
+
+// sealRecommendation stamps the session totals. What-if calls are counted by
+// the session's own evaluator — not as a server counter delta — so the
+// number stays exact when several sessions share one what-if server.
+func sealRecommendation(ev *evaluator, tr *tracker, rec *Recommendation, start time.Time) *Recommendation {
+	rec.WhatIfCalls = ev.calls
 	rec.Duration = time.Since(start)
-	return rec, nil
+	if tr != nil {
+		tr.setPhase(PhaseDone)
+	}
+	return rec
 }
 
 // newStructures lists the structures in final that base lacks.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/optimizer"
@@ -18,7 +17,7 @@ import (
 // candidates it returns each structure's accumulated benefit (the weighted
 // per-query cost reduction of the configurations it appeared in), which the
 // enumeration step uses to bound its pool.
-func selectCandidates(t Tuner, ev *evaluator, w *workload.Workload, mandatory *catalog.Configuration, groups *columnGroups, opts Options, deadline time.Time) ([]catalog.Structure, map[string]float64, int, error) {
+func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload, mandatory *catalog.Configuration, groups *columnGroups, opts Options) ([]catalog.Structure, map[string]float64, int, error) {
 	pool := map[string]catalog.Structure{}
 	benefit := map[string]float64{}
 	var order []string
@@ -29,64 +28,74 @@ func selectCandidates(t Tuner, ev *evaluator, w *workload.Workload, mandatory *c
 	}
 
 	for i := range w.Events {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if tr.stopped() {
 			break
 		}
-		q := ev.analyzed(i)
-		if q == nil {
-			continue
-		}
-		cands := generateForQuery(t.Catalog(), q, groups, opts)
-		if len(cands) == 0 {
-			continue
-		}
-		// Statistics for what-if structures (§5.2).
-		created, err := t.EnsureStatistics(statRequests(cands), !opts.DisableStatReduction)
-		if err != nil {
-			return nil, nil, statsCreated, err
-		}
-		statsCreated += created
-
-		idx := i
-		perQueryCost := func(cfg *catalog.Configuration) (float64, error) {
-			c, _, err := ev.eventCostByIndex(idx, cfg)
-			return c, err
-		}
-		baseCost, err := perQueryCost(mandatory)
-		if err != nil {
-			return nil, nil, statsCreated, err
-		}
-		// The global storage budget applies per query too: a structure that
-		// alone exceeds the budget can never appear in the final design, and
-		// keeping it as a candidate would crowd out affordable non-redundant
-		// alternatives (clusterings, partitionings).
-		chosen, err := greedySearch(mandatory, cands, perQueryCost, greedyOptions{
-			m: opts.GreedyM, k: perQueryK, cat: t.Catalog(), deadline: deadline,
-			budget: opts.StorageBudget,
-		})
-		if err != nil {
-			return nil, nil, statsCreated, err
-		}
-		if len(chosen) == 0 {
-			continue
-		}
-		bestCfg := mandatory.Clone()
-		for _, s := range chosen {
-			s.ApplyTo(bestCfg)
-		}
-		bestCost, err := perQueryCost(bestCfg)
-		if err != nil {
-			return nil, nil, statsCreated, err
-		}
-		gain := (baseCost - bestCost) * w.Events[i].Weight
-		for _, s := range chosen {
-			key := s.Key()
-			if _, dup := pool[key]; !dup {
-				pool[key] = s
-				order = append(order, key)
+		gain, err := func() (float64, error) {
+			q := ev.analyzed(i)
+			if q == nil {
+				return 0, nil
 			}
-			benefit[key] += gain
+			cands := generateForQuery(t.Catalog(), q, groups, opts)
+			if len(cands) == 0 {
+				return 0, nil
+			}
+			// Statistics for what-if structures (§5.2).
+			created, err := t.EnsureStatistics(statRequests(cands), !opts.DisableStatReduction)
+			if err != nil {
+				return 0, err
+			}
+			statsCreated += created
+
+			idx := i
+			perQueryCost := func(cfg *catalog.Configuration) (float64, error) {
+				c, _, err := ev.eventCostByIndex(idx, cfg)
+				return c, err
+			}
+			baseCost, err := perQueryCost(mandatory)
+			if err != nil {
+				return 0, err
+			}
+			// The global storage budget applies per query too: a structure that
+			// alone exceeds the budget can never appear in the final design, and
+			// keeping it as a candidate would crowd out affordable non-redundant
+			// alternatives (clusterings, partitionings).
+			chosen, err := greedySearch(mandatory, cands, perQueryCost, greedyOptions{
+				m: opts.GreedyM, k: perQueryK, cat: t.Catalog(), tr: tr,
+				budget: opts.StorageBudget,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(chosen) == 0 {
+				return 0, nil
+			}
+			bestCfg := mandatory.Clone()
+			for _, s := range chosen {
+				s.ApplyTo(bestCfg)
+			}
+			bestCost, err := perQueryCost(bestCfg)
+			if err != nil {
+				return 0, err
+			}
+			gain := (baseCost - bestCost) * w.Events[i].Weight
+			for _, s := range chosen {
+				key := s.Key()
+				if _, dup := pool[key]; !dup {
+					pool[key] = s
+					order = append(order, key)
+				}
+				benefit[key] += gain
+			}
+			return gain, nil
+		}()
+		if err != nil {
+			if stopping(err) {
+				break // keep the candidates gathered so far
+			}
+			return nil, nil, statsCreated, err
 		}
+		tr.eventDone(gain)
 	}
 	out := make([]catalog.Structure, 0, len(order))
 	for _, k := range order {

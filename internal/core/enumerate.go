@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/catalog"
 )
 
@@ -18,11 +16,12 @@ import (
 // current partitioning, and choosing a partitioning for a table
 // repartitions the indexes already chosen on it. This is the lazy
 // introduction of alignment candidates described in [4].
-func enumerate(ev *evaluator, mandatory *catalog.Configuration, cands []catalog.Structure, opts Options, deadline time.Time) ([]catalog.Structure, error) {
+func enumerate(ev *evaluator, tr *tracker, mandatory *catalog.Configuration, cands []catalog.Structure, opts Options) ([]catalog.Structure, error) {
 	cost := func(cfg *catalog.Configuration) (float64, error) { return ev.configCost(cfg) }
 	g := greedyOptions{
 		m: opts.GreedyM, k: opts.GreedyK,
-		budget: opts.StorageBudget, cat: ev.t.Catalog(), deadline: deadline,
+		budget: opts.StorageBudget, cat: ev.t.Catalog(), tr: tr,
+		onStep: func(c float64) { tr.observeCost(c) },
 	}
 
 	if !opts.Aligned {

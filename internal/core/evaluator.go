@@ -19,6 +19,14 @@ type evaluator struct {
 	events []*workload.Event
 	infos  []*eventInfo
 	cache  map[string]cacheEntry
+	// tr, when set, carries the session's cancellation signal and progress
+	// accounting; cache misses check it before reaching the optimizer so a
+	// cancelled session stops within one what-if call.
+	tr *tracker
+	// calls counts the what-if optimizer calls this evaluator issued — the
+	// session-exact figure reported in Recommendation.WhatIfCalls (a shared
+	// server's global counter would mix concurrent sessions together).
+	calls int64
 }
 
 type cacheEntry struct {
@@ -147,6 +155,11 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 	if ce, ok := ev.cache[key]; ok {
 		return ce.cost, ce.used, nil
 	}
+	if ev.tr.ctxStopped() {
+		return 0, nil, errStopped
+	}
+	ev.calls++
+	ev.tr.countCall()
 	c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
 	if err != nil {
 		return 0, nil, err

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"time"
 
 	"repro/internal/catalog"
 )
@@ -21,12 +20,18 @@ type validFn func(cfg *catalog.Configuration) bool
 
 // greedyOptions parameterizes one Greedy(m,k) search.
 type greedyOptions struct {
-	m, k     int
-	budget   int64 // extra storage allowed beyond base (0 = unlimited)
-	cat      *catalog.Catalog
-	apply    applier
-	valid    validFn
-	deadline time.Time
+	m, k   int
+	budget int64 // extra storage allowed beyond base (0 = unlimited)
+	cat    *catalog.Catalog
+	apply  applier
+	valid  validFn
+	// tr carries the session's cancellation and time budget; the search
+	// checks it between candidate evaluations and returns its best subset
+	// so far when stopped (anytime behaviour).
+	tr *tracker
+	// onStep, when set, observes the best configuration's cost after each
+	// completed greedy growth step (progress reporting).
+	onStep func(cost float64)
 	// minImprove is the minimum relative improvement a greedy step must
 	// deliver to continue.
 	minImprove float64
@@ -37,6 +42,11 @@ type greedyOptions struct {
 // enumeration, then structures are added greedily up to k total, as long as
 // cost improves and the storage budget holds. It returns the chosen
 // structures (possibly none).
+//
+// The search is an anytime algorithm: when the session's tracker reports
+// cancellation or an exhausted time budget — checked between candidate
+// evaluations, and surfaced as errStopped from within a cost evaluation —
+// the best subset found so far is returned with a nil error.
 func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost costFn, o greedyOptions) ([]catalog.Structure, error) {
 	if o.apply == nil {
 		o.apply = func(cfg *catalog.Configuration, s catalog.Structure) bool { return s.ApplyTo(cfg) }
@@ -52,6 +62,9 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 	}
 	baseCost, err := cost(base)
 	if err != nil {
+		if stopping(err) {
+			return nil, nil // stopped before the search began: choose nothing
+		}
 		return nil, err
 	}
 	baseStorage := base.StorageBytes(o.cat)
@@ -62,9 +75,7 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 		}
 		return cfg.StorageBytes(o.cat)-baseStorage <= o.budget
 	}
-	expired := func() bool {
-		return !o.deadline.IsZero() && time.Now().After(o.deadline)
-	}
+	expired := func() bool { return o.tr.stopped() }
 
 	type state struct {
 		chosen []catalog.Structure
@@ -80,6 +91,9 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 			return nil
 		}
 		for i := start; i < len(cands); i++ {
+			if expired() {
+				return nil
+			}
 			cfg := cur.cfg.Clone()
 			if !o.apply(cfg, cands[i]) {
 				continue
@@ -106,6 +120,9 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 		return nil
 	}
 	if err := trySubset(0, state{cfg: base.Clone(), cost: baseCost}, 0); err != nil {
+		if stopping(err) {
+			return best.chosen, nil
+		}
 		return nil, err
 	}
 
@@ -119,8 +136,8 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 		bestCost := math.Inf(1)
 		var bestCfg *catalog.Configuration
 		for i, s := range cands {
-			if usedKeys[s.Key()] {
-				continue
+			if expired() {
+				return best.chosen, nil
 			}
 			cfg := best.cfg.Clone()
 			if !o.apply(cfg, s) {
@@ -131,6 +148,9 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 			}
 			c, err := cost(cfg)
 			if err != nil {
+				if stopping(err) {
+					return best.chosen, nil
+				}
 				return nil, err
 			}
 			if c < bestCost {
@@ -145,6 +165,9 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 			chosen: append(best.chosen, cands[bestIdx]),
 			cfg:    bestCfg,
 			cost:   bestCost,
+		}
+		if o.onStep != nil {
+			o.onStep(best.cost)
 		}
 	}
 	return best.chosen, nil

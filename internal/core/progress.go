@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Phase identifies one stage of the tuning pipeline (paper §2.2). Phases are
+// reported through the Progress callback so a DBA watching a long session
+// can see where the advisor is spending its time budget.
+type Phase string
+
+// Pipeline phases, in execution order.
+const (
+	PhaseBaseline    Phase = "baseline-costing"
+	PhaseDrops       Phase = "drop-analysis"
+	PhaseColGroups   Phase = "column-groups"
+	PhaseCandidates  Phase = "candidate-selection"
+	PhaseMerging     Phase = "merging"
+	PhaseEnumeration Phase = "enumeration"
+	PhaseReports     Phase = "reports"
+	PhaseDone        Phase = "done"
+)
+
+// Stop reasons recorded in Recommendation.StopReason when tuning ends before
+// the search space is exhausted. Either way the recommendation returned is
+// the best design found so far (the anytime behaviour of paper §2.1).
+const (
+	StopTimeLimit = "time-limit"
+	StopCancelled = "cancelled"
+)
+
+// Progress is a live snapshot of a running tuning session: the current
+// phase, how much of the workload has been through candidate selection, the
+// cumulative what-if optimizer calls the session has issued, the best
+// improvement discovered so far, and elapsed time against the time budget.
+// Snapshots are delivered synchronously on the tuning goroutine via
+// Options.Progress; both the CLI progress display and the tuning service's
+// event stream are fed from this one code path.
+type Progress struct {
+	Phase           Phase         `json:"phase"`
+	EventsTotal     int           `json:"eventsTotal"`
+	EventsTuned     int           `json:"eventsTuned"`
+	WhatIfCalls     int64         `json:"whatIfCalls"`
+	BestImprovement float64       `json:"bestImprovement"`
+	Elapsed         time.Duration `json:"elapsed"`
+	TimeLimit       time.Duration `json:"timeLimit,omitempty"`
+}
+
+// String renders the snapshot as a one-line status.
+func (p Progress) String() string {
+	s := fmt.Sprintf("[%s] %d/%d events · %d what-if calls · best %.1f%% · %s",
+		p.Phase, p.EventsTuned, p.EventsTotal, p.WhatIfCalls,
+		100*p.BestImprovement, p.Elapsed.Round(time.Millisecond))
+	if p.TimeLimit > 0 {
+		s += " / " + p.TimeLimit.String()
+	}
+	return s
+}
+
+// errStopped is the internal signal that the session's context was cancelled
+// or its time budget exhausted. Search loops translate it into "return the
+// best configuration found so far" rather than an error to the caller.
+var errStopped = errors.New("core: tuning stopped")
+
+// stopping reports whether err is the early-stop signal.
+func stopping(err error) bool { return errors.Is(err, errStopped) }
+
+// tracker threads cancellation, the time budget, and progress reporting
+// through the tuning pipeline. It is owned by a single tuning goroutine; the
+// Progress callback is invoked synchronously, so consumers that need
+// cross-goroutine snapshots (the tuning service) do their own locking.
+//
+// A nil tracker is valid everywhere and means "never stop, never report" —
+// internal entry points that predate TuneContext pass nil.
+type tracker struct {
+	ctx       context.Context
+	cb        func(Progress)
+	start     time.Time
+	deadline  time.Time
+	timeLimit time.Duration
+
+	// finishing marks the report-building stage: once the search has
+	// stopped, the final configuration still has to be costed (almost
+	// always from cache), so stop checks are suspended.
+	finishing bool
+	cancelled bool
+	timedOut  bool
+
+	phase           Phase
+	eventsTotal     int
+	eventsTuned     int
+	calls           int64
+	baseCost        float64
+	bestImprovement float64
+}
+
+func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
+	tr := &tracker{ctx: ctx, cb: opts.Progress, start: start, timeLimit: opts.TimeLimit, phase: PhaseBaseline}
+	if opts.TimeLimit > 0 {
+		tr.deadline = start.Add(opts.TimeLimit)
+	}
+	return tr
+}
+
+// ctxStopped reports whether the session's context was cancelled. It is the
+// fine-grained check the evaluator performs before every what-if optimizer
+// call: a cancelled session stops within one call. The deadline is
+// deliberately not checked here — time-limited sessions stop at search-step
+// granularity (between greedy steps and per-query selections), matching the
+// original coarse behaviour, while baseline costing and report building
+// always complete.
+func (tr *tracker) ctxStopped() bool {
+	if tr == nil || tr.finishing {
+		return false
+	}
+	if tr.cancelled {
+		return true
+	}
+	if tr.ctx != nil {
+		select {
+		case <-tr.ctx.Done():
+			tr.cancelled = true
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// stopped reports whether the search should stop: context cancelled or time
+// budget exhausted. Checked between search steps.
+func (tr *tracker) stopped() bool {
+	if tr == nil || tr.finishing {
+		return false
+	}
+	if tr.ctxStopped() || tr.timedOut {
+		return true
+	}
+	if !tr.deadline.IsZero() && time.Now().After(tr.deadline) {
+		tr.timedOut = true
+		return true
+	}
+	return false
+}
+
+// stopReason renders why the session stopped early ("" = ran to completion).
+func (tr *tracker) stopReason() string {
+	switch {
+	case tr == nil:
+		return ""
+	case tr.cancelled:
+		return StopCancelled
+	case tr.timedOut:
+		return StopTimeLimit
+	}
+	return ""
+}
+
+func (tr *tracker) setPhase(p Phase) {
+	if tr == nil {
+		return
+	}
+	tr.phase = p
+	tr.emit()
+}
+
+// countCall charges one what-if optimizer call to the session and emits a
+// periodic progress snapshot so long costing loops stay observable.
+func (tr *tracker) countCall() {
+	if tr == nil {
+		return
+	}
+	tr.calls++
+	if tr.cb != nil && tr.calls%64 == 0 {
+		tr.emit()
+	}
+}
+
+// eventDone records one workload event through candidate selection; gain is
+// the event's weighted cost reduction, accumulated into an estimate of the
+// improvement available so far.
+func (tr *tracker) eventDone(gain float64) {
+	if tr == nil {
+		return
+	}
+	tr.eventsTuned++
+	if tr.baseCost > 0 && gain > 0 {
+		tr.bestImprovement += gain / tr.baseCost
+	}
+	tr.emit()
+}
+
+// observeCost replaces the candidate-selection estimate with the measured
+// workload cost of the enumeration search's current best configuration.
+func (tr *tracker) observeCost(cost float64) {
+	if tr == nil || tr.baseCost <= 0 {
+		return
+	}
+	if imp := (tr.baseCost - cost) / tr.baseCost; imp >= 0 {
+		tr.bestImprovement = imp
+	}
+	tr.emit()
+}
+
+func (tr *tracker) emit() {
+	if tr == nil || tr.cb == nil {
+		return
+	}
+	tr.cb(Progress{
+		Phase:           tr.phase,
+		EventsTotal:     tr.eventsTotal,
+		EventsTuned:     tr.eventsTuned,
+		WhatIfCalls:     tr.calls,
+		BestImprovement: tr.bestImprovement,
+		Elapsed:         time.Since(tr.start),
+		TimeLimit:       tr.timeLimit,
+	})
+}

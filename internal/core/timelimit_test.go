@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
 	"repro/internal/workload"
 )
 
@@ -36,6 +40,9 @@ func TestTimeLimit(t *testing.T) {
 	if err := rec.Config.Validate(s.Cat); err != nil {
 		t.Fatal(err)
 	}
+	if rec.StopReason != StopTimeLimit {
+		t.Fatalf("StopReason = %q, want %q", rec.StopReason, StopTimeLimit)
+	}
 
 	// An ample budget finds at least as much.
 	rec2, err := Tune(s, w, Options{NoCompression: true})
@@ -44,5 +51,74 @@ func TestTimeLimit(t *testing.T) {
 	}
 	if rec2.Improvement < rec.Improvement-1e-9 {
 		t.Fatalf("unbounded tuning should not be worse: %.3f vs %.3f", rec2.Improvement, rec.Improvement)
+	}
+	if rec2.StopReason != "" {
+		t.Fatalf("unbounded tuning stopped early: %q", rec2.StopReason)
+	}
+}
+
+// cancellingTuner wraps a Tuner and cancels a context when the what-if call
+// counter reaches limit, simulating a DBA hitting "stop" mid-search.
+type cancellingTuner struct {
+	Tuner
+	calls  atomic.Int64
+	limit  int64
+	cancel context.CancelFunc
+}
+
+func (c *cancellingTuner) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
+	if c.calls.Add(1) == c.limit {
+		c.cancel()
+	}
+	return c.Tuner.WhatIfCost(stmt, cfg)
+}
+
+// TestCancelMidGreedy verifies the anytime contract under cancellation
+// (paper §2.1): cancelling mid-Greedy(m,k) stops the search within one
+// what-if call and still returns a valid best-so-far recommendation with
+// exact call accounting.
+func TestCancelMidGreedy(t *testing.T) {
+	s := testServer(t)
+	var sqls []string
+	for i := 0; i < 120; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT id, amt FROM t WHERE x = %d AND a = %d", i*3, i%100))
+	}
+	w := workload.MustNew(sqls...)
+
+	// Baseline costing alone takes 120 calls; a limit of 200 lands the
+	// cancellation inside candidate selection's per-query greedy searches.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ct := &cancellingTuner{Tuner: s, limit: 200, cancel: cancel}
+	rec, err := TuneContext(ctx, ct, w, Options{NoCompression: true, SkipReports: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.StopReason != StopCancelled {
+		t.Fatalf("StopReason = %q, want %q", rec.StopReason, StopCancelled)
+	}
+	// The search stops within one what-if call of the cancellation; only
+	// sealing the final configuration's cost may add the odd residual call
+	// (it is almost always served from the evaluator cache).
+	calls := ct.calls.Load()
+	if calls < ct.limit || calls > ct.limit+2 {
+		t.Fatalf("cancellation at call %d stopped after %d calls", ct.limit, calls)
+	}
+	if rec.WhatIfCalls != calls {
+		t.Fatalf("recommendation accounts %d calls, tuner saw %d", rec.WhatIfCalls, calls)
+	}
+	if rec.Improvement < 0 {
+		t.Fatalf("partial recommendation worse than base: %v", rec.Improvement)
+	}
+	if err := rec.Config.Validate(s.Cat); err != nil {
+		t.Fatalf("partial recommendation invalid: %v", err)
+	}
+
+	// Cancellation before baseline costing completes is the one case with
+	// no meaningful partial result: an error, not a recommendation.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := TuneContext(done, s, w, Options{NoCompression: true}); err == nil {
+		t.Fatal("expected an error when cancelled before baseline costing")
 	}
 }

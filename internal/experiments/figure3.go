@@ -68,9 +68,9 @@ func Figure3(cfg Config) ([]Figure3Row, error) {
 
 		row := Figure3Row{
 			Name:             tc.name,
-			DirectOverhead:   direct.Acct.Overhead,
+			DirectOverhead:   direct.Acct().Overhead,
 			SessionOverhead:  sess.ProductionOverhead(),
-			ProdWhatIfDirect: direct.Acct.WhatIfCalls,
+			ProdWhatIfDirect: direct.Acct().WhatIfCalls,
 		}
 		if row.DirectOverhead > 0 {
 			row.Reduction = 1 - row.SessionOverhead/row.DirectOverhead

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xmlio"
+)
+
+// CreateOptions is the JSON wire form of the tunable core.Options subset —
+// the knobs the shipped tool's command-line/XML interface exposes (§6.1).
+type CreateOptions struct {
+	// Features selects the physical-design feature set: ALL, IDX, MV,
+	// PARTITIONING, IDX_MV, IDX_PARTITIONING (empty = ALL).
+	Features string `json:"features,omitempty"`
+	// StorageMB bounds the recommendation's extra storage (0 = unbounded).
+	StorageMB int64 `json:"storageMB,omitempty"`
+	Aligned   bool  `json:"aligned,omitempty"`
+	// TimeLimit is a Go duration string ("30s", "10m"); empty = unbounded.
+	TimeLimit     string `json:"timeLimit,omitempty"`
+	NoCompression bool   `json:"noCompression,omitempty"`
+	AllowDrops    bool   `json:"allowDrops,omitempty"`
+	EvaluateOnly  bool   `json:"evaluateOnly,omitempty"`
+	GreedyM       int    `json:"greedyM,omitempty"`
+	GreedyK       int    `json:"greedyK,omitempty"`
+	SkipReports   bool   `json:"skipReports,omitempty"`
+}
+
+// CreateRequest is the JSON body of POST /sessions.
+type CreateRequest struct {
+	Database   string               `json:"database,omitempty"`
+	Statements []workload.Statement `json:"statements,omitempty"`
+	Options    CreateOptions        `json:"options"`
+}
+
+func (c CreateRequest) toRequest() (Request, error) {
+	req := Request{Backend: c.Database}
+	if len(c.Statements) > 0 {
+		w, err := workload.FromStatements(c.Statements)
+		if err != nil {
+			return req, err
+		}
+		req.Workload = w
+	}
+	mask, err := xmlio.FeatureMaskFromString(c.Options.Features)
+	if err != nil {
+		return req, err
+	}
+	opts := core.Options{
+		Features:      mask,
+		StorageBudget: c.Options.StorageMB << 20,
+		Aligned:       c.Options.Aligned,
+		NoCompression: c.Options.NoCompression,
+		AllowDrops:    c.Options.AllowDrops,
+		EvaluateOnly:  c.Options.EvaluateOnly,
+		GreedyM:       c.Options.GreedyM,
+		GreedyK:       c.Options.GreedyK,
+		SkipReports:   c.Options.SkipReports,
+	}
+	if c.Options.TimeLimit != "" {
+		d, err := time.ParseDuration(c.Options.TimeLimit)
+		if err != nil {
+			return req, fmt.Errorf("bad timeLimit: %w", err)
+		}
+		opts.TimeLimit = d
+	}
+	req.Options = opts
+	return req, nil
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /sessions             create a tuning session (JSON or DTAXML body)
+//	GET    /sessions             list sessions
+//	GET    /sessions/{id}        one session's snapshot
+//	GET    /sessions/{id}/events stream progress events (NDJSON)
+//	DELETE /sessions/{id}        cancel a session
+//	GET    /metrics              cumulative service metrics
+//	GET    /backends             registered databases
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", m.handleCreate)
+	mux.HandleFunc("GET /sessions", m.handleList)
+	mux.HandleFunc("GET /sessions/{id}", m.handleGet)
+	mux.HandleFunc("GET /sessions/{id}/events", m.handleEvents)
+	mux.HandleFunc("DELETE /sessions/{id}", m.handleCancel)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	mux.HandleFunc("GET /backends", m.handleBackends)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeCreate accepts the native JSON body or a DTAXML document (the
+// shipped tool's session definition format), detected by Content-Type.
+func decodeCreate(r *http.Request) (Request, error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && strings.Contains(mt, "xml") {
+		doc, err := xmlio.Decode(r.Body)
+		if err != nil {
+			return Request{}, err
+		}
+		if doc.Input == nil {
+			return Request{}, fmt.Errorf("DTAXML document has no Input element")
+		}
+		opts, err := xmlio.OptionsFromXML(doc.Input.Options)
+		if err != nil {
+			return Request{}, err
+		}
+		opts.EvaluateOnly = doc.Input.EvaluateOnly
+		if doc.Input.Configuration != nil {
+			opts.UserConfig = xmlio.ToConfiguration(doc.Input.Configuration)
+		}
+		req := Request{Options: opts}
+		if len(doc.Input.Databases) > 0 {
+			req.Backend = doc.Input.Databases[0]
+		}
+		if doc.Input.Workload != nil {
+			w, err := xmlio.ToWorkload(doc.Input.Workload)
+			if err != nil {
+				return Request{}, err
+			}
+			req.Workload = w
+		}
+		return req, nil
+	}
+	var body CreateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		return Request{}, fmt.Errorf("bad request body: %w", err)
+	}
+	return body.toRequest()
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeCreate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := m.Create(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+s.ID())
+	writeJSON(w, http.StatusCreated, s.Snapshot())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := m.Sessions()
+	out := make([]Snapshot, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	s, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+	}
+	return s, ok
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s, ok := m.session(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	}
+}
+
+// handleEvents streams the session's progress events as NDJSON: the history
+// first, then live events until the session terminates or the client goes
+// away. The final line is always the terminal snapshot.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	hist, live, unsub := s.Subscribe()
+	defer unsub()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, e := range hist {
+		enc.Encode(e)
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case e, open := <-live:
+			if !open {
+				enc.Encode(s.Snapshot())
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+			enc.Encode(e)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel()
+	// Give the session a moment to settle so the response usually reflects
+	// the terminal state; cancellation itself is already delivered.
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	_ = s.Wait(ctx)
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Metrics())
+}
+
+func (m *Manager) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"backends": m.Backends()})
+}

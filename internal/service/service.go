@@ -1,0 +1,556 @@
+// Package service implements the long-lived tuning service the paper's §2.1
+// frames DTA as: a server-side advisor DBAs invoke against named databases
+// under explicit time budgets. A Manager runs many tuning sessions
+// concurrently — one goroutine each, bounded by a worker limit — with
+// per-session lifecycle state, live progress snapshots streamed from
+// core.TuneContext's Progress callback, context-based cancellation that
+// yields the best-so-far recommendation (anytime behaviour), and cumulative
+// service metrics. The HTTP front end lives in http.go; cmd/dtaserver binds
+// it to a listener.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+// Session lifecycle: pending (queued for a worker slot) → running →
+// done | cancelled | failed. A cancelled session that got past baseline
+// costing still carries a partial recommendation.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Backend is one tunable database server registered with the manager. The
+// Tuner is shared by every session on the backend, which is why the what-if
+// layer's accounting and statistics store are concurrency-safe.
+type Backend struct {
+	Name  string
+	Tuner core.Tuner
+	// DefaultWorkload serves sessions that do not supply statements.
+	DefaultWorkload *workload.Workload
+	// BaseConfig is the backend's existing physical design (constraint
+	// indexes etc.); sessions inherit it unless they specify their own.
+	BaseConfig *catalog.Configuration
+}
+
+// Request describes one tuning session.
+type Request struct {
+	// Backend names the registered backend; may be empty when exactly one
+	// backend is registered.
+	Backend  string
+	Workload *workload.Workload // nil = backend's default workload
+	Options  core.Options
+}
+
+// Event is one progress notification of a session: the state and progress
+// snapshot at one moment, sequence-numbered per session.
+type Event struct {
+	Seq      int           `json:"seq"`
+	State    State         `json:"state"`
+	Progress core.Progress `json:"progress"`
+}
+
+// maxEventHistory bounds the per-session event log replayed to late
+// subscribers; beyond it the oldest snapshots are dropped (Seq gaps tell).
+const maxEventHistory = 1024
+
+// Session is one tuning run managed by the service.
+type Session struct {
+	id      string
+	backend string
+	created time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	seq      int
+	progress core.Progress
+	events   []Event
+	subs     map[int]chan Event
+	nextSub  int
+	started  time.Time
+	finished time.Time
+	rec      *core.Recommendation
+	err      error
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Backend returns the backend the session tunes.
+func (s *Session) Backend() string { return s.backend }
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Progress returns the latest progress snapshot.
+func (s *Session) Progress() core.Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.progress
+}
+
+// Result returns the recommendation and error once the session is terminal.
+// A cancelled session may carry both a partial recommendation and no error.
+func (s *Session) Result() (*core.Recommendation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec, s.err
+}
+
+// Done is closed when the session reaches a terminal state.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session is terminal or ctx expires.
+func (s *Session) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel requests cancellation: a pending session terminates immediately, a
+// running one stops within one what-if optimizer call and keeps its
+// best-so-far recommendation.
+func (s *Session) Cancel() { s.cancel() }
+
+// Subscribe registers a live event subscriber. It returns the event history
+// so far (for replay), a channel of subsequent events that is closed when
+// the session terminates, and an unsubscribe function. Slow subscribers
+// lose intermediate snapshots rather than stalling the tuning goroutine.
+func (s *Session) Subscribe() ([]Event, <-chan Event, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := append([]Event(nil), s.events...)
+	if s.state.Terminal() {
+		ch := make(chan Event)
+		close(ch)
+		return hist, ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan Event, 64)
+	s.subs[id] = ch
+	return hist, ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// publish appends an event and fans it out; the caller holds s.mu.
+func (s *Session) publishLocked() {
+	s.seq++
+	e := Event{Seq: s.seq, State: s.state, Progress: s.progress}
+	s.events = append(s.events, e)
+	if len(s.events) > maxEventHistory {
+		s.events = append(s.events[:1:1], s.events[len(s.events)-maxEventHistory+1:]...)
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default: // drop for slow subscribers; snapshots are self-contained
+		}
+	}
+}
+
+// onProgress is the core Progress callback: it runs on the tuning goroutine
+// and snapshots progress under the session lock.
+func (s *Session) onProgress(p core.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.progress = p
+	s.publishLocked()
+}
+
+func (s *Session) setRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = StateRunning
+	s.started = time.Now()
+	s.publishLocked()
+}
+
+// finish transitions to a terminal state, publishes the final event, and
+// closes every subscriber channel.
+func (s *Session) finish(st State, rec *core.Recommendation, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = st
+	s.rec = rec
+	s.err = err
+	s.finished = time.Now()
+	if rec != nil {
+		s.progress.BestImprovement = rec.Improvement
+		s.progress.WhatIfCalls = rec.WhatIfCalls
+	}
+	s.progress.Phase = core.PhaseDone
+	s.publishLocked()
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	close(s.done)
+}
+
+// Snapshot is the JSON-friendly view of a session.
+type Snapshot struct {
+	ID       string        `json:"id"`
+	Backend  string        `json:"backend"`
+	State    State         `json:"state"`
+	Created  time.Time     `json:"created"`
+	Started  *time.Time    `json:"started,omitempty"`
+	Finished *time.Time    `json:"finished,omitempty"`
+	Progress core.Progress `json:"progress"`
+	Error    string        `json:"error,omitempty"`
+	Result   *Result       `json:"result,omitempty"`
+}
+
+// Result summarizes a terminal session's recommendation.
+type Result struct {
+	Improvement  float64  `json:"improvement"`
+	BaseCost     float64  `json:"baseCost"`
+	Cost         float64  `json:"cost"`
+	StorageMB    float64  `json:"storageMB"`
+	EventsTuned  int      `json:"eventsTuned"`
+	WhatIfCalls  int64    `json:"whatIfCalls"`
+	StatsCreated int      `json:"statsCreated"`
+	DurationMS   int64    `json:"durationMS"`
+	StopReason   string   `json:"stopReason,omitempty"`
+	Structures   []string `json:"structures,omitempty"`
+	Dropped      []string `json:"dropped,omitempty"`
+}
+
+// Snapshot captures the session's current state for reporting.
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		ID:       s.id,
+		Backend:  s.backend,
+		State:    s.state,
+		Created:  s.created,
+		Progress: s.progress,
+	}
+	if !s.started.IsZero() {
+		t := s.started
+		out.Started = &t
+	}
+	if !s.finished.IsZero() {
+		t := s.finished
+		out.Finished = &t
+	}
+	if s.err != nil {
+		out.Error = s.err.Error()
+	}
+	if s.rec != nil {
+		r := &Result{
+			Improvement:  s.rec.Improvement,
+			BaseCost:     s.rec.BaseCost,
+			Cost:         s.rec.Cost,
+			StorageMB:    float64(s.rec.StorageBytes) / (1 << 20),
+			EventsTuned:  s.rec.EventsTuned,
+			WhatIfCalls:  s.rec.WhatIfCalls,
+			StatsCreated: s.rec.StatsCreated,
+			DurationMS:   s.rec.Duration.Milliseconds(),
+			StopReason:   s.rec.StopReason,
+		}
+		for _, st := range s.rec.NewStructures {
+			r.Structures = append(r.Structures, "CREATE "+st.String())
+		}
+		for _, st := range s.rec.DroppedStructures {
+			r.Dropped = append(r.Dropped, "DROP "+st.String())
+		}
+		out.Result = r
+	}
+	return out
+}
+
+// Manager runs tuning sessions over registered backends.
+type Manager struct {
+	sem chan struct{}
+
+	mu       sync.Mutex
+	backends map[string]*Backend
+	sessions map[string]*Session
+	order    []string
+	seq      int
+
+	created   atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+	// whatIfCalls sums the session-exact call counts of finished sessions.
+	whatIfCalls atomic.Int64
+}
+
+// NewManager creates a manager running at most workers sessions at once
+// (workers ≤ 0 means 4, the shipped DTA's default degree of parallelism for
+// its own server work).
+func NewManager(workers int) *Manager {
+	if workers <= 0 {
+		workers = 4
+	}
+	return &Manager{
+		sem:      make(chan struct{}, workers),
+		backends: map[string]*Backend{},
+		sessions: map[string]*Session{},
+	}
+}
+
+// Register adds a tunable backend.
+func (m *Manager) Register(b *Backend) error {
+	if b == nil || b.Name == "" || b.Tuner == nil {
+		return fmt.Errorf("service: backend needs a name and a tuner")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.backends[b.Name]; dup {
+		return fmt.Errorf("service: backend %q already registered", b.Name)
+	}
+	m.backends[b.Name] = b
+	return nil
+}
+
+// Backends lists registered backend names, sorted.
+func (m *Manager) Backends() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.backends))
+	for n := range m.backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// backend resolves a request's backend name.
+func (m *Manager) backend(name string) (*Backend, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == "" {
+		if len(m.backends) == 1 {
+			for _, b := range m.backends {
+				return b, nil
+			}
+		}
+		return nil, fmt.Errorf("service: request names no backend and %d are registered", len(m.backends))
+	}
+	b, ok := m.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown backend %q", name)
+	}
+	return b, nil
+}
+
+// Create starts a tuning session for the request and returns it
+// immediately; the session runs asynchronously, queued behind the worker
+// limit.
+func (m *Manager) Create(req Request) (*Session, error) {
+	b, err := m.backend(req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	w := req.Workload
+	if w == nil {
+		w = b.DefaultWorkload
+	}
+	if w == nil || w.Len() == 0 {
+		return nil, fmt.Errorf("service: backend %q has no default workload and the request supplied none", b.Name)
+	}
+	opts := req.Options
+	if opts.BaseConfig == nil {
+		opts.BaseConfig = b.BaseConfig
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	m.seq++
+	s := &Session{
+		id:      fmt.Sprintf("s-%04d", m.seq),
+		backend: b.Name,
+		created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StatePending,
+		subs:    map[int]chan Event{},
+	}
+	m.sessions[s.id] = s
+	m.order = append(m.order, s.id)
+	m.mu.Unlock()
+	m.created.Add(1)
+
+	go m.run(ctx, s, b, w, opts)
+	return s, nil
+}
+
+// run executes one session: wait for a worker slot, tune, finish.
+func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.Workload, opts core.Options) {
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		m.cancelled.Add(1)
+		s.finish(StateCancelled, nil, nil)
+		return
+	}
+	s.setRunning()
+
+	user := opts.Progress
+	opts.Progress = func(p core.Progress) {
+		s.onProgress(p)
+		if user != nil {
+			user(p)
+		}
+	}
+	rec, err := core.TuneContext(ctx, b.Tuner, w, opts)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		// Cancelled before any partial result existed.
+		m.cancelled.Add(1)
+		s.finish(StateCancelled, nil, err)
+	case err != nil:
+		m.failed.Add(1)
+		s.finish(StateFailed, nil, err)
+	case rec.StopReason == core.StopCancelled:
+		m.cancelled.Add(1)
+		m.whatIfCalls.Add(rec.WhatIfCalls)
+		s.finish(StateCancelled, rec, nil)
+	default:
+		m.completed.Add(1)
+		m.whatIfCalls.Add(rec.WhatIfCalls)
+		s.finish(StateDone, rec, nil)
+	}
+}
+
+// Get returns the session by ID.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Sessions returns every session in creation order.
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.sessions[id])
+	}
+	return out
+}
+
+// Cancel cancels the session by ID.
+func (m *Manager) Cancel(id string) (*Session, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no session %q", id)
+	}
+	s.Cancel()
+	return s, nil
+}
+
+// BackendMetrics is the cumulative what-if load one backend has absorbed.
+type BackendMetrics struct {
+	Name        string `json:"name"`
+	WhatIfCalls int64  `json:"whatIfCalls"`
+}
+
+// Metrics is the service-wide counter snapshot.
+type Metrics struct {
+	SessionsCreated   int64            `json:"sessionsCreated"`
+	SessionsPending   int64            `json:"sessionsPending"`
+	SessionsRunning   int64            `json:"sessionsRunning"`
+	SessionsDone      int64            `json:"sessionsDone"`
+	SessionsCancelled int64            `json:"sessionsCancelled"`
+	SessionsFailed    int64            `json:"sessionsFailed"`
+	WhatIfCalls       int64            `json:"whatIfCalls"`
+	Backends          []BackendMetrics `json:"backends"`
+}
+
+// Metrics returns the cumulative service metrics. WhatIfCalls sums the
+// session-exact counts of finished sessions; the per-backend counters are
+// the shared servers' own cumulative totals (they also include calls of
+// still-running sessions).
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{
+		SessionsCreated:   m.created.Load(),
+		SessionsDone:      m.completed.Load(),
+		SessionsCancelled: m.cancelled.Load(),
+		SessionsFailed:    m.failed.Load(),
+		WhatIfCalls:       m.whatIfCalls.Load(),
+	}
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	backends := make([]*Backend, 0, len(m.backends))
+	for _, b := range m.backends {
+		backends = append(backends, b)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		switch s.State() {
+		case StatePending:
+			out.SessionsPending++
+		case StateRunning:
+			out.SessionsRunning++
+		}
+	}
+	for _, b := range backends {
+		out.Backends = append(out.Backends, BackendMetrics{Name: b.Name, WhatIfCalls: b.Tuner.WhatIfCallCount()})
+	}
+	sort.Slice(out.Backends, func(i, j int) bool { return out.Backends[i].Name < out.Backends[j].Name })
+	return out
+}
+
+// Shutdown cancels every live session and waits (bounded by ctx) for all of
+// them to reach a terminal state.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	for _, s := range m.Sessions() {
+		if !s.State().Terminal() {
+			s.Cancel()
+		}
+	}
+	for _, s := range m.Sessions() {
+		if err := s.Wait(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

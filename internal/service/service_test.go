@@ -1,0 +1,316 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/service"
+	"repro/internal/sqlparser"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// smallServer builds a production server sized for race-enabled tests: a
+// 20k-row fact table t and a 2k-row dimension d, data attached so
+// statistics can be created.
+func smallServer(tb testing.TB) *whatif.Server {
+	tb.Helper()
+	cat := catalog.New()
+	db := catalog.NewDatabase("db")
+	db.AddTable(catalog.NewTable("db", "t", 0,
+		&catalog.Column{Name: "id", Type: catalog.TypeInt, Width: 8, Distinct: 20000, Min: 0, Max: 19999},
+		&catalog.Column{Name: "x", Type: catalog.TypeInt, Width: 8, Distinct: 2000, Min: 0, Max: 1999},
+		&catalog.Column{Name: "a", Type: catalog.TypeInt, Width: 8, Distinct: 100, Min: 0, Max: 99},
+		&catalog.Column{Name: "amt", Type: catalog.TypeFloat, Width: 8, Distinct: 1000, Min: 0, Max: 999},
+		&catalog.Column{Name: "pad", Type: catalog.TypeString, Width: 60, Distinct: 20000, Min: 0, Max: 19999},
+	))
+	db.AddTable(catalog.NewTable("db", "d", 0,
+		&catalog.Column{Name: "d_id", Type: catalog.TypeInt, Width: 8, Distinct: 2000, Min: 0, Max: 1999},
+		&catalog.Column{Name: "grp", Type: catalog.TypeInt, Width: 8, Distinct: 20, Min: 0, Max: 19},
+	))
+	cat.AddDatabase(db)
+
+	data := engine.NewDatabase(cat)
+	const rows = 20000
+	trows := make([][]engine.Value, 0, rows)
+	for i := 0; i < rows; i++ {
+		trows = append(trows, []engine.Value{
+			engine.Num(float64(i)),
+			engine.Num(float64((i * 37) % 2000)),
+			engine.Num(float64(i % 100)),
+			engine.Num(float64((i * 13) % 1000)),
+			engine.Str(fmt.Sprintf("pad%05d", i)),
+		})
+	}
+	if err := data.Load("t", trows); err != nil {
+		tb.Fatal(err)
+	}
+	drows := make([][]engine.Value, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		drows = append(drows, []engine.Value{engine.Num(float64(i)), engine.Num(float64(i % 20))})
+	}
+	if err := data.Load("d", drows); err != nil {
+		tb.Fatal(err)
+	}
+
+	s := whatif.NewServer("prod", cat, optimizer.DefaultHardware())
+	s.AttachData(data)
+	return s
+}
+
+// slowWorkload is a workload with enough distinct events that a session
+// tuning it cannot finish before the test cancels it.
+func slowWorkload(tb testing.TB) *workload.Workload {
+	tb.Helper()
+	w := &workload.Workload{}
+	for i := 0; i < 14; i++ {
+		for _, q := range []string{
+			fmt.Sprintf("SELECT id FROM t WHERE x = %d", i*31%2000),
+			fmt.Sprintf("SELECT a, COUNT(*) FROM t WHERE x < %d GROUP BY a", 10+i),
+			fmt.Sprintf("SELECT SUM(amt) FROM t WHERE a = %d", i%100),
+		} {
+			if err := w.Add(q, 1); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return w
+}
+
+func quickWorkload(tb testing.TB, seed int) *workload.Workload {
+	tb.Helper()
+	w, err := workload.New(
+		fmt.Sprintf("SELECT id FROM t WHERE x = %d", 100+seed),
+		fmt.Sprintf("SELECT a, COUNT(*) FROM t WHERE x < %d GROUP BY a", 5+seed),
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// gatedTuner wraps a shared server and parks the tuning goroutine at its
+// gate-th what-if call: the call signals reached and blocks until release.
+// Tests use it to cancel a session that is deterministically mid-search.
+type gatedTuner struct {
+	core.Tuner
+	n       atomic.Int64
+	gate    int64
+	reached chan struct{}
+	release chan struct{}
+}
+
+func newGatedTuner(t core.Tuner, gate int64) *gatedTuner {
+	return &gatedTuner{Tuner: t, gate: gate, reached: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedTuner) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
+	if g.n.Add(1) == g.gate {
+		close(g.reached)
+	}
+	if g.n.Load() >= g.gate {
+		<-g.release
+	}
+	return g.Tuner.WhatIfCost(stmt, cfg)
+}
+
+// TestConcurrentSessionsSharedServer runs five sessions (four workers) on
+// one shared what-if server, cancels one mid-candidate-selection, and
+// checks the anytime result plus exact call accounting across sessions.
+func TestConcurrentSessionsSharedServer(t *testing.T) {
+	srv := smallServer(t)
+	m := service.NewManager(4)
+	if err := m.Register(&service.Backend{Name: "db", Tuner: srv}); err != nil {
+		t.Fatal(err)
+	}
+	// The to-be-cancelled session runs on a gated view of the same server:
+	// its 120th what-if call — past the 42-call baseline costing, inside
+	// candidate selection's greedy searches — parks until the test releases
+	// it, so the cancellation deterministically lands mid-run.
+	gate := newGatedTuner(srv, 120)
+	if err := m.Register(&service.Backend{Name: "db-gated", Tuner: gate}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(service.Request{Backend: "nope"}); err == nil {
+		t.Fatal("expected unknown-backend error")
+	}
+	if _, err := m.Create(service.Request{Backend: "db"}); err == nil {
+		t.Fatal("expected missing-workload error")
+	}
+
+	victim, err := m.Create(service.Request{
+		Backend:  "db-gated",
+		Workload: slowWorkload(t),
+		Options:  core.Options{Features: core.FeatureIndexes, NoCompression: true, SkipReports: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var others []*service.Session
+	for i := 0; i < 4; i++ {
+		s, err := m.Create(service.Request{
+			Backend:  "db",
+			Workload: quickWorkload(t, i),
+			Options:  core.Options{Features: core.FeatureIndexes},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, s)
+	}
+
+	hist, live, unsub := victim.Subscribe()
+	defer unsub()
+
+	select {
+	case <-gate.reached:
+	case <-time.After(time.Minute):
+		t.Fatalf("victim never reached its gated call: %+v", victim.Snapshot())
+	}
+	// Cancel while the victim is parked inside a what-if call, then let the
+	// call finish: the search must stop before issuing another one.
+	victim.Cancel()
+	close(gate.release)
+
+	all := append([]*service.Session{victim}, others...)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, s := range all {
+		if err := s.Wait(ctx); err != nil {
+			t.Fatalf("session %s did not terminate: %v", s.ID(), err)
+		}
+		if !s.State().Terminal() {
+			t.Fatalf("session %s state %s not terminal", s.ID(), s.State())
+		}
+	}
+
+	// The cancelled session carries a partial, valid, anytime result.
+	if victim.State() != service.StateCancelled {
+		t.Fatalf("victim state = %s, want cancelled", victim.State())
+	}
+	rec, err := victim.Result()
+	if err != nil {
+		t.Fatalf("victim error: %v", err)
+	}
+	if rec == nil {
+		t.Fatal("cancelled mid-run session should keep its best-so-far recommendation")
+	}
+	if rec.StopReason != core.StopCancelled {
+		t.Fatalf("victim StopReason = %q, want %q", rec.StopReason, core.StopCancelled)
+	}
+	if rec.Improvement < 0 {
+		t.Fatalf("partial recommendation worse than base: %+v", rec)
+	}
+	if err := rec.Config.Validate(srv.Cat); err != nil {
+		t.Fatalf("partial recommendation invalid: %v", err)
+	}
+	// The search stopped within one call of the cancellation; sealing the
+	// final configuration may add the odd cache-miss call.
+	if calls := gate.n.Load(); calls < gate.gate || calls > gate.gate+2 {
+		t.Fatalf("victim issued %d what-if calls after cancelling at %d", calls, gate.gate)
+	} else if rec.WhatIfCalls != calls {
+		t.Fatalf("victim accounts %d calls, its server saw %d", rec.WhatIfCalls, calls)
+	}
+
+	// The subscription saw the victim progress through the pipeline and
+	// terminate: phases advance, and the final event is terminal.
+	for e := range live {
+		hist = append(hist, e)
+	}
+	sawCandidates := false
+	for _, e := range hist {
+		if e.Progress.Phase == core.PhaseCandidates {
+			sawCandidates = true
+		}
+	}
+	if !sawCandidates {
+		t.Fatalf("victim events never showed candidate selection: %+v", hist)
+	}
+	if last := hist[len(hist)-1]; !last.State.Terminal() || last.Progress.Phase != core.PhaseDone {
+		t.Fatalf("last victim event not terminal: %+v", last)
+	}
+
+	// The other sessions completed normally and improved their workloads.
+	var total int64
+	for _, s := range all {
+		r, err := s.Result()
+		if err != nil {
+			t.Fatalf("session %s: %v", s.ID(), err)
+		}
+		if s != victim {
+			if s.State() != service.StateDone {
+				t.Fatalf("session %s state = %s", s.ID(), s.State())
+			}
+			if r.Improvement <= 0 {
+				t.Fatalf("session %s found no improvement: %+v", s.ID(), r)
+			}
+		}
+		if r.WhatIfCalls <= 0 {
+			t.Fatalf("session %s reports %d what-if calls", s.ID(), r.WhatIfCalls)
+		}
+		total += r.WhatIfCalls
+	}
+
+	// Per-session accounting is exact: the sessions' counts sum to the
+	// shared server's cumulative counter.
+	if got := srv.WhatIfCallCount(); got != total {
+		t.Fatalf("shared server counted %d what-if calls, sessions sum to %d", got, total)
+	}
+
+	mx := m.Metrics()
+	if mx.SessionsCreated != 5 || mx.SessionsDone != 4 || mx.SessionsCancelled != 1 || mx.SessionsFailed != 0 {
+		t.Fatalf("metrics off: %+v", mx)
+	}
+	if mx.WhatIfCalls != total {
+		t.Fatalf("metrics WhatIfCalls = %d, want %d", mx.WhatIfCalls, total)
+	}
+	// Both backends front the same shared server, so each reports the full
+	// cumulative counter.
+	if len(mx.Backends) != 2 || mx.Backends[0].WhatIfCalls != total || mx.Backends[1].WhatIfCalls != total {
+		t.Fatalf("backend metrics off (want %d calls): %+v", total, mx.Backends)
+	}
+}
+
+// TestPendingSessionCancelled checks that a session cancelled while queued
+// behind the worker limit terminates without running.
+func TestPendingSessionCancelled(t *testing.T) {
+	srv := smallServer(t)
+	m := service.NewManager(1)
+	if err := m.Register(&service.Backend{Name: "db", Tuner: srv, DefaultWorkload: slowWorkload(t)}); err != nil {
+		t.Fatal(err)
+	}
+	running, err := m.Create(service.Request{Options: core.Options{SkipReports: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Create(service.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := queued.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != service.StateCancelled {
+		t.Fatalf("queued state = %s", queued.State())
+	}
+	if rec, _ := queued.Result(); rec != nil {
+		t.Fatalf("queued session should have no result, got %+v", rec)
+	}
+	running.Cancel()
+	if err := running.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

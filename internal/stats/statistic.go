@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 )
@@ -182,8 +183,11 @@ func densitiesFromMetadata(t *catalog.Table, cols []string) []float64 {
 
 // Store holds the statistics present on one server, keyed by table and
 // ordered column list, with fast lookups by leading column and by
-// unordered prefix set.
+// unordered prefix set. A Store is safe for concurrent use: several tuning
+// sessions can share one server, creating statistics while others'
+// optimizations read them.
 type Store struct {
+	mu    sync.RWMutex
 	stats map[string]*Statistic
 	// hists indexes histograms by "table|leadingColumn".
 	hists map[string]*Histogram
@@ -202,6 +206,8 @@ func NewStore() *Store {
 
 // Add registers a statistic (replacing any identical one).
 func (s *Store) Add(st *Statistic) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats[st.Key()] = st
 	if st.Hist != nil {
 		s.hists[st.Table+"|"+st.Columns[0]] = st.Hist
@@ -213,6 +219,8 @@ func (s *Store) Add(st *Statistic) {
 
 // Lookup returns the statistic with exactly this ordered column list, or nil.
 func (s *Store) Lookup(table string, cols []string) *Statistic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.stats[StatKey(table, cols)]
 }
 
@@ -222,10 +230,16 @@ func (s *Store) Has(table string, cols []string) bool {
 }
 
 // Len returns the number of statistics in the store.
-func (s *Store) Len() int { return len(s.stats) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.stats)
+}
 
 // All returns the statistics in deterministic (key) order.
 func (s *Store) All() []*Statistic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	keys := make([]string, 0, len(s.stats))
 	for k := range s.stats {
 		keys = append(keys, k)
@@ -242,6 +256,8 @@ func (s *Store) All() []*Statistic {
 // leading column matches serves (SQL Server behaviour: histograms exist only
 // on leading columns).
 func (s *Store) HistogramFor(table, column string) *Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.hists[strings.ToLower(table)+"|"+strings.ToLower(column)]
 }
 
@@ -249,6 +265,8 @@ func (s *Store) HistogramFor(table, column string) *Histogram {
 // statistic has exactly that set as a leading prefix (in any order) —
 // density is order-insensitive. The second result reports availability.
 func (s *Store) DensityFor(table string, cols []string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	d, ok := s.dens[strings.ToLower(table)+"|"+canonSet(cols)]
 	return d, ok
 }
@@ -261,6 +279,8 @@ func (s *Store) CoversHistogram(table, column string) bool {
 // Clone returns a copy of the store sharing the (immutable) statistics.
 func (s *Store) Clone() *Store {
 	out := NewStore()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, v := range s.stats {
 		out.Add(v)
 	}

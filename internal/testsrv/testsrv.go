@@ -8,6 +8,8 @@
 package testsrv
 
 import (
+	"sync"
+
 	"repro/internal/catalog"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
@@ -16,10 +18,14 @@ import (
 
 // Session pairs a production server with a test server and satisfies
 // core.Tuner, routing what-if calls to the test server and statistics
-// creation to production (followed by import).
+// creation to production (followed by import). A Session may be shared by
+// concurrent tuning sessions: statistics imports are serialized so the
+// production server is sampled once per statistic.
 type Session struct {
 	Prod *whatif.Server
 	Test *whatif.Server
+
+	statsMu sync.Mutex
 }
 
 // NewSession imports the production server's metadata into a fresh test
@@ -39,13 +45,15 @@ func (s *Session) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuratio
 
 // WhatIfCallCount reports test-server what-if calls (production receives
 // none in this scenario).
-func (s *Session) WhatIfCallCount() int64 { return s.Test.Acct.WhatIfCalls }
+func (s *Session) WhatIfCallCount() int64 { return s.Test.WhatIfCallCount() }
 
 // EnsureStatistics makes the needed statistics available on the test
 // server: missing ones are created on the production server (the sampling
 // I/O is the production overhead) and imported. Reduction (§5.2) applies
 // before anything touches production.
 func (s *Session) EnsureStatistics(reqs []stats.Request, reduce bool) (int, error) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	var missing []stats.Request
 	for _, r := range reqs {
 		if reduce {
@@ -72,4 +80,4 @@ func (s *Session) EnsureStatistics(reqs []stats.Request, reduce bool) (int, erro
 // ProductionOverhead reports the total simulated duration of statements the
 // tuning session submitted to the production server — the quantity Figure 3
 // compares against tuning directly on production.
-func (s *Session) ProductionOverhead() float64 { return s.Prod.Acct.Overhead }
+func (s *Session) ProductionOverhead() float64 { return s.Prod.Acct().Overhead }

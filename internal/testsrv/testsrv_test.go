@@ -60,7 +60,7 @@ func TestSessionReducesProductionOverhead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	directOverhead := direct.Acct.Overhead
+	directOverhead := direct.Acct().Overhead
 	if directOverhead <= 0 {
 		t.Fatal("direct tuning must load production")
 	}
@@ -80,7 +80,7 @@ func TestSessionReducesProductionOverhead(t *testing.T) {
 	if reduction < 0.3 {
 		t.Fatalf("overhead reduction too small: %.0f%%", 100*reduction)
 	}
-	if prod.Acct.WhatIfCalls != 0 {
+	if prod.Acct().WhatIfCalls != 0 {
 		t.Fatal("no what-if call may reach production")
 	}
 
@@ -98,7 +98,7 @@ func TestSessionStatImportOnDemand(t *testing.T) {
 	if created, err := sess.EnsureStatistics(nil, true); err != nil || created != 0 {
 		t.Fatalf("empty request: created=%d err=%v", created, err)
 	}
-	overheadBefore := prod.Acct.Overhead
+	overheadBefore := prod.Acct().Overhead
 	reqs := []stats.Request{
 		{Table: "t", Columns: []string{"x"}},
 		{Table: "t", Columns: []string{"x", "a"}},
@@ -114,15 +114,15 @@ func TestSessionStatImportOnDemand(t *testing.T) {
 	if !sess.Test.Stats.Has("t", []string{"x", "a"}) {
 		t.Fatal("statistic not imported to the test server")
 	}
-	if prod.Acct.Overhead <= overheadBefore {
+	if prod.Acct().Overhead <= overheadBefore {
 		t.Fatal("statistics creation must charge production")
 	}
 	// Re-ensuring is free.
-	overheadBefore = prod.Acct.Overhead
+	overheadBefore = prod.Acct().Overhead
 	if created, err := sess.EnsureStatistics(reqs, true); err != nil || created != 0 {
 		t.Fatalf("re-ensure: created=%d err=%v", created, err)
 	}
-	if prod.Acct.Overhead != overheadBefore {
+	if prod.Acct().Overhead != overheadBefore {
 		t.Fatal("re-ensuring must not touch production")
 	}
 }

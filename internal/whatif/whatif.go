@@ -7,10 +7,17 @@
 // production server) the actual data. Every what-if optimizer call and every
 // statistics creation is charged to the server that performs it, which is
 // what makes the production/test experiment (§5.3, Figure 3) measurable.
+//
+// A Server is safe for concurrent use by multiple tuning sessions: the
+// accounting counters are atomic, statistics creation is serialized, and the
+// optimizer itself carries no per-call mutable state.
 package whatif
 
 import (
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -30,7 +37,8 @@ const WhatIfCallCost = 100.0
 // a catalog-only operation independent of data size (§5.3 Step 1).
 const MetadataImportCost = 50.0
 
-// Accounting records the load tuning imposed on a server.
+// Accounting is a consistent snapshot of the load tuning imposed on a
+// server, obtained from Server.Acct.
 type Accounting struct {
 	WhatIfCalls  int64
 	StatsCreated int64
@@ -49,7 +57,15 @@ type Server struct {
 	// only metadata and imported statistics.
 	Data *engine.Database
 
-	Acct Accounting
+	// Accounting counters; atomic so concurrent tuning sessions sharing
+	// this server never lose an increment.
+	whatIfCalls  atomic.Int64
+	statsCreated atomic.Int64
+	overheadBits atomic.Uint64 // float64 bits of the Overhead counter
+
+	// statsMu serializes statistics creation so two concurrent sessions
+	// needing the same statistic build (and charge for) it only once.
+	statsMu sync.Mutex
 
 	opt *optimizer.Optimizer
 }
@@ -71,11 +87,30 @@ func (s *Server) AttachData(db *engine.Database) {
 // Optimizer returns the server's optimizer (for direct plan inspection).
 func (s *Server) Optimizer() *optimizer.Optimizer { return s.opt }
 
+// Acct returns a snapshot of the server's accounting counters.
+func (s *Server) Acct() Accounting {
+	return Accounting{
+		WhatIfCalls:  s.whatIfCalls.Load(),
+		StatsCreated: s.statsCreated.Load(),
+		Overhead:     math.Float64frombits(s.overheadBits.Load()),
+	}
+}
+
+// addOverhead atomically adds simulated load to the server.
+func (s *Server) addOverhead(d float64) {
+	for {
+		old := s.overheadBits.Load()
+		if s.overheadBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
 // WhatIf optimizes the statement as if cfg were materialized, charging the
 // call to this server.
 func (s *Server) WhatIf(stmt sqlparser.Statement, cfg *catalog.Configuration) (*optimizer.Result, error) {
-	s.Acct.WhatIfCalls++
-	s.Acct.Overhead += WhatIfCallCost
+	s.whatIfCalls.Add(1)
+	s.addOverhead(WhatIfCallCost)
 	return s.opt.Optimize(stmt, cfg)
 }
 
@@ -97,6 +132,8 @@ func (s *Server) HasStatistic(table string, cols []string) bool {
 // I/O charged to this server). It fails on a server without data — a test
 // server must import statistics instead (§5.3).
 func (s *Server) CreateStatistic(table string, cols []string) (*stats.Statistic, error) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	if s.Stats.Has(table, cols) {
 		return s.Stats.Lookup(table, cols), nil
 	}
@@ -108,8 +145,8 @@ func (s *Server) CreateStatistic(table string, cols []string) (*stats.Statistic,
 		return nil, err
 	}
 	s.Stats.Add(st)
-	s.Acct.StatsCreated++
-	s.Acct.Overhead += float64(st.SampledPages)
+	s.statsCreated.Add(1)
+	s.addOverhead(float64(st.SampledPages))
 	return st, nil
 }
 
@@ -162,13 +199,17 @@ func (s *Server) ImportStatistic(from *Server, table string, cols []string) erro
 // production server's hardware parameters are simulated so the optimizer
 // produces the same plans it would produce on production.
 func NewTestServer(name string, prod *Server) *Server {
-	prod.Acct.Overhead += MetadataImportCost
+	prod.addOverhead(MetadataImportCost)
 	t := NewServer(name, prod.Cat.Clone(), prod.HW)
 	return t
 }
 
 // ResetAccounting zeroes the server's accounting counters.
-func (s *Server) ResetAccounting() { s.Acct = Accounting{} }
+func (s *Server) ResetAccounting() {
+	s.whatIfCalls.Store(0)
+	s.statsCreated.Store(0)
+	s.overheadBits.Store(0)
+}
 
 // Catalog returns the server's catalog (core.Tuner interface).
 func (s *Server) Catalog() *catalog.Catalog { return s.Cat }
@@ -185,4 +226,4 @@ func (s *Server) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration
 
 // WhatIfCallCount reports the number of what-if calls issued so far
 // (core.Tuner interface).
-func (s *Server) WhatIfCallCount() int64 { return s.Acct.WhatIfCalls }
+func (s *Server) WhatIfCallCount() int64 { return s.whatIfCalls.Load() }

@@ -46,8 +46,8 @@ func TestWhatIfChargesOverhead(t *testing.T) {
 	if res.Cost <= 0 {
 		t.Fatal("cost should be positive")
 	}
-	if s.Acct.WhatIfCalls != 1 || s.Acct.Overhead < WhatIfCallCost {
-		t.Fatalf("accounting = %+v", s.Acct)
+	if s.Acct().WhatIfCalls != 1 || s.Acct().Overhead < WhatIfCallCost {
+		t.Fatalf("accounting = %+v", s.Acct())
 	}
 }
 
@@ -60,15 +60,15 @@ func TestCreateStatisticFromData(t *testing.T) {
 	if st.Hist == nil || len(st.Densities) != 2 {
 		t.Fatalf("stat = %+v", st)
 	}
-	if s.Acct.StatsCreated != 1 || s.Acct.Overhead <= 0 {
-		t.Fatalf("accounting = %+v", s.Acct)
+	if s.Acct().StatsCreated != 1 || s.Acct().Overhead <= 0 {
+		t.Fatalf("accounting = %+v", s.Acct())
 	}
 	// Idempotent.
-	before := s.Acct
+	before := s.Acct()
 	if _, err := s.CreateStatistic("t", []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
-	if s.Acct != before {
+	if s.Acct() != before {
 		t.Fatal("re-creating an existing statistic must be free")
 	}
 }
@@ -121,27 +121,27 @@ func TestTestServerFlow(t *testing.T) {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 
-	prodOverheadBefore := prod.Acct.Overhead
+	prodOverheadBefore := prod.Acct().Overhead
 	if err := test.ImportStatistic(prod, "t", []string{"a"}); err != nil {
 		t.Fatal(err)
 	}
 	if !test.Stats.Has("t", []string{"a"}) {
 		t.Fatal("import failed")
 	}
-	if prod.Acct.Overhead <= prodOverheadBefore {
+	if prod.Acct().Overhead <= prodOverheadBefore {
 		t.Fatal("creating the statistic must charge the production server")
 	}
 
 	// What-if calls on the test server charge the test server only.
-	prodCalls := prod.Acct.WhatIfCalls
+	prodCalls := prod.Acct().WhatIfCalls
 	if _, err := test.WhatIf(sqlparser.MustParse("SELECT a FROM t WHERE a = 1"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if prod.Acct.WhatIfCalls != prodCalls {
+	if prod.Acct().WhatIfCalls != prodCalls {
 		t.Fatal("test-server what-if must not touch production")
 	}
-	if test.Acct.WhatIfCalls != 1 {
-		t.Fatalf("test accounting = %+v", test.Acct)
+	if test.Acct().WhatIfCalls != 1 {
+		t.Fatalf("test accounting = %+v", test.Acct())
 	}
 }
 

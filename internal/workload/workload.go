@@ -50,6 +50,32 @@ func New(sqls ...string) (*Workload, error) {
 	return w, nil
 }
 
+// Statement is the wire form of one weighted workload event — the session
+// input the tuning service and the XML schema both decode into.
+type Statement struct {
+	SQL    string  `json:"sql"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// FromStatements parses weighted statements into a workload. Weights ≤ 0
+// count as 1, mirroring trace semantics. An empty list is an error: a
+// tuning session needs something to tune.
+func FromStatements(stmts []Statement) (*Workload, error) {
+	w := &Workload{}
+	for i, st := range stmts {
+		if strings.TrimSpace(st.SQL) == "" {
+			return nil, fmt.Errorf("workload: statement %d is empty", i+1)
+		}
+		if err := w.Add(st.SQL, st.Weight); err != nil {
+			return nil, fmt.Errorf("workload: statement %d: %w", i+1, err)
+		}
+	}
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("workload: no statements")
+	}
+	return w, nil
+}
+
 // MustNew is New for statically known workloads; it panics on parse errors.
 func MustNew(sqls ...string) *Workload {
 	w, err := New(sqls...)

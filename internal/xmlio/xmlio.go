@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // Namespace is the schema namespace identifier.
@@ -326,6 +327,20 @@ func FromRecommendation(rec *core.Recommendation) *RecommendationXML {
 		out.DDL = append(out.DDL, "DROP "+s.String())
 	}
 	return out
+}
+
+// ToWorkload converts the XML workload element to a core workload — the one
+// decode path shared by the command-line tool and the tuning service's HTTP
+// endpoint, so an XML session file works identically over both.
+func ToWorkload(x *Workload) (*workload.Workload, error) {
+	if x == nil || len(x.Statements) == 0 {
+		return nil, fmt.Errorf("xmlio: input has no workload statements")
+	}
+	stmts := make([]workload.Statement, 0, len(x.Statements))
+	for _, st := range x.Statements {
+		stmts = append(stmts, workload.Statement{SQL: strings.TrimSpace(st.SQL), Weight: st.Weight})
+	}
+	return workload.FromStatements(stmts)
 }
 
 // FeatureMaskFromString parses the FeatureSet field.
