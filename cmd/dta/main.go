@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/obs"
 	"repro/internal/testsrv"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
@@ -45,12 +47,13 @@ func main() {
 		noCompress = flag.Bool("no-compression", false, "disable workload compression (§5.1)")
 		useTestSrv = flag.Bool("test-server", false, "tune through a test server (§5.3)")
 		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
+		tracePath  = flag.String("trace", "", "write the session's span timeline here as Chrome trace-event JSON (view in chrome://tracing or ui.perfetto.dev)")
 		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
 	)
 	flag.Parse()
 
 	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet); err != nil {
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -58,7 +61,7 @@ func main() {
 
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
-	noCompress, useTestSrv, quiet bool) error {
+	noCompress, useTestSrv, quiet bool, tracePath string) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
@@ -149,9 +152,36 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		}
 	}
 
-	rec, err := core.Tune(tuner, w, opts)
+	// With -trace, run the session under a span timeline and write it out as
+	// Chrome trace-event JSON — the same timeline dtaserver serves per
+	// session at GET /sessions/{id}/trace.
+	ctx := context.Background()
+	var trace *obs.Trace
+	if tracePath != "" {
+		trace = obs.NewTrace("dta " + dbName)
+		ctx = obs.WithTrace(ctx, trace)
+	}
+
+	rec, err := core.TuneContext(ctx, tuner, w, opts)
 	if err != nil {
 		return err
+	}
+
+	if trace != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", trace.SpanCount(), tracePath)
+		}
 	}
 
 	if !quiet {

@@ -1,7 +1,10 @@
 // Command dtabench regenerates every table and figure of the paper's
 // evaluation (§7) plus the §3 integrated-vs-staged comparison and the
 // ablation studies called out in DESIGN.md, printing each in the paper's
-// row/column layout. Pass -quick for a fast reduced-scale run.
+// row/column layout. Pass -quick for a fast reduced-scale run, and
+// -json <path> to also write the results as a machine-readable JSON array
+// (one record per experiment and per case: name, wall time, what-if calls,
+// improvement percentage) — what CI archives as a benchmark artifact.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file as JSON")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -23,79 +27,85 @@ func main() {
 		cfg = experiments.Quick()
 	}
 
-	run := func(name string, fn func() error) {
+	var records []experiments.BenchRecord
+	run := func(name string, fn func() ([]experiments.BenchRecord, error)) {
 		if *only != "" && *only != name {
 			return
 		}
 		start := time.Now()
-		if err := fn(); err != nil {
+		recs, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dtabench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		records = append(records, experiments.BenchRecord{Experiment: name, WallMS: elapsed.Milliseconds()})
+		records = append(records, recs...)
+		fmt.Printf("(%s completed in %s)\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	run("table1", func() error {
+	run("table1", func() ([]experiments.BenchRecord, error) {
 		fmt.Println(experiments.Table1String())
-		return nil
+		return nil, nil
 	})
-	run("table2", func() error {
+	run("table2", func() ([]experiments.BenchRecord, error) {
 		rows, err := experiments.Table2(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(experiments.Table2String(rows))
-		return nil
+		return experiments.SummarizeTable2(rows), nil
 	})
-	run("sec72", func() error {
+	run("sec72", func() ([]experiments.BenchRecord, error) {
 		res, err := experiments.Sec72(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(res.String())
-		return nil
+		return experiments.SummarizeSec72(res), nil
 	})
-	run("figure3", func() error {
+	run("figure3", func() ([]experiments.BenchRecord, error) {
 		rows, err := experiments.Figure3(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(experiments.Figure3String(rows))
-		return nil
+		return experiments.SummarizeFigure3(rows), nil
 	})
-	run("table3", func() error {
+	run("table3", func() ([]experiments.BenchRecord, error) {
 		rows, err := experiments.Table3(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(experiments.Table3String(rows))
-		return nil
+		return experiments.SummarizeTable3(rows), nil
 	})
-	run("sec75", func() error {
+	run("sec75", func() ([]experiments.BenchRecord, error) {
 		rows, err := experiments.Sec75(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(experiments.Sec75String(rows))
-		return nil
+		return experiments.SummarizeSec75(rows), nil
 	})
-	run("figure45", func() error {
+	run("figure45", func() ([]experiments.BenchRecord, error) {
 		rows, err := experiments.Figure45(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(experiments.Figure45String(rows))
-		return nil
+		return experiments.SummarizeFigure45(rows), nil
 	})
-	run("sec3", func() error {
+	run("sec3", func() ([]experiments.BenchRecord, error) {
 		res, err := experiments.Sec3IntegratedVsStaged(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(res.String())
-		return nil
+		return experiments.SummarizeSec3(res), nil
 	})
-	run("ablations", func() error {
+	run("ablations", func() ([]experiments.BenchRecord, error) {
+		var recs []experiments.BenchRecord
 		for _, fn := range []func(experiments.Config) (*experiments.AblationRow, error){
 			experiments.AblationColumnGroupRestriction,
 			experiments.AblationMerging,
@@ -104,10 +114,19 @@ func main() {
 		} {
 			row, err := fn(cfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Println(experiments.AblationString(row))
+			recs = append(recs, experiments.SummarizeAblation(row)...)
 		}
-		return nil
+		return recs, nil
 	})
+
+	if *jsonPath != "" {
+		if err := experiments.WriteBenchJSON(*jsonPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "dtabench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dtabench: wrote %d records to %s\n", len(records), *jsonPath)
+	}
 }

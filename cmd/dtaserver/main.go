@@ -12,16 +12,23 @@
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        session snapshot
 //	GET    /sessions/{id}/events progress stream (NDJSON)
+//	GET    /sessions/{id}/trace  session timeline (Chrome trace-event JSON)
 //	DELETE /sessions/{id}        cancel (keeps the best-so-far result)
-//	GET    /metrics              cumulative service metrics
+//	GET    /metrics              Prometheus metrics (JSON via Accept header)
+//	GET    /metrics.json         cumulative service metrics, JSON
 //	GET    /backends             registered databases
+//
+// With -pprof the standard net/http/pprof profiling handlers are mounted
+// under /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,17 +47,27 @@ func main() {
 		sf         = flag.Float64("sf", 0.01, "scale factor / data scale for the demonstration databases")
 		workers    = flag.Int("workers", 4, "maximum concurrently running tuning sessions")
 		useTestSrv = flag.Bool("test-server", false, "tune each database through a test server (§5.3)")
+		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dbs, *sf, *workers, *useTestSrv); err != nil {
-		fmt.Fprintln(os.Stderr, "dtaserver:", err)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "dtaserver: bad -log-level:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if err := run(logger, *addr, *dbs, *sf, *workers, *useTestSrv, *withPprof); err != nil {
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbs string, sf float64, workers int, useTestSrv bool) error {
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers int, useTestSrv, withPprof bool) error {
 	m := service.NewManager(workers)
+	m.SetLogger(logger)
 	for _, name := range strings.Split(dbs, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -72,19 +89,43 @@ func run(addr, dbs string, sf float64, workers int, useTestSrv bool) error {
 		if err := m.Register(b); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dtaserver: serving %s (%d tables, %.1f MB, built-in workload of %d statements)\n",
-			name, len(srv.Cat.Tables()), float64(srv.Cat.Bytes())/(1<<20), builtin.Len())
+		logger.Info("serving database", "db", name,
+			"tables", len(srv.Cat.Tables()),
+			"dataMB", fmt.Sprintf("%.1f", float64(srv.Cat.Bytes())/(1<<20)),
+			"workloadStatements", builtin.Len(),
+			"testServer", useTestSrv)
 	}
 	if len(m.Backends()) == 0 {
 		return fmt.Errorf("no databases to serve (-db)")
 	}
 
-	hs := &http.Server{Addr: addr, Handler: m.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", m.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	// WriteTimeout stays 0: /sessions/{id}/events is a long-lived NDJSON
+	// stream and a write deadline would sever it mid-session.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	// Serve until interrupted, then cancel live sessions and drain.
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "dtaserver: listening on %s (max %d concurrent sessions)\n", addr, workers)
+	logger.Info("listening", "addr", addr, "workers", workers,
+		"pprof", withPprof,
+		"readHeaderTimeout", hs.ReadHeaderTimeout,
+		"idleTimeout", hs.IdleTimeout)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -92,13 +133,13 @@ func run(addr, dbs string, sf float64, workers int, useTestSrv bool) error {
 	case err := <-errc:
 		return err
 	case s := <-sigc:
-		fmt.Fprintf(os.Stderr, "dtaserver: %v — cancelling sessions and shutting down\n", s)
+		logger.Info("shutting down", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := m.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "dtaserver: session drain: %v\n", err)
+		logger.Warn("session drain", "err", err)
 	}
 	return hs.Shutdown(ctx)
 }

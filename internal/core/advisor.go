@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -147,6 +148,14 @@ type Options struct {
 	// tuning traces of hundreds of thousands of events).
 	SkipReports bool
 
+	// Metrics, when set, receives the session's pipeline metrics: phase
+	// durations, candidates per query, merge/enumeration pool sizes, greedy
+	// steps. The what-if latency histograms live one layer down (the tuner's
+	// server observes them; see whatif.Server.SetMetrics), and spans travel
+	// on the context instead (obs.WithTrace). The tuning service shares one
+	// registry across every backend and session.
+	Metrics *obs.Registry
+
 	// PartitionCount is the number of ranges partitioning candidates use
 	// (default 12).
 	PartitionCount int
@@ -267,7 +276,12 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	// The tune span is the pipeline's root: under the service it nests in
+	// the session span, standalone (dta -trace) it is the timeline itself.
+	ctx, tuneSpan := obs.StartSpan(ctx, "pipeline", "tune")
+	defer tuneSpan.End()
 	tr := newTracker(ctx, opts, start)
+	tr.attachSpans(ctx)
 
 	base := opts.BaseConfig
 	if base == nil {
@@ -295,6 +309,7 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 		compressed = tuned.Len() < w.Len()
 	}
 	tr.eventsTotal = tuned.Len()
+	tuneSpan.SetArg("events", tuned.Len()).SetArg("compressed", compressed)
 
 	ev := newEvaluator(t, tuned)
 	ev.tr = tr
@@ -363,7 +378,16 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	// Merging (§2.2).
 	if !opts.NoMerging && !tr.stopped() {
 		tr.setPhase(PhaseMerging)
+		before := len(cands)
 		cands = mergeCandidates(t.Catalog(), cands, benefit, opts)
+		if opts.Metrics != nil {
+			opts.Metrics.Histogram("dta_merge_pool_size",
+				"Candidate pool size entering/leaving the merging step (§2.2).",
+				obs.CountBuckets, "side", "in").Observe(float64(before))
+			opts.Metrics.Histogram("dta_merge_pool_size",
+				"Candidate pool size entering/leaving the merging step (§2.2).",
+				obs.CountBuckets, "side", "out").Observe(float64(len(cands)))
+		}
 	}
 
 	// Bound the enumeration pool by benefit.
@@ -372,6 +396,11 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 		cap = 48
 	}
 	cands = capCandidates(cands, benefit, cap)
+	if opts.Metrics != nil {
+		opts.Metrics.Histogram("dta_enumeration_pool_size",
+			"Candidates entering the enumeration Greedy(m,k).",
+			obs.CountBuckets).Observe(float64(len(cands)))
+	}
 
 	// Enumeration (§2.2, §4): Greedy(m,k) under storage and alignment.
 	tr.setPhase(PhaseEnumeration)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -31,12 +32,20 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 		if tr.stopped() {
 			break
 		}
+		qspan, endQuery := tr.span("query", "select-candidates")
+		qspan.SetArg("event", i)
 		gain, err := func() (float64, error) {
 			q := ev.analyzed(i)
 			if q == nil {
 				return 0, nil
 			}
 			cands := generateForQuery(t.Catalog(), q, groups, opts)
+			qspan.SetArg("candidates", len(cands))
+			if opts.Metrics != nil {
+				opts.Metrics.Histogram("dta_candidates_per_query",
+					"Syntactically relevant structures generated per workload event (§2.2).",
+					obs.CountBuckets).Observe(float64(len(cands)))
+			}
 			if len(cands) == 0 {
 				return 0, nil
 			}
@@ -89,6 +98,8 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			}
 			return gain, nil
 		}()
+		qspan.SetArg("gain", gain)
+		endQuery()
 		if err != nil {
 			if stopping(err) {
 				break // keep the candidates gathered so far

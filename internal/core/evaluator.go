@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/workload"
 )
@@ -160,10 +161,13 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 	}
 	ev.calls++
 	ev.tr.countCall()
+	_, sp := obs.StartSpan(ev.tr.spanCtx(), "whatif", "what-if")
 	c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
 	if err != nil {
+		sp.SetArg("event", i).SetArg("error", err.Error()).End()
 		return 0, nil, err
 	}
+	sp.SetArg("event", i).SetArg("cost", c).End()
 	ev.cache[key] = cacheEntry{cost: c, used: used}
 	return c, used, nil
 }

@@ -119,55 +119,79 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 		}
 		return nil
 	}
-	if err := trySubset(0, state{cfg: base.Clone(), cost: baseCost}, 0); err != nil {
+	seedSpan, endSeed := o.tr.span("greedy", "greedy-seed")
+	seedSpan.SetArg("m", o.m).SetArg("candidates", len(cands))
+	err = trySubset(0, state{cfg: base.Clone(), cost: baseCost}, 0)
+	endSeed()
+	if err != nil {
 		if stopping(err) {
 			return best.chosen, nil
 		}
 		return nil, err
 	}
 
-	// Greedy growth to k.
+	// Greedy growth to k. Each growth step — one sweep over the candidate
+	// pool picking the structure that lowers cost most — is a span, so a
+	// timeline shows how the per-step what-if cost shrinks as the evaluator
+	// cache warms up.
 	usedKeys := map[string]bool{}
 	for _, s := range best.chosen {
 		usedKeys[s.Key()] = true
 	}
-	for len(best.chosen) < o.k && !expired() {
-		bestIdx := -1
-		bestCost := math.Inf(1)
-		var bestCfg *catalog.Configuration
-		for i, s := range cands {
-			if expired() {
+	for step := 0; len(best.chosen) < o.k && !expired(); step++ {
+		stepSpan, endStep := o.tr.span("greedy", "greedy-step")
+		stepSpan.SetArg("step", step).SetArg("chosen", len(best.chosen))
+		grew, err := func() (bool, error) {
+			bestIdx := -1
+			bestCost := math.Inf(1)
+			var bestCfg *catalog.Configuration
+			for i, s := range cands {
+				if expired() {
+					return false, nil
+				}
+				cfg := best.cfg.Clone()
+				if !o.apply(cfg, s) {
+					continue
+				}
+				if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
+					continue
+				}
+				c, err := cost(cfg)
+				if err != nil {
+					return false, err
+				}
+				if c < bestCost {
+					bestIdx, bestCost, bestCfg = i, c, cfg
+				}
+			}
+			if bestIdx < 0 || bestCost >= best.cost*(1-o.minImprove) {
+				return false, nil
+			}
+			usedKeys[cands[bestIdx].Key()] = true
+			best = state{
+				chosen: append(best.chosen, cands[bestIdx]),
+				cfg:    bestCfg,
+				cost:   bestCost,
+			}
+			stepSpan.SetArg("picked", cands[bestIdx].Key()).SetArg("cost", bestCost)
+			if o.tr != nil && o.tr.metrics != nil {
+				o.tr.metrics.Counter("dta_greedy_steps_total",
+					"Completed Greedy(m,k) growth steps.").Inc()
+			}
+			if o.onStep != nil {
+				o.onStep(best.cost)
+			}
+			return true, nil
+		}()
+		endStep()
+		if err != nil {
+			if stopping(err) {
 				return best.chosen, nil
 			}
-			cfg := best.cfg.Clone()
-			if !o.apply(cfg, s) {
-				continue
-			}
-			if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
-				continue
-			}
-			c, err := cost(cfg)
-			if err != nil {
-				if stopping(err) {
-					return best.chosen, nil
-				}
-				return nil, err
-			}
-			if c < bestCost {
-				bestIdx, bestCost, bestCfg = i, c, cfg
-			}
+			return nil, err
 		}
-		if bestIdx < 0 || bestCost >= best.cost*(1-o.minImprove) {
+		if !grew {
 			break
-		}
-		usedKeys[cands[bestIdx].Key()] = true
-		best = state{
-			chosen: append(best.chosen, cands[bestIdx]),
-			cfg:    bestCfg,
-			cost:   bestCost,
-		}
-		if o.onStep != nil {
-			o.onStep(best.cost)
 		}
 	}
 	return best.chosen, nil

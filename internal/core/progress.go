@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Phase identifies one stage of the tuning pipeline (paper §2.2). Phases are
@@ -95,14 +97,81 @@ type tracker struct {
 	calls           int64
 	baseCost        float64
 	bestImprovement float64
+
+	// Observability. tuneCtx carries the session's tune-level span; sctx is
+	// the context of the innermost open span (phase, query, greedy step) so
+	// deeper spans nest under it. Both are touched only on the tuning
+	// goroutine. metrics, when set, receives the pipeline-shape histograms
+	// (phase durations, candidates per query, pool sizes).
+	tuneCtx   context.Context
+	sctx      context.Context
+	phaseSpan *obs.Span
+	phaseAt   time.Time
+	metrics   *obs.Registry
 }
 
 func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
-	tr := &tracker{ctx: ctx, cb: opts.Progress, start: start, timeLimit: opts.TimeLimit, phase: PhaseBaseline}
+	tr := &tracker{ctx: ctx, cb: opts.Progress, start: start, timeLimit: opts.TimeLimit, phase: PhaseBaseline, metrics: opts.Metrics}
 	if opts.TimeLimit > 0 {
 		tr.deadline = start.Add(opts.TimeLimit)
 	}
 	return tr
+}
+
+// attachSpans records the tune-level span context spans nest under.
+func (tr *tracker) attachSpans(ctx context.Context) {
+	if tr == nil {
+		return
+	}
+	tr.tuneCtx = ctx
+	tr.sctx = ctx
+}
+
+// spanCtx returns the context of the innermost open span (for code that
+// starts spans outside the tracker's own helpers, like the evaluator's
+// per-what-if-call spans).
+func (tr *tracker) spanCtx() context.Context {
+	if tr == nil || tr.sctx == nil {
+		return context.Background()
+	}
+	return tr.sctx
+}
+
+// span opens a child span of the tracker's innermost open span. The returned
+// func ends it and restores the previous nesting level; with tracing off
+// both the span and the work are nil/no-op.
+func (tr *tracker) span(cat, name string) (*obs.Span, func()) {
+	if tr == nil || tr.sctx == nil {
+		return nil, func() {}
+	}
+	prev := tr.sctx
+	ctx, sp := obs.StartSpan(prev, cat, name)
+	if sp == nil {
+		return nil, func() {}
+	}
+	tr.sctx = ctx
+	return sp, func() {
+		sp.End()
+		tr.sctx = prev
+	}
+}
+
+// closePhase ends the open phase span and observes the phase's duration.
+func (tr *tracker) closePhase() {
+	if tr == nil {
+		return
+	}
+	if tr.phaseSpan != nil {
+		tr.phaseSpan.End()
+		tr.phaseSpan = nil
+		tr.sctx = tr.tuneCtx
+	}
+	if tr.metrics != nil && !tr.phaseAt.IsZero() && tr.phase != "" {
+		tr.metrics.Histogram("dta_phase_duration_seconds",
+			"Wall time per tuning pipeline phase (paper §2.2).",
+			obs.LatencyBuckets, "phase", string(tr.phase)).Observe(time.Since(tr.phaseAt).Seconds())
+	}
+	tr.phaseAt = time.Time{}
 }
 
 // ctxStopped reports whether the session's context was cancelled. It is the
@@ -163,7 +232,18 @@ func (tr *tracker) setPhase(p Phase) {
 	if tr == nil {
 		return
 	}
+	tr.closePhase()
 	tr.phase = p
+	if p != PhaseDone && tr.tuneCtx != nil {
+		ctx, sp := obs.StartSpan(tr.tuneCtx, "phase", string(p))
+		if sp != nil {
+			tr.phaseSpan = sp
+			tr.sctx = ctx
+		}
+	}
+	if p != PhaseDone {
+		tr.phaseAt = time.Now()
+	}
 	tr.emit()
 }
 

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap, the same idiom the
+// what-if server uses for its overhead counter.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds v (v must be non-negative for the exposition to stay meaningful).
+func (c *Counter) Add(v float64) { c.v.Add(v) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observations are counted into the
+// first bucket whose upper bound is ≥ the value, with an implicit +Inf
+// overflow bucket, plus a running sum and count.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Buckets returns the upper bounds and cumulative counts (excluding +Inf;
+// the total is Count).
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	out := make([]uint64, len(h.upper))
+	var cum uint64
+	for i := range h.upper {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return h.upper, out
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns n upper bounds start, start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 10µs to ~80s — what-if optimizer calls sit at the
+// low end, whole sessions at the high end.
+var LatencyBuckets = ExpBuckets(1e-5, 2, 23)
+
+// CountBuckets suits small cardinalities: candidates per query, structures
+// per configuration, pool sizes.
+var CountBuckets = ExpBuckets(1, 2, 12)
+
+// metric families by type name used in exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []string // alternating key, value pairs, sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with all of its labeled series.
+type family struct {
+	name, help, typ string
+	buckets         []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition or a JSON-friendly snapshot. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// familyOf finds or creates a family, panicking on a type conflict (a
+// programming error: one name registered as two metric types).
+func (r *Registry) familyOf(name, help, typ string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]*series{}}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// normalizeLabels validates alternating key/value pairs and returns them
+// sorted by key together with the series map key.
+func normalizeLabels(labels []string) ([]string, string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	n := len(labels) / 2
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return labels[2*idx[a]] < labels[2*idx[b]] })
+	out := make([]string, 0, len(labels))
+	var key strings.Builder
+	for _, i := range idx {
+		out = append(out, labels[2*i], labels[2*i+1])
+		key.WriteString(labels[2*i])
+		key.WriteByte(0)
+		key.WriteString(labels[2*i+1])
+		key.WriteByte(0)
+	}
+	return out, key.String()
+}
+
+func (f *family) seriesOf(labels []string) *series {
+	sorted, key := normalizeLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted}
+		switch f.typ {
+		case typeCounter:
+			s.c = &Counter{}
+		case typeGauge:
+			s.g = &Gauge{}
+		case typeHistogram:
+			h := &Histogram{upper: f.buckets}
+			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			s.h = h
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for the name and label pairs (alternating
+// key, value), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.familyOf(name, help, typeCounter, nil).seriesOf(labels).c
+}
+
+// Gauge returns the gauge for the name and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.familyOf(name, help, typeGauge, nil).seriesOf(labels).g
+}
+
+// Histogram returns the histogram for the name and label pairs. The buckets
+// of the first registration of a name win; they must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	return r.familyOf(name, help, typeHistogram, buckets).seriesOf(labels).h
+}
+
+// snapshotFamilies returns the families sorted by name and each family's
+// series sorted by label key, for deterministic exposition.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// renderLabels renders {k="v",...} from sorted pairs, with extra appended
+// unescaped-key pairs (used for the histogram le label).
+func renderLabels(pairs []string, extra ...string) string {
+	all := append(append([]string(nil), pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(all[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(all[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			switch f.typ {
+			case typeCounter:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.c.Value()))
+			case typeGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.g.Value()))
+			case typeHistogram:
+				err = writeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	upper, cum := s.h.Buckets()
+	for i, ub := range upper {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, renderLabels(s.labels, "le", formatFloat(ub)), cum[i]); err != nil {
+			return err
+		}
+	}
+	count := s.h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.labels, "le", "+Inf"), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels), formatFloat(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), count)
+	return err
+}
+
+// SeriesSnapshot is the JSON view of one labeled series.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  uint64            `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	// Buckets maps each upper bound to the cumulative count ≤ bound.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is the JSON view of one metric family.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns a JSON-friendly view of every family, sorted by name.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	var out []FamilySnapshot
+	for _, f := range r.snapshotFamilies() {
+		fs := FamilySnapshot{Name: f.name, Type: f.typ, Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for i := 0; i+1 < len(s.labels); i += 2 {
+					ss.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = s.c.Value()
+			case typeGauge:
+				ss.Value = s.g.Value()
+			case typeHistogram:
+				ss.Count = s.h.Count()
+				ss.Sum = s.h.Sum()
+				upper, cum := s.h.Buckets()
+				ss.Buckets = map[string]uint64{}
+				for i, ub := range upper {
+					ss.Buckets[formatFloat(ub)] = cum[i]
+				}
+				ss.Buckets["+Inf"] = ss.Count
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

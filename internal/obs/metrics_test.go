@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls_total", "calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	// The same name+labels returns the same series.
+	if r.Counter("calls_total", "calls") != c {
+		t.Fatal("counter identity lost")
+	}
+	g := r.Gauge("pool", "pool size", "kind", "index")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	// Label order must not matter for identity.
+	a := r.Counter("lbl_total", "", "a", "1", "b", "2")
+	b := r.Counter("lbl_total", "", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-102.561) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	upper, cum := h.Buckets()
+	if len(upper) != 3 || upper[0] != 0.01 {
+		t.Fatalf("upper = %v", upper)
+	}
+	// 0.001 and 0.01 land ≤0.01; 0.05 ≤0.1; 0.5 ≤1; 2 and 100 overflow.
+	want := []uint64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+// TestPrometheusExposition checks the text format line by line: HELP/TYPE
+// headers, escaped labels, histogram bucket/sum/count suffixes.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dta_calls_total", "what-if calls", "server", `pr"od\x`).Add(3)
+	r.Gauge("dta_sessions", "live sessions", "state", "running").Set(2)
+	h := r.Histogram("dta_lat_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	for _, want := range []string{
+		"# TYPE dta_calls_total counter",
+		`dta_calls_total{server="pr\"od\\x"} 3`,
+		"# TYPE dta_sessions gauge",
+		`dta_sessions{state="running"} 2`,
+		"# TYPE dta_lat_seconds histogram",
+		`dta_lat_seconds_bucket{le="0.5"} 1`,
+		`dta_lat_seconds_bucket{le="1"} 2`,
+		`dta_lat_seconds_bucket{le="+Inf"} 3`,
+		`dta_lat_seconds_sum 5.9`,
+		`dta_lat_seconds_count 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line must match the exposition sample grammar.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("bad exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help c").Add(2)
+	h := r.Histogram("h_seconds", "", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Series[0].Value != 2 {
+		t.Fatalf("counter snapshot: %+v", snap[0])
+	}
+	hs := snap[1]
+	if hs.Type != "histogram" || hs.Series[0].Count != 1 || hs.Series[0].Buckets["1"] != 1 {
+		t.Fatalf("histogram snapshot: %+v", hs)
+	}
+}
+
+// TestConcurrentObservation hammers one registry from many goroutines; run
+// under -race this is the concurrency-safety check.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("cc_total", "").Inc()
+				r.Gauge("gg", "").Set(float64(i))
+				r.Histogram("hh", "", []float64{100, 1000}, "g", "x").Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("cc_total", "").Value(); got != goroutines*per {
+		t.Fatalf("counter = %v, want %d", got, goroutines*per)
+	}
+	if got := r.Histogram("hh", "", nil, "g", "x").Count(); got != goroutines*per {
+		t.Fatalf("histogram count = %v, want %d", got, goroutines*per)
+	}
+}

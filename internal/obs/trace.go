@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects the completed spans of one tuning session. It is bounded:
+// past the span limit new spans are counted as dropped rather than stored,
+// so a runaway session cannot exhaust server memory. A Trace may be exported
+// while the session is still running; the export contains the spans
+// completed so far.
+type Trace struct {
+	name  string
+	start time.Time
+
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	spans   []spanRecord
+	limit   int
+	dropped int64
+}
+
+// spanRecord is one completed span.
+type spanRecord struct {
+	id, parent int64
+	cat, name  string
+	start      time.Time
+	dur        time.Duration
+	args       map[string]any
+}
+
+// DefaultSpanLimit bounds the spans kept per trace. At roughly a hundred
+// bytes per span the default caps a trace at ~20 MB — far above any normal
+// session (a span per what-if call, and sessions issue thousands of calls).
+const DefaultSpanLimit = 200000
+
+// NewTrace creates an empty trace. The name becomes the process name in the
+// Chrome trace export (typically the session ID).
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now(), limit: DefaultSpanLimit}
+}
+
+// SetLimit replaces the span limit (n ≤ 0 restores the default).
+func (t *Trace) SetLimit(n int) {
+	if n <= 0 {
+		n = DefaultSpanLimit
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Name returns the trace name.
+func (t *Trace) Name() string { return t.name }
+
+// SpanCount returns the number of completed spans collected so far.
+func (t *Trace) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns the number of spans discarded over the limit.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func (t *Trace) collect(r spanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, r)
+	}
+	t.mu.Unlock()
+}
+
+// Span is one in-flight operation. A nil *Span is valid and no-ops, which is
+// what StartSpan returns when the context carries no Trace — instrumented
+// code never needs to branch on whether tracing is enabled.
+type Span struct {
+	tr         *Trace
+	id, parent int64
+	cat, name  string
+	start      time.Time
+	args       map[string]any
+}
+
+// SetArg attaches one key/value to the span (rendered in the trace viewer's
+// args pane). It returns the span for chaining and no-ops on nil.
+func (s *Span) SetArg(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = v
+	return s
+}
+
+// End completes the span and hands it to the trace. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.collect(spanRecord{
+		id: s.id, parent: s.parent, cat: s.cat, name: s.name,
+		start: s.start, dur: time.Since(s.start), args: s.args,
+	})
+}
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches the trace to the context; spans started from the
+// returned context (and its descendants) collect into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span as a child of the context's current span. When the
+// context carries no Trace it returns the context unchanged and a nil span —
+// the zero-overhead "tracing off" path.
+func StartSpan(ctx context.Context, cat, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if p, _ := ctx.Value(spanKey{}).(*Span); p != nil {
+		parent = p.id
+	}
+	s := &Span{tr: tr, id: tr.nextID.Add(1), parent: parent, cat: cat, name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events; ts and dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto. All spans of a session run on one tuning
+// goroutine, so they share one pid/tid and the viewer reconstructs nesting
+// from time containment.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	spans := append([]spanRecord(nil), t.spans...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"trace":        t.name,
+			"spans":        len(spans),
+			"droppedSpans": dropped,
+		},
+		TraceEvents: []chromeEvent{{
+			Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": t.name},
+		}},
+	}
+	for _, r := range spans {
+		e := chromeEvent{
+			Name: r.name, Cat: r.cat, Ph: "X",
+			Ts:  r.start.Sub(t.start).Microseconds(),
+			Dur: r.dur.Microseconds(),
+			Pid: 1, Tid: 1, ID: r.id,
+			Args: r.args,
+		}
+		if r.parent != 0 {
+			if e.Args == nil {
+				e.Args = map[string]any{}
+			}
+			e.Args["parentSpan"] = r.parent
+		}
+		out.TraceEvents = append(out.TraceEvents, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -81,8 +81,10 @@ func (c CreateRequest) toRequest() (Request, error) {
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        one session's snapshot
 //	GET    /sessions/{id}/events stream progress events (NDJSON)
+//	GET    /sessions/{id}/trace  session timeline as Chrome trace-event JSON
 //	DELETE /sessions/{id}        cancel a session
-//	GET    /metrics              cumulative service metrics
+//	GET    /metrics              Prometheus text exposition (JSON with Accept: application/json)
+//	GET    /metrics.json         cumulative service metrics, JSON
 //	GET    /backends             registered databases
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -90,8 +92,10 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions", m.handleList)
 	mux.HandleFunc("GET /sessions/{id}", m.handleGet)
 	mux.HandleFunc("GET /sessions/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /sessions/{id}/trace", m.handleTrace)
 	mux.HandleFunc("DELETE /sessions/{id}", m.handleCancel)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", m.handleMetricsJSON)
 	mux.HandleFunc("GET /backends", m.handleBackends)
 	return mux
 }
@@ -243,7 +247,58 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// handleTrace serves the session's span timeline as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. A running
+// session's trace is served as-is — only completed spans appear.
+func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+s.ID()+`-trace.json"`)
+	w.WriteHeader(http.StatusOK)
+	s.Trace().WriteChromeTrace(w)
+}
+
+// handleMetrics serves the Prometheus text exposition format by default
+// (what a Prometheus scraper or plain curl gets); clients that send
+// Accept: application/json get the JSON snapshot instead, same as
+// GET /metrics.json.
 func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if accepts(r, "application/json") {
+		m.handleMetricsJSON(w, r)
+		return
+	}
+	// The lifecycle counters and per-backend call totals live outside the
+	// registry (they predate it and feed the JSON view); mirror the
+	// point-in-time ones into gauges so one scrape carries everything.
+	snap := m.Metrics()
+	m.gPending.Set(float64(snap.SessionsPending))
+	m.gRunning.Set(float64(snap.SessionsRunning))
+	for _, b := range snap.Backends {
+		m.reg.Gauge("dta_backend_whatif_calls",
+			"Cumulative what-if optimizer calls absorbed by the backend's server, including still-running sessions.",
+			"backend", b.Name).Set(float64(b.WhatIfCalls))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	m.reg.WritePrometheus(w)
+}
+
+// accepts reports whether the request's Accept header mentions the media
+// type (a lightweight check, not full content negotiation — the two
+// supported representations cannot both be asked for sensibly).
+func accepts(r *http.Request, mediaType string) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mt, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && mt == mediaType {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m.Metrics())
 }
 

@@ -171,7 +171,7 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 
 	var mx service.Metrics
-	resp3, err := http.Get(ts.URL + "/metrics")
+	resp3, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -80,6 +83,10 @@ type Session struct {
 	id      string
 	backend string
 	created time.Time
+	// trace collects the session's span timeline (session → phase → query →
+	// greedy step → what-if call); exported as Chrome trace-event JSON at
+	// GET /sessions/{id}/trace.
+	trace *obs.Trace
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -102,6 +109,10 @@ func (s *Session) ID() string { return s.id }
 
 // Backend returns the backend the session tunes.
 func (s *Session) Backend() string { return s.backend }
+
+// Trace returns the session's span timeline. It is live: a running session's
+// trace grows as spans complete, and exporting it at any time is safe.
+func (s *Session) Trace() *obs.Trace { return s.trace }
 
 // State returns the current lifecycle state.
 func (s *Session) State() State {
@@ -298,9 +309,22 @@ func (s *Session) Snapshot() Snapshot {
 	return out
 }
 
+// MetricsSetter is implemented by tuners that can observe into a shared
+// metrics registry (whatif.Server, testsrv.Session). Register attaches the
+// manager's registry to every backend whose tuner implements it.
+type MetricsSetter interface {
+	SetMetrics(*obs.Registry)
+}
+
 // Manager runs tuning sessions over registered backends.
 type Manager struct {
 	sem chan struct{}
+
+	// reg is the observability registry shared by the service, every
+	// backend's what-if server, and every session's tuning pipeline; exposed
+	// as Prometheus text at GET /metrics.
+	reg *obs.Registry
+	log *slog.Logger
 
 	mu       sync.Mutex
 	backends map[string]*Backend
@@ -314,6 +338,17 @@ type Manager struct {
 	failed    atomic.Int64
 	// whatIfCalls sums the session-exact call counts of finished sessions.
 	whatIfCalls atomic.Int64
+
+	// Registry series mirroring the lifecycle counters above, cached at
+	// construction so the run loop never takes registry locks.
+	cCreated    *obs.Counter
+	cFinished   map[State]*obs.Counter
+	cCalls      *obs.Counter
+	hDuration   *obs.Histogram
+	hCalls      *obs.Histogram
+	hImprove    *obs.Histogram
+	gPending    *obs.Gauge
+	gRunning    *obs.Gauge
 }
 
 // NewManager creates a manager running at most workers sessions at once
@@ -323,14 +358,48 @@ func NewManager(workers int) *Manager {
 	if workers <= 0 {
 		workers = 4
 	}
-	return &Manager{
+	reg := obs.NewRegistry()
+	m := &Manager{
 		sem:      make(chan struct{}, workers),
+		reg:      reg,
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		backends: map[string]*Backend{},
 		sessions: map[string]*Session{},
+		cCreated: reg.Counter("dta_sessions_created_total", "Tuning sessions created."),
+		cFinished: map[State]*obs.Counter{
+			StateDone:      reg.Counter("dta_sessions_finished_total", "Tuning sessions finished, by terminal state.", "state", string(StateDone)),
+			StateCancelled: reg.Counter("dta_sessions_finished_total", "Tuning sessions finished, by terminal state.", "state", string(StateCancelled)),
+			StateFailed:    reg.Counter("dta_sessions_finished_total", "Tuning sessions finished, by terminal state.", "state", string(StateFailed)),
+		},
+		cCalls: reg.Counter("dta_session_whatif_calls_total",
+			"Session-exact what-if calls of finished sessions (matches the JSON metrics' whatIfCalls)."),
+		hDuration: reg.Histogram("dta_session_duration_seconds",
+			"Wall time of finished tuning sessions.", obs.LatencyBuckets),
+		hCalls: reg.Histogram("dta_session_whatif_calls",
+			"What-if calls per finished session.", obs.ExpBuckets(8, 2, 16)),
+		hImprove: reg.Histogram("dta_session_improvement",
+			"Workload cost improvement per finished session (0..1).", obs.LinearBuckets(0.1, 0.1, 10)),
+		gPending: reg.Gauge("dta_sessions", "Live sessions by state.", "state", string(StatePending)),
+		gRunning: reg.Gauge("dta_sessions", "Live sessions by state.", "state", string(StateRunning)),
+	}
+	return m
+}
+
+// Registry returns the manager's shared metrics registry, for callers that
+// want to add their own series or scrape it outside HTTP.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// SetLogger replaces the manager's logger (default: discard). Session
+// lifecycle events are logged with the session ID as a structured attribute.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l != nil {
+		m.log = l
 	}
 }
 
-// Register adds a tunable backend.
+// Register adds a tunable backend. A tuner that implements MetricsSetter is
+// attached to the manager's shared registry, so the what-if load of every
+// backend lands in one scrape.
 func (m *Manager) Register(b *Backend) error {
 	if b == nil || b.Name == "" || b.Tuner == nil {
 		return fmt.Errorf("service: backend needs a name and a tuner")
@@ -340,7 +409,11 @@ func (m *Manager) Register(b *Backend) error {
 	if _, dup := m.backends[b.Name]; dup {
 		return fmt.Errorf("service: backend %q already registered", b.Name)
 	}
+	if ms, ok := b.Tuner.(MetricsSetter); ok {
+		ms.SetMetrics(m.reg)
+	}
 	m.backends[b.Name] = b
+	m.log.Info("backend registered", "backend", b.Name)
 	return nil
 }
 
@@ -407,26 +480,43 @@ func (m *Manager) Create(req Request) (*Session, error) {
 		state:   StatePending,
 		subs:    map[int]chan Event{},
 	}
+	s.trace = obs.NewTrace(s.id)
 	m.sessions[s.id] = s
 	m.order = append(m.order, s.id)
 	m.mu.Unlock()
 	m.created.Add(1)
+	m.cCreated.Inc()
+	m.log.Info("session created", "session", s.id, "backend", b.Name, "events", w.Len())
 
 	go m.run(ctx, s, b, w, opts)
 	return s, nil
 }
 
-// run executes one session: wait for a worker slot, tune, finish.
+// run executes one session: wait for a worker slot, tune, finish. The whole
+// run happens under the session's trace — a root "session" span with a
+// "queued" child covering the wait for a worker slot, and below it the spans
+// core.TuneContext opens (phase → query → greedy step → what-if call).
 func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.Workload, opts core.Options) {
+	ctx = obs.WithTrace(ctx, s.trace)
+	ctx, root := obs.StartSpan(ctx, "session", "session "+s.id)
+	root.SetArg("backend", b.Name).SetArg("events", w.Len())
+
+	_, queued := obs.StartSpan(ctx, "session", "queued")
 	select {
 	case m.sem <- struct{}{}:
+		queued.End()
 		defer func() { <-m.sem }()
 	case <-ctx.Done():
+		queued.End()
+		root.SetArg("state", string(StateCancelled)).End()
 		m.cancelled.Add(1)
+		m.cFinished[StateCancelled].Inc()
+		m.log.Info("session cancelled while queued", "session", s.id)
 		s.finish(StateCancelled, nil, nil)
 		return
 	}
 	s.setRunning()
+	m.log.Info("session started", "session", s.id, "backend", b.Name)
 
 	user := opts.Progress
 	opts.Progress = func(p core.Progress) {
@@ -435,16 +525,26 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 			user(p)
 		}
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = m.reg
+	}
+	start := time.Now()
 	rec, err := core.TuneContext(ctx, b.Tuner, w, opts)
+	elapsed := time.Since(start)
+
+	st := StateDone
 	switch {
 	case err != nil && ctx.Err() != nil:
 		// Cancelled before any partial result existed.
+		st = StateCancelled
 		m.cancelled.Add(1)
 		s.finish(StateCancelled, nil, err)
 	case err != nil:
+		st = StateFailed
 		m.failed.Add(1)
 		s.finish(StateFailed, nil, err)
 	case rec.StopReason == core.StopCancelled:
+		st = StateCancelled
 		m.cancelled.Add(1)
 		m.whatIfCalls.Add(rec.WhatIfCalls)
 		s.finish(StateCancelled, rec, nil)
@@ -453,6 +553,23 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 		m.whatIfCalls.Add(rec.WhatIfCalls)
 		s.finish(StateDone, rec, nil)
 	}
+
+	m.cFinished[st].Inc()
+	m.hDuration.Observe(elapsed.Seconds())
+	root.SetArg("state", string(st))
+	if rec != nil {
+		m.cCalls.Add(float64(rec.WhatIfCalls))
+		m.hCalls.Observe(float64(rec.WhatIfCalls))
+		m.hImprove.Observe(rec.Improvement)
+		root.SetArg("whatIfCalls", rec.WhatIfCalls).SetArg("improvement", rec.Improvement)
+		m.log.Info("session finished", "session", s.id, "state", string(st),
+			"duration", elapsed, "whatIfCalls", rec.WhatIfCalls,
+			"improvement", rec.Improvement)
+	} else {
+		m.log.Info("session finished", "session", s.id, "state", string(st),
+			"duration", elapsed, "error", err)
+	}
+	root.End()
 }
 
 // Get returns the session by ID.

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
 	"repro/internal/whatif"
@@ -33,6 +34,14 @@ type Session struct {
 // tuning session.
 func NewSession(prod *whatif.Server) *Session {
 	return &Session{Prod: prod, Test: whatif.NewTestServer(prod.Name+"-test", prod)}
+}
+
+// SetMetrics attaches a registry to both halves of the session: the test
+// server's series record the what-if load, the production server's series
+// the sampling I/O of statistics creation (the two sides of Figure 3).
+func (s *Session) SetMetrics(reg *obs.Registry) {
+	s.Test.SetMetrics(reg)
+	s.Prod.SetMetrics(reg)
 }
 
 // Catalog returns the test server's (imported) catalog.

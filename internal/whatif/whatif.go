@@ -18,9 +18,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
@@ -67,7 +69,52 @@ type Server struct {
 	// needing the same statistic build (and charge for) it only once.
 	statsMu sync.Mutex
 
+	// metrics, when attached via SetMetrics, receives the server's what-if
+	// call latency and statistics-creation observations. Atomic so a late
+	// SetMetrics never races with in-flight calls.
+	metrics atomic.Pointer[serverMetrics]
+
 	opt *optimizer.Optimizer
+}
+
+// serverMetrics caches the registry series the hot path observes into, so a
+// what-if call costs two histogram observations and no registry lookups.
+type serverMetrics struct {
+	latency      *obs.Histogram
+	structsIdx   *obs.Histogram
+	structsView  *obs.Histogram
+	structsPart  *obs.Histogram
+	statsCreated *obs.Counter
+	statsPages   *obs.Counter
+}
+
+// SetMetrics attaches a metrics registry: every subsequent what-if call
+// feeds a latency histogram and per-structure-kind configuration-size
+// histograms, and statistics creation feeds counters. All series carry a
+// server label, so several servers (production + test) can share one
+// registry. The what-if latency histogram's _count equals WhatIfCallCount —
+// the paper's tuning-cost metric — which is what lets a scrape cross-check
+// the advisor's exact accounting.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics.Store(nil)
+		return
+	}
+	m := &serverMetrics{
+		latency: reg.Histogram("dta_whatif_call_duration_seconds",
+			"Latency of what-if optimizer calls.", obs.LatencyBuckets, "server", s.Name),
+		structsIdx: reg.Histogram("dta_whatif_config_structures",
+			"Structures per what-if configuration, by kind.", obs.CountBuckets, "server", s.Name, "kind", "index"),
+		structsView: reg.Histogram("dta_whatif_config_structures",
+			"Structures per what-if configuration, by kind.", obs.CountBuckets, "server", s.Name, "kind", "view"),
+		structsPart: reg.Histogram("dta_whatif_config_structures",
+			"Structures per what-if configuration, by kind.", obs.CountBuckets, "server", s.Name, "kind", "partitioning"),
+		statsCreated: reg.Counter("dta_stats_created_total",
+			"Statistics built from data samples.", "server", s.Name),
+		statsPages: reg.Counter("dta_stats_sampled_pages_total",
+			"Pages sampled building statistics.", "server", s.Name),
+	}
+	s.metrics.Store(m)
 }
 
 // NewServer creates a server over the catalog with empty statistics.
@@ -111,7 +158,19 @@ func (s *Server) addOverhead(d float64) {
 func (s *Server) WhatIf(stmt sqlparser.Statement, cfg *catalog.Configuration) (*optimizer.Result, error) {
 	s.whatIfCalls.Add(1)
 	s.addOverhead(WhatIfCallCost)
-	return s.opt.Optimize(stmt, cfg)
+	m := s.metrics.Load()
+	if m == nil {
+		return s.opt.Optimize(stmt, cfg)
+	}
+	start := time.Now()
+	res, err := s.opt.Optimize(stmt, cfg)
+	m.latency.Observe(time.Since(start).Seconds())
+	if cfg != nil {
+		m.structsIdx.Observe(float64(len(cfg.Indexes)))
+		m.structsView.Observe(float64(len(cfg.Views)))
+		m.structsPart.Observe(float64(len(cfg.TableParts)))
+	}
+	return res, err
 }
 
 // Cost is WhatIf returning only the estimated cost.
@@ -147,6 +206,10 @@ func (s *Server) CreateStatistic(table string, cols []string) (*stats.Statistic,
 	s.Stats.Add(st)
 	s.statsCreated.Add(1)
 	s.addOverhead(float64(st.SampledPages))
+	if m := s.metrics.Load(); m != nil {
+		m.statsCreated.Inc()
+		m.statsPages.Add(float64(st.SampledPages))
+	}
 	return st, nil
 }
 
