@@ -49,11 +49,12 @@ func main() {
 		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
 		tracePath  = flag.String("trace", "", "write the session's span timeline here as Chrome trace-event JSON (view in chrome://tracing or ui.perfetto.dev)")
 		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
+		par        = flag.Int("parallelism", 0, "concurrent what-if evaluations (0 = GOMAXPROCS); the recommendation does not depend on it")
 	)
 	flag.Parse()
 
 	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet, *tracePath); err != nil {
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet, *tracePath, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -61,7 +62,7 @@ func main() {
 
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
-	noCompress, useTestSrv, quiet bool, tracePath string) error {
+	noCompress, useTestSrv, quiet bool, tracePath string, parallelism int) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
@@ -124,6 +125,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		}
 	}
 
+	if parallelism > 0 {
+		opts.Parallelism = parallelism
+	}
 	if storageMB > 0 {
 		opts.StorageBudget = storageMB << 20
 	} else if opts.StorageBudget == 0 {

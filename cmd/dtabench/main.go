@@ -11,16 +11,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// parseLevels parses the -parallelism flag: comma-separated positive ints.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no levels given")
+	}
+	return out, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations")
+	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file as JSON")
+	parLevels := flag.String("parallelism", "1,2,4", "comma-separated Options.Parallelism levels for the parallel sweep")
 	flag.Parse()
+
+	levels, err := parseLevels(*parLevels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtabench: bad -parallelism: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -103,6 +132,14 @@ func main() {
 		}
 		fmt.Println(res.String())
 		return experiments.SummarizeSec3(res), nil
+	})
+	run("parallel", func() ([]experiments.BenchRecord, error) {
+		rows, err := experiments.ParallelSweep(cfg, levels)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.ParallelString(rows))
+		return experiments.SummarizeParallel(rows), nil
 	})
 	run("ablations", func() ([]experiments.BenchRecord, error) {
 		var recs []experiments.BenchRecord

@@ -46,6 +46,7 @@ func main() {
 		dbs        = flag.String("db", "tpch", "comma-separated demonstration databases to serve: tpch,psoft,synt1")
 		sf         = flag.Float64("sf", 0.01, "scale factor / data scale for the demonstration databases")
 		workers    = flag.Int("workers", 4, "maximum concurrently running tuning sessions")
+		maxPar     = flag.Int("max-parallelism", 0, "cap per-session evaluation parallelism (0 = uncapped); sessions request theirs in options.parallelism")
 		useTestSrv = flag.Bool("test-server", false, "tune each database through a test server (§5.3)")
 		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -59,15 +60,16 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *dbs, *sf, *workers, *useTestSrv, *withPprof); err != nil {
+	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, addr, dbs string, sf float64, workers int, useTestSrv, withPprof bool) error {
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool) error {
 	m := service.NewManager(workers)
 	m.SetLogger(logger)
+	m.SetParallelismCap(maxPar)
 	for _, name := range strings.Split(dbs, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -138,6 +139,14 @@ type Options struct {
 	// TimeLimit bounds tuning time (0 = unbounded).
 	TimeLimit time.Duration
 
+	// Parallelism bounds how many what-if evaluations run concurrently:
+	// greedy frontiers, seed enumeration, workload costings, and merging all
+	// fan out over a session-wide worker pool of this size. The default
+	// (≤ 0) is runtime.GOMAXPROCS(0). Recommendations are byte-identical at
+	// every level — parallel sweeps reduce deterministically — so the knob
+	// trades only wall-clock time, never result quality.
+	Parallelism int
+
 	// Progress, when set, receives live progress snapshots: phase
 	// transitions, per-query completions, and periodic what-if call counts.
 	// The callback runs synchronously on the tuning goroutine; keep it
@@ -189,6 +198,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PartitionCount <= 0 {
 		o.PartitionCount = 12
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -312,7 +324,7 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	tuneSpan.SetArg("events", tuned.Len()).SetArg("compressed", compressed)
 
 	ev := newEvaluator(t, tuned)
-	ev.tr = tr
+	ev.attach(tr)
 	tr.setPhase(PhaseBaseline)
 	baseCost, err := ev.configCost(base)
 	if err != nil {
@@ -379,7 +391,7 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	if !opts.NoMerging && !tr.stopped() {
 		tr.setPhase(PhaseMerging)
 		before := len(cands)
-		cands = mergeCandidates(t.Catalog(), cands, benefit, opts)
+		cands = mergeCandidates(t.Catalog(), cands, benefit, opts, tr.pool)
 		if opts.Metrics != nil {
 			opts.Metrics.Histogram("dta_merge_pool_size",
 				"Candidate pool size entering/leaving the merging step (§2.2).",
@@ -460,7 +472,7 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 	// Per-query analysis reports (paper §6.3). A cancelled session skips
 	// them: the caller asked the advisor to stop working, and the partial
 	// recommendation's headline numbers are already in place.
-	if opts.SkipReports || (tr != nil && tr.cancelled) {
+	if opts.SkipReports || (tr != nil && tr.cancelled.Load()) {
 		return sealRecommendation(ev, tr, rec, start), nil
 	}
 	if tr != nil {
@@ -514,7 +526,7 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 // the session's own evaluator — not as a server counter delta — so the
 // number stays exact when several sessions share one what-if server.
 func sealRecommendation(ev *evaluator, tr *tracker, rec *Recommendation, start time.Time) *Recommendation {
-	rec.WhatIfCalls = ev.calls
+	rec.WhatIfCalls = ev.calls.Load()
 	rec.Duration = time.Since(start)
 	if tr != nil {
 		tr.setPhase(PhaseDone)

@@ -18,6 +18,18 @@ import (
 // candidates it returns each structure's accumulated benefit (the weighted
 // per-query cost reduction of the configurations it appeared in), which the
 // enumeration step uses to bound its pool.
+//
+// Parallelism note: the per-query work is parallelized inside each query's
+// Greedy(m,k) — its frontiers fan out over the session's worker pool — but
+// the cross-query loop itself stays sequential, deliberately. Optimizer
+// cost estimates depend on which statistics exist at call time (without a
+// histogram the selectivity model falls back to uniform/density guesses),
+// and this loop creates statistics query by query; running queries
+// concurrently would make each cost depend on how far other queries had
+// advanced statistics creation — scheduling-dependent results, which the
+// determinism guarantee (identical recommendations at every Parallelism
+// level) forbids. Within one query the statistics state is fixed, so its
+// frontier evaluations are safely concurrent.
 func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload, mandatory *catalog.Configuration, groups *columnGroups, opts Options) ([]catalog.Structure, map[string]float64, int, error) {
 	pool := map[string]catalog.Structure{}
 	benefit := map[string]float64{}

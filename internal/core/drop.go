@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/catalog"
 )
 
@@ -9,6 +11,11 @@ import (
 // removal lowers the workload cost most, until nothing improves. Constraint
 // structures are never considered. Returns the reduced configuration and
 // the drops in order.
+//
+// Each round's removal frontier is enumerated in a fixed order — indexes,
+// views, then table partitionings by sorted table name (a map iteration
+// would make drop order, and with it the whole session, nondeterministic) —
+// costed in parallel, and reduced sequentially in that order.
 func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configuration, []catalog.Structure, error) {
 	cur := base.Clone()
 	curCost, err := ev.configCost(cur)
@@ -20,41 +27,44 @@ func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configurat
 		type removal struct {
 			cfg  *catalog.Configuration
 			cost float64
+			err  error
 			s    catalog.Structure
 		}
-		var best *removal
-		consider := func(cfg *catalog.Configuration, s catalog.Structure) error {
-			cost, err := ev.configCost(cfg)
-			if err != nil {
-				return err
-			}
-			if best == nil || cost < best.cost {
-				best = &removal{cfg: cfg, cost: cost, s: s}
-			}
-			return nil
-		}
+		var frontier []*removal
 		for i, ix := range cur.Indexes {
 			if ix.FromConstraint {
 				continue
 			}
 			cfg := cur.Clone()
 			cfg.Indexes = append(cfg.Indexes[:i:i], cfg.Indexes[i+1:]...)
-			if err := consider(cfg, catalog.Structure{Index: ix}); err != nil {
-				return nil, nil, err
-			}
+			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{Index: ix}})
 		}
 		for i, v := range cur.Views {
 			cfg := cur.Clone()
 			cfg.Views = append(cfg.Views[:i:i], cfg.Views[i+1:]...)
-			if err := consider(cfg, catalog.Structure{View: v}); err != nil {
-				return nil, nil, err
-			}
+			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{View: v}})
 		}
-		for table, p := range cur.TableParts {
+		tables := make([]string, 0, len(cur.TableParts))
+		for table := range cur.TableParts {
+			tables = append(tables, table)
+		}
+		sort.Strings(tables)
+		for _, table := range tables {
 			cfg := cur.Clone()
 			cfg.SetTablePartitioning(table, nil)
-			if err := consider(cfg, catalog.Structure{PartTable: table, Part: p}); err != nil {
-				return nil, nil, err
+			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{PartTable: table, Part: cur.TableParts[table]}})
+		}
+
+		ev.pool().each(len(frontier), func(i int) {
+			frontier[i].cost, frontier[i].err = ev.configCost(frontier[i].cfg)
+		})
+		var best *removal
+		for _, r := range frontier {
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			if best == nil || r.cost < best.cost {
+				best = r
 			}
 		}
 		if best == nil || best.cost >= curCost {

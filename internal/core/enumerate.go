@@ -16,6 +16,12 @@ import (
 // current partitioning, and choosing a partitioning for a table
 // repartitions the indexes already chosen on it. This is the lazy
 // introduction of alignment candidates described in [4].
+//
+// The evaluation loops run concurrently through greedySearch's worker-pool
+// frontiers (the tracker carries the session pool); applyAligned stays safe
+// there because it mutates only the candidate's own cloned configuration —
+// Configuration.Clone is a deep copy — never shared state. The alignment
+// replay below is bookkeeping over cached decisions and stays sequential.
 func enumerate(ev *evaluator, tr *tracker, mandatory *catalog.Configuration, cands []catalog.Structure, opts Options) ([]catalog.Structure, error) {
 	cost := func(cfg *catalog.Configuration) (float64, error) { return ev.configCost(cfg) }
 	g := greedyOptions{

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/obs"
@@ -15,24 +17,49 @@ import (
 // affect the event. Two configurations differing only in structures
 // irrelevant to an event share the event's cached cost, which is what makes
 // Greedy(m,k) over thousands of configurations affordable.
+//
+// The cache is concurrency-safe and single-flight: when several pool
+// workers ask for the same key, the first becomes the leader and issues the
+// one optimizer call while the rest wait on the entry's ready channel — so
+// the what-if call count of a run is independent of its parallelism. The
+// immutable per-event analysis (eventInfo) is precomputed at construction
+// and only read afterwards.
 type evaluator struct {
 	t      Tuner
 	events []*workload.Event
 	infos  []*eventInfo
-	cache  map[string]cacheEntry
-	// tr, when set, carries the session's cancellation signal and progress
-	// accounting; cache misses check it before reaching the optimizer so a
-	// cancelled session stops within one what-if call.
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	// tr, when set, carries the session's cancellation signal, progress
+	// accounting, and worker pool; cache misses check it before reaching the
+	// optimizer so a cancelled session stops within one what-if call per
+	// worker.
 	tr *tracker
 	// calls counts the what-if optimizer calls this evaluator issued — the
 	// session-exact figure reported in Recommendation.WhatIfCalls (a shared
-	// server's global counter would mix concurrent sessions together).
-	calls int64
+	// server's global counter would mix concurrent sessions together). Only
+	// a cache-miss leader increments it, so it also stays exact under
+	// parallelism.
+	calls atomic.Int64
+
+	// Cache-behaviour counters (attach caches the registry series once so
+	// the hot path never takes registry locks); all nil without metrics.
+	mHits, mMisses, mCoalesced *obs.Counter
 }
 
+// cacheEntry is one single-flight cost slot. The leader that created the
+// entry fills cost/used/err and then closes ready; concurrent readers of
+// the same key block on ready instead of issuing a duplicate optimizer
+// call. A failed entry is removed from the map before ready closes, so a
+// later call (the finishing-mode retry after a cancelled search) computes
+// it afresh.
 type cacheEntry struct {
-	cost float64
-	used []string
+	ready chan struct{}
+	cost  float64
+	used  []string
+	err   error
 }
 
 type eventInfo struct {
@@ -62,7 +89,7 @@ func (info *eventInfo) coversAnyScope(ix *catalog.Index) bool {
 }
 
 func newEvaluator(t Tuner, w *workload.Workload) *evaluator {
-	ev := &evaluator{t: t, events: w.Events, cache: map[string]cacheEntry{}}
+	ev := &evaluator{t: t, events: w.Events, cache: map[string]*cacheEntry{}}
 	for _, e := range w.Events {
 		info := &eventInfo{tables: map[string]bool{}, refCols: map[string]bool{}, required: map[string][][]string{}}
 		if q, err := optimizer.Analyze(t.Catalog(), e.Stmt); err == nil {
@@ -84,6 +111,29 @@ func newEvaluator(t Tuner, w *workload.Workload) *evaluator {
 		ev.infos = append(ev.infos, info)
 	}
 	return ev
+}
+
+// attach binds the session tracker (cancellation, accounting, worker pool)
+// and caches the cost-cache metric series. Entry points that predate
+// TuneContext (TuneStaged) never attach one; the evaluator then runs
+// sequentially with no metrics.
+func (ev *evaluator) attach(tr *tracker) {
+	ev.tr = tr
+	if tr == nil || tr.metrics == nil {
+		return
+	}
+	const help = "What-if cost cache behaviour: served hits, leader misses (one optimizer call each), and waits coalesced onto another worker's in-flight call."
+	ev.mHits = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "hit")
+	ev.mMisses = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "miss")
+	ev.mCoalesced = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "coalesced")
+}
+
+// pool returns the session's worker pool (nil → sequential).
+func (ev *evaluator) pool() *workerPool {
+	if ev.tr == nil {
+		return nil
+	}
+	return ev.tr.pool
 }
 
 // analyzed returns the analysis of event i (nil if the statement does not
@@ -153,23 +203,56 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 		return 0, nil, nil
 	}
 	key := itoa(i) + "\x00" + ev.relevantKey(ev.infos[i], cfg)
+	ev.mu.Lock()
 	if ce, ok := ev.cache[key]; ok {
-		return ce.cost, ce.used, nil
+		ev.mu.Unlock()
+		select {
+		case <-ce.ready:
+			ev.count(ev.mHits)
+		default:
+			// Another worker is mid-flight on this key: wait for its result
+			// instead of issuing a duplicate optimizer call.
+			ev.count(ev.mCoalesced)
+			<-ce.ready
+		}
+		return ce.cost, ce.used, ce.err
+	}
+	ce := &cacheEntry{ready: make(chan struct{})}
+	ev.cache[key] = ce
+	ev.mu.Unlock()
+
+	// Leader path: this goroutine owns the key and issues the one call.
+	fail := func(err error) (float64, []string, error) {
+		ce.err = err
+		ev.mu.Lock()
+		delete(ev.cache, key)
+		ev.mu.Unlock()
+		close(ce.ready)
+		return 0, nil, err
 	}
 	if ev.tr.ctxStopped() {
-		return 0, nil, errStopped
+		return fail(errStopped)
 	}
-	ev.calls++
+	ev.calls.Add(1)
 	ev.tr.countCall()
+	ev.count(ev.mMisses)
 	_, sp := obs.StartSpan(ev.tr.spanCtx(), "whatif", "what-if")
 	c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
 	if err != nil {
 		sp.SetArg("event", i).SetArg("error", err.Error()).End()
-		return 0, nil, err
+		return fail(err)
 	}
 	sp.SetArg("event", i).SetArg("cost", c).End()
-	ev.cache[key] = cacheEntry{cost: c, used: used}
+	ce.cost, ce.used = c, used
+	close(ce.ready)
 	return c, used, nil
+}
+
+// count increments a cached cache-behaviour counter (nil without metrics).
+func (ev *evaluator) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // skippedEvents counts workload events that could not be analyzed against
@@ -184,15 +267,23 @@ func (ev *evaluator) skippedEvents() int {
 	return n
 }
 
-// configCost returns the weighted workload cost under cfg.
+// configCost returns the weighted workload cost under cfg. The per-event
+// costs are independent, so they are evaluated on the worker pool; the sum
+// is then folded sequentially in event order, because float addition is not
+// associative and the total must not depend on scheduling.
 func (ev *evaluator) configCost(cfg *catalog.Configuration) (float64, error) {
+	n := len(ev.events)
+	costs := make([]float64, n)
+	errs := make([]error, n)
+	ev.pool().each(n, func(i int) {
+		costs[i], _, errs[i] = ev.eventCostByIndex(i, cfg)
+	})
 	var total float64
 	for i, e := range ev.events {
-		c, _, err := ev.eventCostByIndex(i, cfg)
-		if err != nil {
-			return 0, err
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
-		total += e.Weight * c
+		total += e.Weight * costs[i]
 	}
 	return total, nil
 }

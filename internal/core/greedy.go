@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // costFn evaluates a configuration's (workload or single-query) cost.
@@ -37,11 +38,80 @@ type greedyOptions struct {
 	minImprove float64
 }
 
+// frontierEval is one candidate's evaluation within a parallel frontier:
+// the configuration grown by the candidate and its cost, or the evaluation
+// error, or ok=false when the candidate did not apply (no change, over
+// budget, invalid, or skipped because the session stopped).
+type frontierEval struct {
+	cfg  *catalog.Configuration
+	cost float64
+	err  error
+	ok   bool
+}
+
+// evalFrontier clones base, applies, admits, and costs each listed
+// candidate on the session's worker pool. Results come back indexed by
+// candidate so callers can reduce them sequentially in candidate order —
+// the property that makes a parallel sweep pick the same winner as a
+// sequential one. It reports the worker count for observability.
+func evalFrontier(o greedyOptions, base *catalog.Configuration, cands []catalog.Structure, fits func(*catalog.Configuration) bool, cost costFn) ([]frontierEval, int) {
+	res := make([]frontierEval, len(cands))
+	var pool *workerPool
+	if o.tr != nil {
+		pool = o.tr.pool
+	}
+	workers := pool.each(len(cands), func(i int) {
+		if o.tr.stopped() {
+			return
+		}
+		cfg := base.Clone()
+		if !o.apply(cfg, cands[i]) {
+			return
+		}
+		if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
+			return
+		}
+		c, err := cost(cfg)
+		if err != nil {
+			res[i] = frontierEval{err: err}
+			return
+		}
+		res[i] = frontierEval{cfg: cfg, cost: c, ok: true}
+	})
+	if o.tr != nil && o.tr.metrics != nil && len(cands) > 0 {
+		o.tr.metrics.Histogram("dta_greedy_frontier_size",
+			"Candidate configurations evaluated per greedy frontier sweep.",
+			obs.CountBuckets).Observe(float64(len(cands)))
+		o.tr.metrics.Histogram("dta_pool_workers_used",
+			"Workers participating in one parallel frontier sweep.",
+			obs.CountBuckets).Observe(float64(workers))
+	}
+	return res, workers
+}
+
+// better reports whether a frontier candidate (cost c, structure s) beats
+// the incumbent (cost bc, structure key bk, "" = none yet). The tie-break —
+// lower cost first, then lexicographically smaller structure key — is
+// applied at every parallelism level including 1, so parallel and
+// sequential runs pick identical winners.
+func better(c float64, s catalog.Structure, bc float64, bk string) bool {
+	if c != bc {
+		return c < bc
+	}
+	return bk != "" && s.Key() < bk
+}
+
 // greedySearch implements the Greedy(m,k) algorithm of [8] (paper §2.2):
 // the optimal subset of at most m structures is found by exhaustive
 // enumeration, then structures are added greedily up to k total, as long as
 // cost improves and the storage budget holds. It returns the chosen
 // structures (possibly none).
+//
+// Each frontier — the candidates considered at one seed-enumeration level
+// or in one greedy growth step — is evaluated concurrently on the session's
+// worker pool, then reduced sequentially in candidate order with a
+// deterministic tie-break (cost, then structure key), so the chosen subset
+// is independent of Options.Parallelism.
 //
 // The search is an anytime algorithm: when the session's tracker reports
 // cancellation or an exhausted time budget — checked between candidate
@@ -84,33 +154,35 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 	}
 	best := state{cfg: base.Clone(), cost: baseCost}
 
-	// Seed: exhaustively evaluate subsets of size ≤ m.
+	// Seed: exhaustively evaluate subsets of size ≤ m. Each enumeration
+	// level's extensions are costed in parallel up front, then the fold —
+	// best updates and recursion into each extension's subtree — runs
+	// sequentially in candidate order, which is exactly the sequential DFS's
+	// preorder update sequence (costs are deterministic, so prefetching them
+	// concurrently changes nothing but wall-clock).
 	var trySubset func(start int, cur state, size int) error
 	trySubset = func(start int, cur state, size int) error {
 		if size == o.m || expired() {
 			return nil
 		}
-		for i := start; i < len(cands); i++ {
+		res, _ := evalFrontier(o, cur.cfg, cands[start:], fits, cost)
+		for j, r := range res {
 			if expired() {
 				return nil
 			}
-			cfg := cur.cfg.Clone()
-			if !o.apply(cfg, cands[i]) {
+			if r.err != nil {
+				return r.err
+			}
+			if !r.ok {
 				continue
 			}
-			if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
-				continue
-			}
-			c, err := cost(cfg)
-			if err != nil {
-				return err
-			}
+			i := start + j
 			next := state{
 				chosen: append(append([]catalog.Structure(nil), cur.chosen...), cands[i]),
-				cfg:    cfg,
-				cost:   c,
+				cfg:    r.cfg,
+				cost:   r.cost,
 			}
-			if c < best.cost {
+			if r.cost < best.cost {
 				best = next
 			}
 			if err := trySubset(i+1, next, size+1); err != nil {
@@ -142,27 +214,28 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 		stepSpan, endStep := o.tr.span("greedy", "greedy-step")
 		stepSpan.SetArg("step", step).SetArg("chosen", len(best.chosen))
 		grew, err := func() (bool, error) {
+			// One sweep over the candidate pool: evaluate the whole frontier
+			// in parallel, then pick the winner sequentially in candidate
+			// order (ties broken by structure key — see better).
+			res, workers := evalFrontier(o, best.cfg, cands, fits, cost)
+			stepSpan.SetArg("workers", workers)
 			bestIdx := -1
 			bestCost := math.Inf(1)
+			bestKey := ""
 			var bestCfg *catalog.Configuration
-			for i, s := range cands {
-				if expired() {
-					return false, nil
+			for i, r := range res {
+				if r.err != nil {
+					return false, r.err
 				}
-				cfg := best.cfg.Clone()
-				if !o.apply(cfg, s) {
+				if !r.ok {
 					continue
 				}
-				if !fits(cfg) || (o.valid != nil && !o.valid(cfg)) {
-					continue
+				if bestIdx < 0 || better(r.cost, cands[i], bestCost, bestKey) {
+					bestIdx, bestCost, bestCfg, bestKey = i, r.cost, r.cfg, cands[i].Key()
 				}
-				c, err := cost(cfg)
-				if err != nil {
-					return false, err
-				}
-				if c < bestCost {
-					bestIdx, bestCost, bestCfg = i, c, cfg
-				}
+			}
+			if expired() {
+				return false, nil
 			}
 			if bestIdx < 0 || bestCost >= best.cost*(1-o.minImprove) {
 				return false, nil

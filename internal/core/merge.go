@@ -17,51 +17,73 @@ import (
 //     grouping columns, outputs and aggregates;
 //   - partitioned-structure merging [4]: two range partitionings of a table
 //     on the same column merge by unioning their boundary sets.
-func mergeCandidates(cat *catalog.Catalog, cands []catalog.Structure, benefit map[string]float64, opts Options) []catalog.Structure {
+func mergeCandidates(cat *catalog.Catalog, cands []catalog.Structure, benefit map[string]float64, opts Options, pool *workerPool) []catalog.Structure {
+	// mergePair computes the merged structures one (a, b) candidate pair
+	// yields — pure CPU over the catalog, no shared state — so all pairs
+	// run on the worker pool.
+	mergePair := func(a, b catalog.Structure) []catalog.Structure {
+		switch {
+		case a.Index != nil && b.Index != nil && a.Index.Table == b.Index.Table &&
+			a.Index.Clustered == b.Index.Clustered:
+			var ms []catalog.Structure
+			if m := mergeIndexes(a.Index, b.Index, opts.MaxKeyColumns+2); m != nil {
+				ms = append(ms, catalog.Structure{Index: m})
+			}
+			if m := mergeIndexes(b.Index, a.Index, opts.MaxKeyColumns+2); m != nil {
+				ms = append(ms, catalog.Structure{Index: m})
+			}
+			return ms
+		case a.View != nil && b.View != nil:
+			if m := mergeViews(cat, a.View, b.View); m != nil {
+				return []catalog.Structure{{View: m}}
+			}
+		case a.Part != nil && b.Part != nil && a.PartTable == b.PartTable &&
+			a.Part.Column == b.Part.Column:
+			merged := catalog.NewPartitionScheme(a.Part.Column,
+				append(append([]float64(nil), a.Part.Boundaries...), b.Part.Boundaries...)...)
+			return []catalog.Structure{{PartTable: a.PartTable, Part: merged}}
+		}
+		return nil
+	}
+
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	merged := make([][]catalog.Structure, len(pairs))
+	pool.each(len(pairs), func(p int) {
+		merged[p] = mergePair(cands[pairs[p].i], cands[pairs[p].j])
+	})
+
+	// Fold sequentially in pair order: dedup against the pool and inherit
+	// parent benefits exactly as the sequential pairwise loop did, so the
+	// output order (and therefore everything downstream) is independent of
+	// parallelism.
 	out := append([]catalog.Structure(nil), cands...)
 	seen := map[string]bool{}
 	for _, s := range cands {
 		seen[s.Key()] = true
 	}
-	var parentA, parentB catalog.Structure
-	add := func(s catalog.Structure) {
-		if k := s.Key(); !seen[k] {
+	for p, ms := range merged {
+		a, b := cands[pairs[p].i], cands[pairs[p].j]
+		for _, s := range ms {
+			k := s.Key()
+			if seen[k] {
+				continue
+			}
 			seen[k] = true
 			out = append(out, s)
 			if benefit != nil {
 				// A merged structure inherits the larger parent benefit so
 				// pool capping does not starve it.
-				ba, bb := benefit[parentA.Key()], benefit[parentB.Key()]
+				ba, bb := benefit[a.Key()], benefit[b.Key()]
 				if bb > ba {
 					ba = bb
 				}
 				benefit[k] = ba
-			}
-		}
-	}
-
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			a, b := cands[i], cands[j]
-			parentA, parentB = a, b
-			switch {
-			case a.Index != nil && b.Index != nil && a.Index.Table == b.Index.Table &&
-				a.Index.Clustered == b.Index.Clustered:
-				if m := mergeIndexes(a.Index, b.Index, opts.MaxKeyColumns+2); m != nil {
-					add(catalog.Structure{Index: m})
-				}
-				if m := mergeIndexes(b.Index, a.Index, opts.MaxKeyColumns+2); m != nil {
-					add(catalog.Structure{Index: m})
-				}
-			case a.View != nil && b.View != nil:
-				if m := mergeViews(cat, a.View, b.View); m != nil {
-					add(catalog.Structure{View: m})
-				}
-			case a.Part != nil && b.Part != nil && a.PartTable == b.PartTable &&
-				a.Part.Column == b.Part.Column:
-				merged := catalog.NewPartitionScheme(a.Part.Column,
-					append(append([]float64(nil), a.Part.Boundaries...), b.Part.Boundaries...)...)
-				add(catalog.Structure{PartTable: a.PartTable, Part: merged})
 			}
 		}
 	}

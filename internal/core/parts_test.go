@@ -130,7 +130,7 @@ func TestMergePartitionings(t *testing.T) {
 		{PartTable: "t", Part: catalog.NewPartitionScheme("x", 10, 20)},
 		{PartTable: "t", Part: catalog.NewPartitionScheme("x", 15, 30)},
 	}
-	out := mergeCandidates(cat, cands, map[string]float64{}, Options{}.withDefaults())
+	out := mergeCandidates(cat, cands, map[string]float64{}, Options{}.withDefaults(), nil)
 	if len(out) != 3 {
 		t.Fatalf("expected one merged scheme, got %d structures", len(out))
 	}

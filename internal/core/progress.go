@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -70,13 +72,16 @@ var errStopped = errors.New("core: tuning stopped")
 // stopping reports whether err is the early-stop signal.
 func stopping(err error) bool { return errors.Is(err, errStopped) }
 
-// tracker threads cancellation, the time budget, and progress reporting
-// through the tuning pipeline. It is owned by a single tuning goroutine; the
-// Progress callback is invoked synchronously, so consumers that need
-// cross-goroutine snapshots (the tuning service) do their own locking.
+// tracker threads cancellation, the time budget, the worker pool, and
+// progress reporting through the tuning pipeline. The coordinator (the
+// tuning goroutine) owns the phase/progress fields, which it only writes
+// outside parallel sections; pool workers touch just the concurrency-safe
+// parts — the stop flags, the atomic call counter, and emit (serialized by
+// cbMu so the Progress callback never runs twice at once).
 //
-// A nil tracker is valid everywhere and means "never stop, never report" —
-// internal entry points that predate TuneContext pass nil.
+// A nil tracker is valid everywhere and means "never stop, never report,
+// run sequentially" — internal entry points that predate TuneContext pass
+// nil.
 type tracker struct {
 	ctx       context.Context
 	cb        func(Progress)
@@ -84,24 +89,35 @@ type tracker struct {
 	deadline  time.Time
 	timeLimit time.Duration
 
+	// pool bounds the session's evaluation concurrency
+	// (Options.Parallelism); nil means sequential.
+	pool *workerPool
+
 	// finishing marks the report-building stage: once the search has
 	// stopped, the final configuration still has to be costed (almost
-	// always from cache), so stop checks are suspended.
+	// always from cache), so stop checks are suspended. Written by the
+	// coordinator between parallel sections only.
 	finishing bool
-	cancelled bool
-	timedOut  bool
+	cancelled atomic.Bool
+	timedOut  atomic.Bool
 
 	phase           Phase
 	eventsTotal     int
 	eventsTuned     int
-	calls           int64
+	calls           atomic.Int64
 	baseCost        float64
 	bestImprovement float64
 
+	// cbMu serializes Progress callback invocations: countCall emits
+	// periodic snapshots from pool workers, and callbacks (the service's
+	// session lock, the CLI's stderr writer) expect one caller at a time.
+	cbMu sync.Mutex
+
 	// Observability. tuneCtx carries the session's tune-level span; sctx is
 	// the context of the innermost open span (phase, query, greedy step) so
-	// deeper spans nest under it. Both are touched only on the tuning
-	// goroutine. metrics, when set, receives the pipeline-shape histograms
+	// deeper spans nest under it. Both are written only by the coordinator
+	// outside parallel sections; workers read sctx to parent their what-if
+	// spans. metrics, when set, receives the pipeline-shape histograms
 	// (phase durations, candidates per query, pool sizes).
 	tuneCtx   context.Context
 	sctx      context.Context
@@ -115,6 +131,7 @@ func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
 	if opts.TimeLimit > 0 {
 		tr.deadline = start.Add(opts.TimeLimit)
 	}
+	tr.pool = newWorkerPool(opts.Parallelism)
 	return tr
 }
 
@@ -185,13 +202,13 @@ func (tr *tracker) ctxStopped() bool {
 	if tr == nil || tr.finishing {
 		return false
 	}
-	if tr.cancelled {
+	if tr.cancelled.Load() {
 		return true
 	}
 	if tr.ctx != nil {
 		select {
 		case <-tr.ctx.Done():
-			tr.cancelled = true
+			tr.cancelled.Store(true)
 			return true
 		default:
 		}
@@ -200,16 +217,17 @@ func (tr *tracker) ctxStopped() bool {
 }
 
 // stopped reports whether the search should stop: context cancelled or time
-// budget exhausted. Checked between search steps.
+// budget exhausted. Checked between search steps (and by every pool worker
+// before it starts a candidate).
 func (tr *tracker) stopped() bool {
 	if tr == nil || tr.finishing {
 		return false
 	}
-	if tr.ctxStopped() || tr.timedOut {
+	if tr.ctxStopped() || tr.timedOut.Load() {
 		return true
 	}
 	if !tr.deadline.IsZero() && time.Now().After(tr.deadline) {
-		tr.timedOut = true
+		tr.timedOut.Store(true)
 		return true
 	}
 	return false
@@ -220,9 +238,9 @@ func (tr *tracker) stopReason() string {
 	switch {
 	case tr == nil:
 		return ""
-	case tr.cancelled:
+	case tr.cancelled.Load():
 		return StopCancelled
-	case tr.timedOut:
+	case tr.timedOut.Load():
 		return StopTimeLimit
 	}
 	return ""
@@ -248,13 +266,13 @@ func (tr *tracker) setPhase(p Phase) {
 }
 
 // countCall charges one what-if optimizer call to the session and emits a
-// periodic progress snapshot so long costing loops stay observable.
+// periodic progress snapshot so long costing loops stay observable. Called
+// by whichever pool worker leads a cache miss.
 func (tr *tracker) countCall() {
 	if tr == nil {
 		return
 	}
-	tr.calls++
-	if tr.cb != nil && tr.calls%64 == 0 {
+	if n := tr.calls.Add(1); tr.cb != nil && n%64 == 0 {
 		tr.emit()
 	}
 }
@@ -289,11 +307,13 @@ func (tr *tracker) emit() {
 	if tr == nil || tr.cb == nil {
 		return
 	}
+	tr.cbMu.Lock()
+	defer tr.cbMu.Unlock()
 	tr.cb(Progress{
 		Phase:           tr.phase,
 		EventsTotal:     tr.eventsTotal,
 		EventsTuned:     tr.eventsTuned,
-		WhatIfCalls:     tr.calls,
+		WhatIfCalls:     tr.calls.Load(),
 		BestImprovement: tr.bestImprovement,
 		Elapsed:         time.Since(tr.start),
 		TimeLimit:       tr.timeLimit,

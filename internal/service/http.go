@@ -31,6 +31,10 @@ type CreateOptions struct {
 	GreedyM       int    `json:"greedyM,omitempty"`
 	GreedyK       int    `json:"greedyK,omitempty"`
 	SkipReports   bool   `json:"skipReports,omitempty"`
+	// Parallelism is the session's evaluation concurrency (0 = the server
+	// default, GOMAXPROCS). The server-wide budget (dtaserver
+	// -max-parallelism) caps it. Recommendations do not depend on it.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // CreateRequest is the JSON body of POST /sessions.
@@ -63,6 +67,7 @@ func (c CreateRequest) toRequest() (Request, error) {
 		GreedyM:       c.Options.GreedyM,
 		GreedyK:       c.Options.GreedyK,
 		SkipReports:   c.Options.SkipReports,
+		Parallelism:   c.Options.Parallelism,
 	}
 	if c.Options.TimeLimit != "" {
 		d, err := time.ParseDuration(c.Options.TimeLimit)

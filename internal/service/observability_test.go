@@ -228,11 +228,14 @@ func TestSessionTraceExport(t *testing.T) {
 	}
 }
 
-// TestConcurrentSessionsObservability runs several sessions at once, each
-// with a live NDJSON event-stream reader, then checks the shared registry's
-// what-if histogram agrees with the sum of the sessions' exact call counts.
-// Run under -race this exercises the concurrency of the whole span/metrics
-// path.
+// TestConcurrentSessionsObservability runs several sessions at once — at
+// mixed per-session Parallelism levels (1..4), so intra-session worker-pool
+// evaluation overlaps inter-session concurrency — each with a live NDJSON
+// event-stream reader, then checks the shared registry's what-if histogram
+// agrees with the sum of the sessions' exact call counts: the evaluator's
+// atomic accounting, the per-session Recommendation.WhatIfCalls, and the obs
+// histogram must all tell the same story however many workers raced. Run
+// under -race this exercises the concurrency of the whole span/metrics path.
 func TestConcurrentSessionsObservability(t *testing.T) {
 	m := service.NewManager(3)
 	if err := m.Register(&service.Backend{Name: "db", Tuner: smallServer(t)}); err != nil {
@@ -253,6 +256,7 @@ func TestConcurrentSessionsObservability(t *testing.T) {
 				{SQL: w.Events[0].SQL, Weight: 1},
 				{SQL: w.Events[1].SQL, Weight: 1},
 			},
+			"options": map[string]any{"parallelism": 1 + i},
 		})
 		resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(string(body)))
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -320,6 +321,11 @@ type MetricsSetter interface {
 type Manager struct {
 	sem chan struct{}
 
+	// parCap, when positive, is the server-wide per-session parallelism
+	// budget: sessions asking for more (or for the default) are clamped to
+	// it, so one greedy client cannot monopolize the box's cores.
+	parCap int
+
 	// reg is the observability registry shared by the service, every
 	// backend's what-if server, and every session's tuning pipeline; exposed
 	// as Prometheus text at GET /metrics.
@@ -388,6 +394,19 @@ func NewManager(workers int) *Manager {
 // Registry returns the manager's shared metrics registry, for callers that
 // want to add their own series or scrape it outside HTTP.
 func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// SetParallelismCap bounds every session's core.Options.Parallelism at n
+// (≤ 0 removes the cap). A session requesting the default (0, meaning
+// GOMAXPROCS) is also clamped: with a cap set, no session exceeds it.
+// Call before serving; the cap applies to sessions created afterwards.
+func (m *Manager) SetParallelismCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	m.parCap = n
+}
 
 // SetLogger replaces the manager's logger (default: discard). Session
 // lifecycle events are logged with the session ID as a structured attribute.
@@ -466,6 +485,21 @@ func (m *Manager) Create(req Request) (*Session, error) {
 	opts := req.Options
 	if opts.BaseConfig == nil {
 		opts.BaseConfig = b.BaseConfig
+	}
+	m.mu.Lock()
+	parCap := m.parCap
+	m.mu.Unlock()
+	if parCap > 0 {
+		// Clamp to the server-wide budget; the default request (0 =
+		// GOMAXPROCS) is resolved first so the cap only ever shrinks it.
+		p := opts.Parallelism
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		if p > parCap {
+			p = parCap
+		}
+		opts.Parallelism = p
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

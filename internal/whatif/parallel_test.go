@@ -1,0 +1,112 @@
+package whatif
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+)
+
+// TestConcurrentStatsSingleFlight hammers one production server from many
+// goroutines issuing overlapping EnsureStatistics requests interleaved with
+// WhatIfCost calls — the access pattern of a parallel tuning session (and
+// of several concurrent sessions sharing a backend). Statistics creation
+// must be single-flight: each distinct statistic is built and charged
+// exactly once, and the per-caller created counts sum to the server total.
+// Run under -race this also proves the shared read paths (stats store,
+// catalog, optimizer) tolerate concurrent what-if traffic.
+func TestConcurrentStatsSingleFlight(t *testing.T) {
+	s := prodServer(t)
+	stmt, err := sqlparser.Parse("SELECT a FROM t WHERE a = 5 AND b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlapping column sets: (a), (b), (a,b), (b,a) — reduction and
+	// prefix-subsumption make several of these the "same" statistic, which
+	// is exactly the duplication single-flight must absorb.
+	reqSets := [][]stats.Request{
+		{{Table: "t", Columns: []string{"a"}}},
+		{{Table: "t", Columns: []string{"b"}}},
+		{{Table: "t", Columns: []string{"a", "b"}}},
+		{{Table: "t", Columns: []string{"a"}}, {Table: "t", Columns: []string{"a", "b"}}},
+		{{Table: "t", Columns: []string{"b"}}, {Table: "t", Columns: []string{"b", "a"}}},
+	}
+
+	cfg := catalog.NewConfiguration()
+	cfg.AddIndex(catalog.NewIndex("t", "a", "b"))
+
+	const goroutines = 24
+	const rounds = 8
+	createdByCaller := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n, err := s.EnsureStatistics(reqSets[(g+r)%len(reqSets)], true)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				createdByCaller[g] += n
+				if _, _, err := s.WhatIfCost(stmt, cfg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sum := 0
+	for _, n := range createdByCaller {
+		sum += n
+	}
+	acct := s.Acct()
+	if int64(sum) != acct.StatsCreated {
+		t.Fatalf("callers counted %d statistics created, server charged %d", sum, acct.StatsCreated)
+	}
+	if got := s.Stats.Len(); int64(got) != acct.StatsCreated {
+		t.Fatalf("store holds %d statistics, server charged %d builds (duplicate build slipped through)", got, acct.StatsCreated)
+	}
+	if acct.StatsCreated == 0 {
+		t.Fatal("no statistics were created")
+	}
+	// Every request set must now be satisfied without further creation.
+	for _, reqs := range reqSets {
+		n, err := s.EnsureStatistics(reqs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("request set still created %d statistics after the stampede", n)
+		}
+	}
+	if acct.WhatIfCalls != goroutines*rounds {
+		t.Fatalf("what-if calls = %d, want %d", acct.WhatIfCalls, goroutines*rounds)
+	}
+}
+
+// TestConcurrentCreateStatisticExactCharge races CreateStatistic directly on
+// one key: exactly one build may be charged.
+func TestConcurrentCreateStatisticExactCharge(t *testing.T) {
+	s := prodServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.CreateStatistic("t", []string{"a"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Acct().StatsCreated; got != 1 {
+		t.Fatalf("statsCreated = %d, want 1", got)
+	}
+}

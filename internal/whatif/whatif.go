@@ -8,9 +8,12 @@
 // statistics creation is charged to the server that performs it, which is
 // what makes the production/test experiment (§5.3, Figure 3) measurable.
 //
-// A Server is safe for concurrent use by multiple tuning sessions: the
-// accounting counters are atomic, statistics creation is serialized, and the
-// optimizer itself carries no per-call mutable state.
+// A Server is safe for concurrent use by multiple tuning sessions and by
+// the pool workers of a parallel session: the accounting counters are
+// atomic, statistics creation is single-flight per statistic (concurrent
+// requests for the same statistic coalesce onto one build; distinct
+// statistics build concurrently), and the optimizer itself carries no
+// per-call mutable state.
 package whatif
 
 import (
@@ -65,9 +68,14 @@ type Server struct {
 	statsCreated atomic.Int64
 	overheadBits atomic.Uint64 // float64 bits of the Overhead counter
 
-	// statsMu serializes statistics creation so two concurrent sessions
-	// needing the same statistic build (and charge for) it only once.
-	statsMu sync.Mutex
+	// statsMu guards inflight, the single-flight table for statistics
+	// creation: per statistic key, the first caller builds (outside the
+	// lock, so distinct statistics build concurrently) while later callers
+	// wait on the flight's done channel. Each statistic is built and
+	// charged exactly once however many sessions or pool workers race
+	// for it.
+	statsMu  sync.Mutex
+	inflight map[string]*statFlight
 
 	// metrics, when attached via SetMetrics, receives the server's what-if
 	// call latency and statistics-creation observations. Atomic so a late
@@ -187,15 +195,58 @@ func (s *Server) HasStatistic(table string, cols []string) bool {
 	return s.Stats.Has(table, cols)
 }
 
+// statFlight is one in-flight statistics build: done closes once st/err are
+// final, and every caller that found the flight in the inflight table reads
+// the result instead of building a duplicate.
+type statFlight struct {
+	done chan struct{}
+	st   *stats.Statistic
+	err  error
+}
+
 // CreateStatistic builds one statistic from the server's own data (sampling
 // I/O charged to this server). It fails on a server without data — a test
 // server must import statistics instead (§5.3).
 func (s *Server) CreateStatistic(table string, cols []string) (*stats.Statistic, error) {
+	st, _, err := s.createStatistic(table, cols)
+	return st, err
+}
+
+// createStatistic is the single-flight core of CreateStatistic: built
+// reports whether THIS call performed the build (false for an existing
+// statistic and for a wait coalesced onto another caller's build), which is
+// what keeps EnsureStatistics' created count exact under concurrency.
+func (s *Server) createStatistic(table string, cols []string) (*stats.Statistic, bool, error) {
+	key := stats.StatKey(table, cols)
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	if s.Stats.Has(table, cols) {
-		return s.Stats.Lookup(table, cols), nil
+		st := s.Stats.Lookup(table, cols)
+		s.statsMu.Unlock()
+		return st, false, nil
 	}
+	if fl, ok := s.inflight[key]; ok {
+		s.statsMu.Unlock()
+		<-fl.done
+		return fl.st, false, fl.err
+	}
+	fl := &statFlight{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = map[string]*statFlight{}
+	}
+	s.inflight[key] = fl
+	s.statsMu.Unlock()
+
+	fl.st, fl.err = s.buildStatistic(table, cols)
+	s.statsMu.Lock()
+	delete(s.inflight, key)
+	s.statsMu.Unlock()
+	close(fl.done)
+	return fl.st, fl.err == nil, fl.err
+}
+
+// buildStatistic samples, builds, stores, and charges one statistic. Called
+// only by a flight leader, outside the statsMu lock.
+func (s *Server) buildStatistic(table string, cols []string) (*stats.Statistic, error) {
 	if s.Data == nil {
 		return nil, fmt.Errorf("whatif: server %q holds no data; import statistics from the production server", s.Name)
 	}
@@ -233,10 +284,17 @@ func (s *Server) EnsureStatistics(reqs []stats.Request, reduce bool) (int, error
 	}
 	created := 0
 	for _, r := range missing {
-		if _, err := s.CreateStatistic(r.Table, r.Columns); err != nil {
+		_, built, err := s.createStatistic(r.Table, r.Columns)
+		if err != nil {
 			return created, err
 		}
-		created++
+		// Count only builds this call performed: when a concurrent session
+		// built (or is building) the same statistic, it is charged there,
+		// so per-session created counts stay exact and sum to the server's
+		// statsCreated counter.
+		if built {
+			created++
+		}
 	}
 	return created, nil
 }
