@@ -9,6 +9,7 @@
 // Endpoints (see internal/service):
 //
 //	POST   /sessions             create a session (JSON or DTAXML body)
+//	POST   /sessions/resume      resume checkpointed sessions from -state-dir
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        session snapshot
 //	GET    /sessions/{id}/events progress stream (NDJSON)
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/demo"
+	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/testsrv"
 )
@@ -50,6 +52,8 @@ func main() {
 		useTestSrv = flag.Bool("test-server", false, "tune each database through a test server (§5.3)")
 		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		faultSpec  = flag.String("fault-spec", "", `server-wide fault injection spec, e.g. "seed=7;whatif:error:0.10" (sites: whatif, stats, import; kinds: error, latency, panic)`)
+		stateDir   = flag.String("state-dir", "", "directory for session checkpoints; killed sessions resume from here on restart")
 	)
 	flag.Parse()
 
@@ -60,16 +64,34 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof); err != nil {
+	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool) error {
+// FaultSetter is the backend hook -fault-spec attaches through; both
+// *whatif.Server and *testsrv.Session implement it.
+type FaultSetter interface {
+	SetFaults(*fault.Injector)
+}
+
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir string) error {
 	m := service.NewManager(workers)
 	m.SetLogger(logger)
 	m.SetParallelismCap(maxPar)
+
+	var injector *fault.Injector
+	if faultSpec != "" {
+		spec, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			return fmt.Errorf("bad -fault-spec: %w", err)
+		}
+		injector = fault.NewInjector(spec)
+		injector.SetMetrics(m.Registry())
+		logger.Warn("fault injection active", "spec", spec.String())
+	}
+
 	for _, name := range strings.Split(dbs, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -88,6 +110,11 @@ func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int,
 		if useTestSrv {
 			b.Tuner = testsrv.NewSession(srv)
 		}
+		if injector != nil {
+			if fs, ok := b.Tuner.(FaultSetter); ok {
+				fs.SetFaults(injector)
+			}
+		}
 		if err := m.Register(b); err != nil {
 			return err
 		}
@@ -99,6 +126,17 @@ func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int,
 	}
 	if len(m.Backends()) == 0 {
 		return fmt.Errorf("no databases to serve (-db)")
+	}
+
+	if stateDir != "" {
+		if err := m.SetStateDir(stateDir); err != nil {
+			return err
+		}
+		resumed, err := m.ResumeSessions()
+		if err != nil {
+			return err
+		}
+		logger.Info("session state enabled", "stateDir", stateDir, "resumed", len(resumed))
 	}
 
 	mux := http.NewServeMux()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
@@ -168,6 +169,42 @@ type Options struct {
 	// PartitionCount is the number of ranges partitioning candidates use
 	// (default 12).
 	PartitionCount int
+
+	// Retry is the backoff policy wrapped around every what-if optimizer
+	// call and statistics operation (zero fields get fault.Policy
+	// defaults: 4 attempts, 2ms base backoff). Long tuning sessions
+	// against production servers must ride out transient failures
+	// (paper §2, §6) rather than abort hours in.
+	Retry fault.Policy
+
+	// Faults, when set, is a session-scoped fault injector consulted
+	// before each what-if call (site "whatif") and statistics operation
+	// (site "stats"), so failure paths are testable deterministically.
+	// Server-scoped injection attaches to whatif.Server instead.
+	Faults *fault.Injector
+
+	// Breaker configures the session's failure-rate circuit breaker
+	// (defaults: trip at a 5% attempt-failure rate after 64 attempts).
+	// A tripped breaker flips the session into degraded mode: the search
+	// stops, and the best-so-far design is returned with
+	// Recommendation.StopReason = StopDegraded.
+	Breaker fault.BreakerConfig
+
+	// CheckpointSink, when set, receives periodic Checkpoint snapshots of
+	// the session's restartable state (the cost cache plus progress
+	// markers), every CheckpointEvery what-if calls (default 128). The
+	// tuning service persists them under its -state-dir so a killed
+	// server resumes in-flight sessions on restart.
+	CheckpointSink  func(*Checkpoint)
+	CheckpointEvery int
+
+	// Resume warm-starts the session from a previously captured
+	// Checkpoint: replayed decisions are served from the restored cost
+	// cache instead of optimizer calls, so the session re-reaches the
+	// interruption point cheaply and then continues. With a deterministic
+	// backend, a resumed session produces the same recommendation as an
+	// uninterrupted one.
+	Resume *Checkpoint
 }
 
 func (o Options) features() FeatureMask {
@@ -242,10 +279,10 @@ type Recommendation struct {
 	// BaseConfig.
 	StorageBytes int64
 
-	// StopReason records why tuning stopped early (StopTimeLimit or
-	// StopCancelled); empty when the search ran to completion. An
-	// early-stopped session still returns the best design found so far
-	// (anytime behaviour, paper §2.1).
+	// StopReason records why tuning stopped early (StopTimeLimit,
+	// StopCancelled, or StopDegraded); empty when the search ran to
+	// completion. An early-stopped session still returns the best design
+	// found so far (anytime behaviour, paper §2.1).
 	StopReason string
 
 	EventsTuned    int
@@ -324,6 +361,9 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	tuneSpan.SetArg("events", tuned.Len()).SetArg("compressed", compressed)
 
 	ev := newEvaluator(t, tuned)
+	if opts.Resume != nil {
+		ev.warmStart(opts.Resume.Cache)
+	}
 	ev.attach(tr)
 	tr.setPhase(PhaseBaseline)
 	baseCost, err := ev.configCost(base)
@@ -469,10 +509,10 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 		tr.observeCost(cost)
 	}
 
-	// Per-query analysis reports (paper §6.3). A cancelled session skips
+	// Per-query analysis reports (paper §6.3). A cancelled or degraded session skips
 	// them: the caller asked the advisor to stop working, and the partial
 	// recommendation's headline numbers are already in place.
-	if opts.SkipReports || (tr != nil && tr.cancelled.Load()) {
+	if opts.SkipReports || (tr != nil && (tr.cancelled.Load() || tr.degraded.Load())) {
 		return sealRecommendation(ev, tr, rec, start), nil
 	}
 	if tr != nil {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
@@ -62,7 +63,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 				return 0, nil
 			}
 			// Statistics for what-if structures (§5.2).
-			created, err := t.EnsureStatistics(statRequests(cands), !opts.DisableStatReduction)
+			created, err := ensureStatistics(t, tr, statRequests(cands), !opts.DisableStatReduction)
 			if err != nil {
 				return 0, err
 			}
@@ -140,6 +141,33 @@ func capCandidates(cands []catalog.Structure, benefit map[string]float64, limit 
 		return benefit[sorted[a].Key()] > benefit[sorted[b].Key()]
 	})
 	return sorted[:limit]
+}
+
+// ensureStatistics runs the Tuner's statistics creation under the session's
+// retry policy and fault injector (site "stats"). Statistics creation is
+// idempotent on both backends — already-present statistics are skipped — so
+// a retried call converges on the missing ones. A call that fails every
+// retry outside a critical stage degrades the session (the candidates
+// gathered so far still yield a best-so-far design) instead of failing it.
+func ensureStatistics(t Tuner, tr *tracker, reqs []stats.Request, reduce bool) (int, error) {
+	created, err := fault.Do(tr.doCtx(), tr.retryPolicy(), func() (int, error) {
+		if err := tr.inject(fault.SiteStats); err != nil {
+			return 0, err
+		}
+		return t.EnsureStatistics(reqs, reduce)
+	}, func(_ int, err error) {
+		tr.attemptDone(fault.SiteStats, err)
+	})
+	if err != nil {
+		if tr.ctxStopped() {
+			return 0, errStopped
+		}
+		if !tr.critical() {
+			tr.degrade()
+			return 0, errStopped
+		}
+	}
+	return created, err
 }
 
 // statRequests lists the statistics needed to simulate the candidates: one

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/workload"
@@ -119,7 +120,13 @@ func newEvaluator(t Tuner, w *workload.Workload) *evaluator {
 // sequentially with no metrics.
 func (ev *evaluator) attach(tr *tracker) {
 	ev.tr = tr
-	if tr == nil || tr.metrics == nil {
+	if tr == nil {
+		return
+	}
+	if tr.ckpt != nil {
+		tr.ckpt.ev = ev
+	}
+	if tr.metrics == nil {
 		return
 	}
 	const help = "What-if cost cache behaviour: served hits, leader misses (one optimizer call each), and waits coalesced onto another worker's in-flight call."
@@ -233,19 +240,54 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 	if ev.tr.ctxStopped() {
 		return fail(errStopped)
 	}
-	ev.calls.Add(1)
-	ev.tr.countCall()
 	ev.count(ev.mMisses)
 	_, sp := obs.StartSpan(ev.tr.spanCtx(), "whatif", "what-if")
-	c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
+	c, used, err := ev.whatIfCall(i, cfg)
 	if err != nil {
 		sp.SetArg("event", i).SetArg("error", err.Error()).End()
+		if ev.tr.ctxStopped() {
+			// Cancelled (or already degraded) mid-retry: wind down without
+			// charging the failure to the backend.
+			return fail(errStopped)
+		}
+		if !ev.tr.critical() {
+			// A call that failed every retry during the search proper
+			// degrades the session — the best-so-far design is still worth
+			// returning — instead of failing it outright.
+			ev.tr.degrade()
+			return fail(errStopped)
+		}
 		return fail(err)
 	}
 	sp.SetArg("event", i).SetArg("cost", c).End()
 	ce.cost, ce.used = c, used
 	close(ce.ready)
 	return c, used, nil
+}
+
+// whatIfCall issues a cache-miss leader's optimizer call under the session's
+// retry policy and fault injector. Every attempt — retries included — is
+// charged to the session's what-if accounting (ev.calls and the tracker),
+// feeds the circuit breaker, and increments dta_retries_total, so the
+// reported call count reflects the real load placed on the backend.
+func (ev *evaluator) whatIfCall(i int, cfg *catalog.Configuration) (float64, []string, error) {
+	type res struct {
+		cost float64
+		used []string
+	}
+	tr := ev.tr
+	r, err := fault.Do(tr.doCtx(), tr.retryPolicy(), func() (res, error) {
+		ev.calls.Add(1)
+		tr.countCall()
+		if err := tr.inject(fault.SiteWhatIf); err != nil {
+			return res{}, err
+		}
+		c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
+		return res{cost: c, used: used}, err
+	}, func(_ int, err error) {
+		tr.attemptDone(fault.SiteWhatIf, err)
+	})
+	return r.cost, r.used, err
 }
 
 // count increments a cached cache-behaviour counter (nil without metrics).

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -32,8 +33,16 @@ const (
 // the search space is exhausted. Either way the recommendation returned is
 // the best design found so far (the anytime behaviour of paper §2.1).
 const (
+	// StopTimeLimit: the Options.TimeLimit budget ran out.
 	StopTimeLimit = "time-limit"
+	// StopCancelled: the session's context was cancelled.
 	StopCancelled = "cancelled"
+	// StopDegraded: the circuit breaker tripped — the backend's what-if
+	// failure rate crossed the threshold, or a call kept failing after
+	// every retry — so the session stopped searching (skipping merging,
+	// refinement, and further enumeration) and returned the best design
+	// found so far rather than hammering a flaky backend or crashing.
+	StopDegraded = "degraded"
 )
 
 // Progress is a live snapshot of a running tuning session: the current
@@ -51,6 +60,11 @@ type Progress struct {
 	BestImprovement float64       `json:"bestImprovement"`
 	Elapsed         time.Duration `json:"elapsed"`
 	TimeLimit       time.Duration `json:"timeLimit,omitempty"`
+	// Degraded reports that the session's circuit breaker has tripped: the
+	// search is winding down and will return the best-so-far design with
+	// StopReason StopDegraded. Streamed so operators watching a session
+	// see the degradation the moment it happens, not at the end.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // String renders the snapshot as a one-line status.
@@ -60,6 +74,9 @@ func (p Progress) String() string {
 		100*p.BestImprovement, p.Elapsed.Round(time.Millisecond))
 	if p.TimeLimit > 0 {
 		s += " / " + p.TimeLimit.String()
+	}
+	if p.Degraded {
+		s += " · DEGRADED"
 	}
 	return s
 }
@@ -100,6 +117,22 @@ type tracker struct {
 	finishing bool
 	cancelled atomic.Bool
 	timedOut  atomic.Bool
+	degraded  atomic.Bool
+
+	// Robustness: the resolved retry policy every what-if optimizer call
+	// and statistics operation runs under, the session-scoped fault
+	// injector (nil outside fault-testing), the circuit breaker fed by
+	// every attempt outcome, and the periodic checkpointer (nil without a
+	// sink). All written once at construction, read by pool workers.
+	retry   fault.Policy
+	faults  *fault.Injector
+	breaker *fault.Breaker
+	ckpt    *checkpointer
+
+	// Cached dta_retries_total series by call site (nil maps without
+	// metrics; indexing a nil map is a safe zero read).
+	mRetryOK  map[string]*obs.Counter
+	mRetryErr map[string]*obs.Counter
 
 	phase           Phase
 	eventsTotal     int
@@ -132,7 +165,106 @@ func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
 		tr.deadline = start.Add(opts.TimeLimit)
 	}
 	tr.pool = newWorkerPool(opts.Parallelism)
+	tr.retry = opts.Retry.WithDefaults()
+	tr.faults = opts.Faults
+	tr.breaker = fault.NewBreaker(opts.Breaker)
+	if opts.CheckpointSink != nil {
+		every := int64(opts.CheckpointEvery)
+		if every <= 0 {
+			every = 128
+		}
+		tr.ckpt = &checkpointer{sink: opts.CheckpointSink, every: every, tr: tr}
+	}
+	if tr.metrics != nil {
+		const rhelp = "Backend call attempts made under the session retry policy, by call site and outcome."
+		tr.mRetryOK = map[string]*obs.Counter{}
+		tr.mRetryErr = map[string]*obs.Counter{}
+		for _, site := range []string{fault.SiteWhatIf, fault.SiteStats, fault.SiteImport} {
+			tr.mRetryOK[site] = tr.metrics.Counter("dta_retries_total", rhelp, "site", site, "outcome", "success")
+			tr.mRetryErr[site] = tr.metrics.Counter("dta_retries_total", rhelp, "site", site, "outcome", "failure")
+		}
+	}
 	return tr
+}
+
+// retryPolicy returns the resolved per-call retry policy. Critical stages
+// escalate the attempt budget: a permanent failure there fails the whole
+// session, so it is first made astronomically unlikely (at a 10% transient
+// failure rate, ten attempts put permanent failure around 1e-10 per call).
+func (tr *tracker) retryPolicy() fault.Policy {
+	if tr == nil {
+		return fault.Policy{}.WithDefaults()
+	}
+	p := tr.retry
+	if tr.critical() && p.MaxAttempts < 10 {
+		p.MaxAttempts = 10
+	}
+	return p
+}
+
+// inject consults the session's fault injector (no-op without one).
+func (tr *tracker) inject(site string) error {
+	if tr == nil {
+		return nil
+	}
+	return tr.faults.Inject(site)
+}
+
+// attemptDone observes one backend attempt outcome: it updates the retry
+// metrics, feeds the circuit breaker, and trips the session into degraded
+// mode the moment the breaker opens (outside critical stages, which must
+// run to completion).
+func (tr *tracker) attemptDone(site string, err error) {
+	if tr == nil {
+		return
+	}
+	tr.breaker.Record(err == nil)
+	if err == nil {
+		if c := tr.mRetryOK[site]; c != nil {
+			c.Inc()
+		}
+	} else if c := tr.mRetryErr[site]; c != nil {
+		c.Inc()
+	}
+	if !tr.critical() && tr.breaker.Tripped() {
+		tr.degrade()
+	}
+}
+
+// doCtx returns the context retries run under (Background for the nil
+// tracker and for entry points that predate TuneContext).
+func (tr *tracker) doCtx() context.Context {
+	if tr == nil || tr.ctx == nil {
+		return context.Background()
+	}
+	return tr.ctx
+}
+
+// critical reports whether the pipeline is in a stage that must complete
+// for the session to return anything useful — the baseline costing (no
+// improvement baseline, no result) and the finishing stage (the final
+// configuration must carry real costs even for a stopped session). In
+// these stages retries escalate instead of degrading: a permanent failure
+// there fails the session, so it is made astronomically unlikely first.
+func (tr *tracker) critical() bool {
+	return tr == nil || tr.finishing || tr.phase == PhaseBaseline
+}
+
+// degrade trips the session into degraded mode: the search winds down at
+// the next stop check and the session returns its best-so-far design with
+// StopReason StopDegraded. Called by pool workers when the breaker trips
+// or a call keeps failing after every retry; safe to call repeatedly.
+func (tr *tracker) degrade() {
+	if tr == nil {
+		return
+	}
+	if tr.degraded.CompareAndSwap(false, true) {
+		if tr.metrics != nil {
+			tr.metrics.Counter("dta_sessions_degraded_total",
+				"Tuning sessions that tripped their circuit breaker and returned a best-so-far (degraded) recommendation.").Inc()
+		}
+		tr.emit()
+	}
 }
 
 // attachSpans records the tune-level span context spans nest under.
@@ -202,7 +334,7 @@ func (tr *tracker) ctxStopped() bool {
 	if tr == nil || tr.finishing {
 		return false
 	}
-	if tr.cancelled.Load() {
+	if tr.cancelled.Load() || tr.degraded.Load() {
 		return true
 	}
 	if tr.ctx != nil {
@@ -240,6 +372,8 @@ func (tr *tracker) stopReason() string {
 		return ""
 	case tr.cancelled.Load():
 		return StopCancelled
+	case tr.degraded.Load():
+		return StopDegraded
 	case tr.timedOut.Load():
 		return StopTimeLimit
 	}
@@ -272,9 +406,11 @@ func (tr *tracker) countCall() {
 	if tr == nil {
 		return
 	}
-	if n := tr.calls.Add(1); tr.cb != nil && n%64 == 0 {
+	n := tr.calls.Add(1)
+	if tr.cb != nil && n%64 == 0 {
 		tr.emit()
 	}
+	tr.ckpt.maybeSnapshot(n)
 }
 
 // eventDone records one workload event through candidate selection; gain is
@@ -317,5 +453,6 @@ func (tr *tracker) emit() {
 		BestImprovement: tr.bestImprovement,
 		Elapsed:         time.Since(tr.start),
 		TimeLimit:       tr.timeLimit,
+		Degraded:        tr.degraded.Load(),
 	})
 }

@@ -1,0 +1,75 @@
+package fault
+
+import "sync/atomic"
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// FailureRate is the failure fraction (over all recorded attempts) at
+	// which the breaker trips (≤ 0 → 0.05).
+	FailureRate float64
+	// MinSamples is the minimum number of recorded attempts before the
+	// rate is evaluated — a breaker must not trip on the first unlucky
+	// call (≤ 0 → 64).
+	MinSamples int64
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.05
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	return c
+}
+
+// Breaker is a one-way failure-rate circuit breaker: Record every attempt's
+// outcome, and once at least MinSamples attempts have been recorded with a
+// failure fraction of FailureRate or more, Tripped flips to true and stays
+// there. The tuning pipeline maps a tripped breaker to degraded mode —
+// stop searching, return the best design found so far — so the breaker
+// deliberately never closes again within a session: a backend that already
+// proved flaky mid-search cannot be trusted for the remainder.
+//
+// A nil Breaker records nothing and never trips. All methods are safe for
+// concurrent use by pool workers.
+type Breaker struct {
+	cfg      BreakerConfig
+	attempts atomic.Int64
+	failures atomic.Int64
+	open     atomic.Bool
+}
+
+// NewBreaker builds a breaker (zero config fields get defaults: 5% failure
+// rate over at least 64 attempts).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Record observes one attempt outcome and trips the breaker when the
+// failure rate crosses the threshold.
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	n := b.attempts.Add(1)
+	f := b.failures.Load()
+	if !ok {
+		f = b.failures.Add(1)
+	}
+	if n >= b.cfg.MinSamples && float64(f) >= b.cfg.FailureRate*float64(n) {
+		b.open.Store(true)
+	}
+}
+
+// Tripped reports whether the breaker has opened.
+func (b *Breaker) Tripped() bool { return b != nil && b.open.Load() }
+
+// Counts snapshots the recorded attempts and failures.
+func (b *Breaker) Counts() (attempts, failures int64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.attempts.Load(), b.failures.Load()
+}

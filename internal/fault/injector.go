@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrInjected is the error returned by call sites where an error rule
+// fired. Callers can distinguish injected failures from real backend
+// failures with errors.Is; the retry layer treats both the same.
+var ErrInjected = errors.New("fault: injected error")
+
+// PanicValue is the value an injected panic carries, so recover sites can
+// tell an injected panic from a real bug.
+type PanicValue struct {
+	// Site is the injection site that panicked.
+	Site string
+}
+
+// Error renders the panic value (it also satisfies error so the retry
+// layer's recover can hand it back as one).
+func (p PanicValue) Error() string { return "fault: injected panic at " + p.Site }
+
+// Injector draws from a seeded random source to decide, per call, whether
+// a site's rules fire. It is safe for concurrent use; the draw sequence is
+// serialized under a mutex, so a single-goroutine run with a fixed seed is
+// exactly reproducible (concurrent runs reproduce the same marginal rates
+// but may interleave draws differently).
+//
+// A nil Injector is valid and injects nothing.
+type Injector struct {
+	spec *Spec
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string][]Rule
+	count map[string]int64 // "site/kind" → times fired
+
+	metrics map[string]*obs.Counter // cached registry series, same keys
+	reg     *obs.Registry
+}
+
+// NewInjector builds an injector for the spec (nil spec or no rules →
+// returns nil, the inject-nothing injector).
+func NewInjector(spec *Spec) *Injector {
+	if spec == nil || len(spec.Rules) == 0 {
+		return nil
+	}
+	in := &Injector{
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		rules: map[string][]Rule{},
+		count: map[string]int64{},
+	}
+	for _, r := range spec.Rules {
+		in.rules[r.Site] = append(in.rules[r.Site], r)
+	}
+	return in
+}
+
+// SetMetrics attaches a registry: every injected fault increments
+// dta_faults_injected_total{site,kind}.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reg = reg
+	in.metrics = map[string]*obs.Counter{}
+}
+
+// Inject consults the site's rules in spec order, drawing once per rule.
+// Latency rules that fire sleep (outside the injector lock, after all
+// draws); if an error rule fired Inject returns ErrInjected, and if a
+// panic rule fired it panics with a PanicValue. Nil injector: no-op.
+func (in *Injector) Inject(site string) error {
+	if in == nil {
+		return nil
+	}
+	var delay time.Duration
+	injectErr := false
+	injectPanic := false
+	in.mu.Lock()
+	for _, r := range in.rules[site] {
+		if in.rng.Float64() >= r.Probability {
+			continue
+		}
+		in.fireLocked(site, r.Kind)
+		switch r.Kind {
+		case KindLatency:
+			delay += r.Delay
+		case KindError:
+			injectErr = true
+		case KindPanic:
+			injectPanic = true
+		}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if injectPanic {
+		panic(PanicValue{Site: site})
+	}
+	if injectErr {
+		return fmt.Errorf("%w (site %s)", ErrInjected, site)
+	}
+	return nil
+}
+
+// fireLocked records one injected fault; the caller holds in.mu.
+func (in *Injector) fireLocked(site string, kind Kind) {
+	key := site + "/" + string(kind)
+	in.count[key]++
+	if in.reg == nil {
+		return
+	}
+	c, ok := in.metrics[key]
+	if !ok {
+		c = in.reg.Counter("dta_faults_injected_total",
+			"Faults injected by the seeded fault injector, by site and kind.",
+			"site", site, "kind", string(kind))
+		in.metrics[key] = c
+	}
+	c.Inc()
+}
+
+// Spec returns the spec the injector was built from (nil for the nil
+// injector) — what lets a service persist and later recreate a session's
+// fault configuration. The draw-sequence position is not part of it: a
+// recreated injector restarts its seeded sequence.
+func (in *Injector) Spec() *Spec {
+	if in == nil {
+		return nil
+	}
+	return in.spec
+}
+
+// Counts snapshots how many faults have fired, keyed "site/kind".
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.count))
+	for k, v := range in.count {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrAttemptTimeout is returned (and then possibly retried) when one
+// attempt exceeded the policy's per-attempt Timeout. The attempt's
+// goroutine is abandoned — its eventual result is discarded — which is the
+// only way to bound an in-process optimizer call that cannot observe a
+// context.
+var ErrAttemptTimeout = errors.New("fault: attempt timed out")
+
+// Policy parameterizes Do: how many attempts, how the backoff between them
+// grows, and how long a single attempt may run.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, first try included
+	// (≤ 0 → 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (≤ 0 → 2ms); each
+	// subsequent backoff doubles, with ±50% jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (≤ 0 → 250ms).
+	MaxDelay time.Duration
+	// Timeout bounds one attempt's wall time (0 = unbounded). A timed-out
+	// attempt counts as a failed attempt and is retried.
+	Timeout time.Duration
+}
+
+// WithDefaults resolves zero fields to the package defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before retry n (n = 1 for the first retry):
+// BaseDelay·2^(n−1) capped at MaxDelay, with ±50% jitter so synchronized
+// retry storms across workers spread out.
+func (p Policy) backoff(n int) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(2*half))
+}
+
+// result carries one attempt's outcome across the timeout boundary.
+type result[T any] struct {
+	v   T
+	err error
+}
+
+// Do runs fn under the policy: up to MaxAttempts attempts with exponential
+// backoff between them, each attempt bounded by Timeout. Panics inside fn
+// (including injected ones) are recovered into errors and retried like any
+// failure. onResult, when non-nil, observes every attempt's outcome in
+// order (attempt numbering from 1) — the hook the circuit breaker and the
+// retry metrics hang off. Do stops early when ctx is done, returning the
+// context error (a cancelled tuning session must not sit out backoff
+// sleeps).
+func Do[T any](ctx context.Context, p Policy, fn func() (T, error), onResult func(attempt int, err error)) (T, error) {
+	p = p.WithDefaults()
+	var zero T
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		v, err := runAttempt(p, fn)
+		if onResult != nil {
+			onResult(attempt, err)
+		}
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if attempt == p.MaxAttempts {
+			break
+		}
+		select {
+		case <-time.After(p.backoff(attempt)):
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	return zero, fmt.Errorf("fault: %d attempts failed: %w", p.MaxAttempts, lastErr)
+}
+
+// runAttempt runs one recovered attempt, enforcing the per-attempt timeout.
+// Results travel by value through a channel, so an abandoned (timed-out)
+// attempt cannot race the caller.
+func runAttempt[T any](p Policy, fn func() (T, error)) (T, error) {
+	if p.Timeout <= 0 {
+		return recovered(fn)
+	}
+	ch := make(chan result[T], 1)
+	go func() {
+		v, err := recovered(fn)
+		ch <- result[T]{v, err}
+	}()
+	timer := time.NewTimer(p.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, fmt.Errorf("%w after %s", ErrAttemptTimeout, p.Timeout)
+	}
+}
+
+// recovered invokes fn, converting a panic (e.g. an injected one) into an
+// error so the retry loop and the circuit breaker see a plain failure.
+func recovered[T any](fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("fault: recovered panic: %w", e)
+			} else {
+				err = fmt.Errorf("fault: recovered panic: %v", r)
+			}
+		}
+	}()
+	return fn()
+}

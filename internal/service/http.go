@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
 )
@@ -35,6 +36,14 @@ type CreateOptions struct {
 	// default, GOMAXPROCS). The server-wide budget (dtaserver
 	// -max-parallelism) caps it. Recommendations do not depend on it.
 	Parallelism int `json:"parallelism,omitempty"`
+	// FaultSpec, when non-empty, attaches a session-scoped deterministic
+	// fault injector (grammar "seed=N;site:kind:prob[:duration];...", see
+	// internal/fault) — the chaos-testing knob. Sites: whatif, stats,
+	// import.
+	FaultSpec string `json:"faultSpec,omitempty"`
+	// RetryAttempts overrides the per-call retry budget of the session's
+	// backoff policy (0 = the default, 4 attempts).
+	RetryAttempts int `json:"retryAttempts,omitempty"`
 }
 
 // CreateRequest is the JSON body of POST /sessions.
@@ -53,36 +62,60 @@ func (c CreateRequest) toRequest() (Request, error) {
 		}
 		req.Workload = w
 	}
-	mask, err := xmlio.FeatureMaskFromString(c.Options.Features)
+	opts, err := c.Options.toCore()
 	if err != nil {
 		return req, err
-	}
-	opts := core.Options{
-		Features:      mask,
-		StorageBudget: c.Options.StorageMB << 20,
-		Aligned:       c.Options.Aligned,
-		NoCompression: c.Options.NoCompression,
-		AllowDrops:    c.Options.AllowDrops,
-		EvaluateOnly:  c.Options.EvaluateOnly,
-		GreedyM:       c.Options.GreedyM,
-		GreedyK:       c.Options.GreedyK,
-		SkipReports:   c.Options.SkipReports,
-		Parallelism:   c.Options.Parallelism,
-	}
-	if c.Options.TimeLimit != "" {
-		d, err := time.ParseDuration(c.Options.TimeLimit)
-		if err != nil {
-			return req, fmt.Errorf("bad timeLimit: %w", err)
-		}
-		opts.TimeLimit = d
 	}
 	req.Options = opts
 	return req, nil
 }
 
+// toCore maps the wire options onto core.Options. It is also the resume
+// path's deserializer: a persisted session's options go through exactly this
+// mapping again, so a resumed session tunes under the options it was
+// created with.
+func (c CreateOptions) toCore() (core.Options, error) {
+	mask, err := xmlio.FeatureMaskFromString(c.Features)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{
+		Features:      mask,
+		StorageBudget: c.StorageMB << 20,
+		Aligned:       c.Aligned,
+		NoCompression: c.NoCompression,
+		AllowDrops:    c.AllowDrops,
+		EvaluateOnly:  c.EvaluateOnly,
+		GreedyM:       c.GreedyM,
+		GreedyK:       c.GreedyK,
+		SkipReports:   c.SkipReports,
+		Parallelism:   c.Parallelism,
+	}
+	if c.TimeLimit != "" {
+		d, err := time.ParseDuration(c.TimeLimit)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("bad timeLimit: %w", err)
+		}
+		opts.TimeLimit = d
+	}
+	if c.FaultSpec != "" {
+		spec, err := fault.ParseSpec(c.FaultSpec)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("bad faultSpec: %w", err)
+		}
+		opts.Faults = fault.NewInjector(spec)
+	}
+	if c.RetryAttempts < 0 {
+		return core.Options{}, fmt.Errorf("bad retryAttempts: %d", c.RetryAttempts)
+	}
+	opts.Retry.MaxAttempts = c.RetryAttempts
+	return opts, nil
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /sessions             create a tuning session (JSON or DTAXML body)
+//	POST   /sessions/resume      resume checkpointed sessions from the state dir
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        one session's snapshot
 //	GET    /sessions/{id}/events stream progress events (NDJSON)
@@ -94,6 +127,7 @@ func (c CreateRequest) toRequest() (Request, error) {
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", m.handleCreate)
+	mux.HandleFunc("POST /sessions/resume", m.handleResume)
 	mux.HandleFunc("GET /sessions", m.handleList)
 	mux.HandleFunc("GET /sessions/{id}", m.handleGet)
 	mux.HandleFunc("GET /sessions/{id}/events", m.handleEvents)
@@ -172,6 +206,24 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/sessions/"+s.ID())
 	writeJSON(w, http.StatusCreated, s.Snapshot())
+}
+
+// handleResume replays the state directory: every persisted session that is
+// not already live is recreated from its manifest and warm-started from its
+// last checkpoint. dtaserver calls the same ResumeSessions at startup; the
+// endpoint exists for operators who attach a state directory to a running
+// server or repair one by hand.
+func (m *Manager) handleResume(w http.ResponseWriter, r *http.Request) {
+	resumed, err := m.ResumeSessions()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]Snapshot, len(resumed))
+	for i, s := range resumed {
+		out[i] = s.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"resumed": out})
 }
 
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {

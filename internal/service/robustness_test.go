@@ -1,0 +1,253 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// faultSpec returns the fault-matrix spec: CI's fault-matrix job pins it via
+// DTA_FAULT_SPEC; locally the default injects a 10% what-if error rate.
+func faultSpec() string {
+	if s := os.Getenv("DTA_FAULT_SPEC"); s != "" {
+		return s
+	}
+	return "seed=7;whatif:error:0.10"
+}
+
+// TestFaultMatrixDegradedSession drives a session through the HTTP API
+// against a backend with the fault-matrix injection rate and asserts the
+// robustness contract end to end: the session never crashes and never
+// returns empty-handed — it finishes as done with StopReason "degraded", a
+// real baseline cost, a degraded progress stream, and the retry/fault/
+// breaker metric series present in a scrape.
+func TestFaultMatrixDegradedSession(t *testing.T) {
+	m := service.NewManager(2)
+	if err := m.Register(&service.Backend{Name: "db", Tuner: smallServer(t), DefaultWorkload: slowWorkload(t)}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"options":{"faultSpec":%q}}`, faultSpec())
+	resp, err := srv.Client().Post(srv.URL+"/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ok := m.Get(snap.ID)
+	if !ok {
+		t.Fatalf("no session %q", snap.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatalf("session did not finish: %v", err)
+	}
+
+	final := s.Snapshot()
+	if final.State != service.StateDone {
+		t.Fatalf("state %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("degraded session returned no recommendation")
+	}
+	if final.Result.StopReason != core.StopDegraded {
+		t.Fatalf("StopReason %q, want %q", final.Result.StopReason, core.StopDegraded)
+	}
+	if final.Result.BaseCost <= 0 {
+		t.Fatalf("no baseline cost: %+v", final.Result)
+	}
+	if !final.Progress.Degraded {
+		t.Fatal("final progress snapshot not marked degraded")
+	}
+
+	// The robustness series must land in the shared registry scrape.
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		"dta_retries_total", "dta_faults_injected_total",
+		"dta_sessions_degraded_total", "dta_breaker_state",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("scrape is missing %s", series)
+		}
+	}
+	// The session is terminal, so no breaker is open any more.
+	if !strings.Contains(text, "dta_breaker_state 0") {
+		t.Error("dta_breaker_state should read 0 after the session finished")
+	}
+}
+
+// resumeStatements is the fixed workload of the resume test, varied enough
+// that a checkpoint lands mid-run.
+func resumeStatements() []workload.Statement {
+	var stmts []workload.Statement
+	for i := 0; i < 6; i++ {
+		stmts = append(stmts,
+			workload.Statement{SQL: fmt.Sprintf("SELECT id FROM t WHERE x = %d", 50+i*31)},
+			workload.Statement{SQL: fmt.Sprintf("SELECT a, COUNT(*) FROM t WHERE x < %d GROUP BY a", 8+i)},
+		)
+	}
+	return stmts
+}
+
+// TestStateDirResume simulates the kill + restart sequence: a state file
+// with a mid-run checkpoint (what a crashed dtaserver leaves behind) is
+// placed in a fresh manager's state directory; ResumeSessions must restart
+// the session under its original ID, converge on the identical
+// recommendation an uninterrupted run produces, spend fewer optimizer
+// calls doing it, and clean up the state file once terminal.
+func TestStateDirResume(t *testing.T) {
+	stmts := resumeStatements()
+	wl, err := workload.FromStatements(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the uninterrupted run, through the service like any other.
+	ref := service.NewManager(2)
+	if err := ref.Register(&service.Backend{Name: "db", Tuner: smallServer(t)}); err != nil {
+		t.Fatal(err)
+	}
+	refSess, err := ref.Create(service.Request{Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := refSess.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	refRec, refErr := refSess.Result()
+	if refErr != nil || refRec == nil {
+		t.Fatalf("reference run: rec=%v err=%v", refRec, refErr)
+	}
+
+	// Capture the checkpoint a crashed run would have persisted: same
+	// workload, same (default) options, fresh identical server.
+	var first *core.Checkpoint
+	if _, err := core.Tune(smallServer(t), wl, core.Options{
+		CheckpointEvery: 50,
+		CheckpointSink: func(ck *core.Checkpoint) {
+			if first == nil {
+				first = ck
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no checkpoint emitted; grow the workload")
+	}
+
+	// Hand-craft the crashed session's state file, matching the on-disk
+	// schema (id + statements + wire options + checkpoint).
+	dir := t.TempDir()
+	state := struct {
+		ID         string               `json:"id"`
+		Created    time.Time            `json:"created"`
+		Statements []workload.Statement `json:"statements"`
+		Options    service.CreateOptions `json:"options"`
+		Checkpoint *core.Checkpoint     `json:"checkpoint"`
+	}{ID: "s-0042", Created: time.Now(), Statements: stmts, Checkpoint: first}
+	data, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s-0042.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh manager, fresh backend, same state dir.
+	m := service.NewManager(2)
+	if err := m.Register(&service.Backend{Name: "db", Tuner: smallServer(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := m.ResumeSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 || resumed[0].ID() != "s-0042" {
+		t.Fatalf("resumed %v, want [s-0042]", resumed)
+	}
+	if err := resumed[0].Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := resumed[0].Result()
+	if err != nil || rec == nil {
+		t.Fatalf("resumed run: rec=%v err=%v", rec, err)
+	}
+
+	if got, want := renderStructures(rec), renderStructures(refRec); got != want {
+		t.Fatalf("resumed recommendation differs:\n%s\nvs\n%s", got, want)
+	}
+	if rec.Cost != refRec.Cost || rec.BaseCost != refRec.BaseCost {
+		t.Fatalf("resumed costs differ: %.9f/%.9f vs %.9f/%.9f",
+			rec.BaseCost, rec.Cost, refRec.BaseCost, refRec.Cost)
+	}
+	if rec.WhatIfCalls >= refRec.WhatIfCalls {
+		t.Fatalf("resume saved no optimizer calls: %d vs %d", rec.WhatIfCalls, refRec.WhatIfCalls)
+	}
+
+	// The state file is deleted once the session is terminal (it may lag
+	// Wait by an instant — run() removes it right after finish).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "s-0042.json")); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("state file survived the session")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The ID sequence advanced past the resumed session.
+	next, err := m.Create(service.Request{Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer next.Cancel()
+	if next.ID() != "s-0043" {
+		t.Fatalf("next session %q, want s-0043", next.ID())
+	}
+}
+
+func renderStructures(rec *core.Recommendation) string {
+	var out []string
+	for _, st := range rec.NewStructures {
+		out = append(out, st.String())
+	}
+	return strings.Join(out, "\n")
+}

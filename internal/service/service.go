@@ -91,6 +91,9 @@ type Session struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+	// degraded flips once the session's circuit breaker opens; the manager
+	// uses the transition for its dta_breaker_state gauge bookkeeping.
+	degraded atomic.Bool
 
 	mu       sync.Mutex
 	state    State
@@ -337,6 +340,10 @@ type Manager struct {
 	sessions map[string]*Session
 	order    []string
 	seq      int
+	// stateDir, when set via SetStateDir, holds one JSON state file per
+	// in-flight wire-representable session (manifest + last checkpoint);
+	// see state.go.
+	stateDir string
 
 	created   atomic.Int64
 	completed atomic.Int64
@@ -347,14 +354,17 @@ type Manager struct {
 
 	// Registry series mirroring the lifecycle counters above, cached at
 	// construction so the run loop never takes registry locks.
-	cCreated    *obs.Counter
-	cFinished   map[State]*obs.Counter
-	cCalls      *obs.Counter
-	hDuration   *obs.Histogram
-	hCalls      *obs.Histogram
-	hImprove    *obs.Histogram
-	gPending    *obs.Gauge
-	gRunning    *obs.Gauge
+	cCreated  *obs.Counter
+	cFinished map[State]*obs.Counter
+	cCalls    *obs.Counter
+	hDuration *obs.Histogram
+	hCalls    *obs.Histogram
+	hImprove  *obs.Histogram
+	gPending  *obs.Gauge
+	gRunning  *obs.Gauge
+	// gBreaker counts sessions whose circuit breaker is currently open
+	// (running in — or finished after — degraded mode, not yet terminal).
+	gBreaker *obs.Gauge
 }
 
 // NewManager creates a manager running at most workers sessions at once
@@ -387,6 +397,8 @@ func NewManager(workers int) *Manager {
 			"Workload cost improvement per finished session (0..1).", obs.LinearBuckets(0.1, 0.1, 10)),
 		gPending: reg.Gauge("dta_sessions", "Live sessions by state.", "state", string(StatePending)),
 		gRunning: reg.Gauge("dta_sessions", "Live sessions by state.", "state", string(StateRunning)),
+		gBreaker: reg.Gauge("dta_breaker_state",
+			"Live sessions whose circuit breaker is open (degraded mode); 0 = every live session healthy."),
 	}
 	return m
 }
@@ -471,6 +483,13 @@ func (m *Manager) backend(name string) (*Backend, error) {
 // immediately; the session runs asynchronously, queued behind the worker
 // limit.
 func (m *Manager) Create(req Request) (*Session, error) {
+	return m.create(req, "", nil)
+}
+
+// create is Create plus the resume path's extra inputs: a fixed session ID
+// (empty = allocate the next sequence number) and a checkpoint to
+// warm-start from (nil = fresh session).
+func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Session, error) {
 	b, err := m.backend(req.Backend)
 	if err != nil {
 		return nil, err
@@ -502,11 +521,33 @@ func (m *Manager) Create(req Request) (*Session, error) {
 		opts.Parallelism = p
 	}
 
+	opts.Resume = resume
+	if opts.Faults != nil {
+		// Session-scoped injectors report into the shared registry so
+		// injected faults are visible next to the retries they cause.
+		opts.Faults.SetMetrics(m.reg)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	m.mu.Lock()
-	m.seq++
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s-%04d", m.seq)
+	} else {
+		if _, dup := m.sessions[id]; dup {
+			m.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("service: session %q already exists", id)
+		}
+		// Keep the sequence ahead of resumed IDs so new sessions never
+		// collide with them.
+		var n int
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
 	s := &Session{
-		id:      fmt.Sprintf("s-%04d", m.seq),
+		id:      id,
 		backend: b.Name,
 		created: time.Now(),
 		cancel:  cancel,
@@ -521,6 +562,28 @@ func (m *Manager) Create(req Request) (*Session, error) {
 	m.created.Add(1)
 	m.cCreated.Inc()
 	m.log.Info("session created", "session", s.id, "backend", b.Name, "events", w.Len())
+
+	// Persist the manifest and hook up checkpointing when a state directory
+	// is attached and the request survives the wire round trip. The wire
+	// form is captured from the request's own options — before the
+	// service-side defaults (base config, progress wrapper, metrics) are
+	// grafted on — so resume rebuilds the session through the same path a
+	// fresh create takes.
+	if wire, ok := wireOptions(req.Options); ok && m.statePath(s.id) != "" {
+		st := &sessionState{
+			ID:         s.id,
+			Backend:    req.Backend,
+			Created:    s.created,
+			Statements: wireStatements(req.Workload),
+			Options:    wire,
+		}
+		m.writeState(st)
+		opts.CheckpointSink = func(ck *core.Checkpoint) {
+			snap := *st
+			snap.Checkpoint = ck
+			m.writeState(&snap)
+		}
+	}
 
 	go m.run(ctx, s, b, w, opts)
 	return s, nil
@@ -546,6 +609,7 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 		m.cancelled.Add(1)
 		m.cFinished[StateCancelled].Inc()
 		m.log.Info("session cancelled while queued", "session", s.id)
+		m.removeState(s.id)
 		s.finish(StateCancelled, nil, nil)
 		return
 	}
@@ -554,6 +618,10 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 
 	user := opts.Progress
 	opts.Progress = func(p core.Progress) {
+		if p.Degraded && s.degraded.CompareAndSwap(false, true) {
+			m.gBreaker.Add(1)
+			m.log.Warn("session degraded: circuit breaker open", "session", s.id)
+		}
 		s.onProgress(p)
 		if user != nil {
 			user(p)
@@ -588,6 +656,10 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 		s.finish(StateDone, rec, nil)
 	}
 
+	m.removeState(s.id)
+	if s.degraded.Load() {
+		m.gBreaker.Add(-1)
+	}
 	m.cFinished[st].Inc()
 	m.hDuration.Observe(elapsed.Seconds())
 	root.SetArg("state", string(st))

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xmlio"
+)
+
+// sessionState is the on-disk form of one resumable session: the manifest
+// (everything needed to recreate the Request) plus the last checkpoint the
+// tuning pipeline emitted. One file per session lives under the manager's
+// state directory as <id>.json; the file is written when the session is
+// created, rewritten at every checkpoint, and deleted when the session
+// reaches a terminal state — so after a crash, exactly the in-flight
+// sessions remain on disk for ResumeSessions to pick up.
+type sessionState struct {
+	ID         string               `json:"id"`
+	Backend    string               `json:"backend,omitempty"`
+	Created    time.Time            `json:"created"`
+	Statements []workload.Statement `json:"statements,omitempty"`
+	Options    CreateOptions        `json:"options"`
+	Checkpoint *core.Checkpoint     `json:"checkpoint,omitempty"`
+}
+
+// SetStateDir enables session persistence: every wire-representable session
+// writes its manifest and periodic checkpoints under dir, and
+// ResumeSessions restarts whatever is found there. The directory is created
+// if missing. Call before serving; an empty dir disables persistence.
+func (m *Manager) SetStateDir(dir string) error {
+	if dir == "" {
+		m.mu.Lock()
+		m.stateDir = ""
+		m.mu.Unlock()
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: state dir: %w", err)
+	}
+	m.mu.Lock()
+	m.stateDir = dir
+	m.mu.Unlock()
+	return nil
+}
+
+// statePath returns the session's state file path ("" with persistence off).
+func (m *Manager) statePath(id string) string {
+	m.mu.Lock()
+	dir := m.stateDir
+	m.mu.Unlock()
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, id+".json")
+}
+
+// writeState persists one session state atomically (temp file + rename), so
+// a crash mid-write leaves the previous checkpoint intact rather than a
+// truncated file.
+func (m *Manager) writeState(st *sessionState) {
+	path := m.statePath(st.ID)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		m.log.Warn("session state marshal", "session", st.ID, "err", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.log.Warn("session state write", "session", st.ID, "err", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		m.log.Warn("session state rename", "session", st.ID, "err", err)
+	}
+}
+
+// removeState deletes a terminal session's state file: only sessions that
+// were still in flight when the process died remain on disk.
+func (m *Manager) removeState(id string) {
+	if path := m.statePath(id); path != "" {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			m.log.Warn("session state remove", "session", id, "err", err)
+		}
+	}
+}
+
+// ResumeSessions scans the state directory and restarts every persisted
+// session that is not already live, warm-started from its last checkpoint.
+// A resumed session keeps its original ID; because the pipeline is
+// deterministic given its cached optimizer costs, it converges on the same
+// recommendation the uninterrupted run would have produced. Corrupt or
+// stale state files are logged and skipped, never fatal — a crashed server
+// must come back up even if one session's state did not survive.
+func (m *Manager) ResumeSessions() ([]*Session, error) {
+	m.mu.Lock()
+	dir := m.stateDir
+	m.mu.Unlock()
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // creation order: IDs are zero-padded sequence numbers
+
+	var resumed []*Session
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			m.log.Warn("session state read", "file", name, "err", err)
+			continue
+		}
+		var st sessionState
+		if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+			m.log.Warn("session state corrupt", "file", name, "err", err)
+			continue
+		}
+		if _, live := m.Get(st.ID); live {
+			continue
+		}
+		req, err := st.toRequest()
+		if err != nil {
+			m.log.Warn("session state unusable", "session", st.ID, "err", err)
+			continue
+		}
+		s, err := m.create(req, st.ID, st.Checkpoint)
+		if err != nil {
+			m.log.Warn("session resume failed", "session", st.ID, "err", err)
+			continue
+		}
+		calls := int64(0)
+		if st.Checkpoint != nil {
+			calls = st.Checkpoint.WhatIfCalls
+		}
+		m.log.Info("session resumed", "session", s.ID(), "backend", s.Backend(),
+			"checkpointCalls", calls)
+		resumed = append(resumed, s)
+	}
+	return resumed, nil
+}
+
+// toRequest rebuilds the service request a persisted session was created
+// from, through the same wire mapping the HTTP create path uses.
+func (st *sessionState) toRequest() (Request, error) {
+	cr := CreateRequest{Database: st.Backend, Statements: st.Statements, Options: st.Options}
+	return cr.toRequest()
+}
+
+// wireOptions maps core.Options back onto the wire form, the inverse of
+// CreateOptions.toCore. The bool reports whether the mapping is faithful:
+// options carrying programmatic-only state (a user-specified configuration,
+// callbacks, ablation knobs the wire form does not expose) cannot round-trip
+// through JSON, and sessions created with them are simply not persisted.
+func wireOptions(o core.Options) (CreateOptions, bool) {
+	representable := o.UserConfig == nil && o.BaseConfig == nil &&
+		o.Progress == nil && o.Metrics == nil &&
+		o.CheckpointSink == nil && o.Resume == nil &&
+		!o.CompressWorkload && o.CompressThreshold == 0 && o.MaxPerTemplate == 0 &&
+		o.ColGroupFrac == 0 && !o.NoColGroupRestriction && o.MaxKeyColumns == 0 &&
+		o.PerQueryK == 0 && o.CandidatePoolCap == 0 &&
+		!o.NoMerging && !o.EagerAlignment && !o.DisableStatReduction &&
+		o.PartitionCount == 0 && o.CheckpointEvery == 0 &&
+		o.StorageBudget%(1<<20) == 0 &&
+		o.Retry.BaseDelay == 0 && o.Retry.MaxDelay == 0 && o.Retry.Timeout == 0 &&
+		o.Breaker.FailureRate == 0 && o.Breaker.MinSamples == 0
+	if !representable {
+		return CreateOptions{}, false
+	}
+	c := CreateOptions{
+		StorageMB:     o.StorageBudget >> 20,
+		Aligned:       o.Aligned,
+		NoCompression: o.NoCompression,
+		AllowDrops:    o.AllowDrops,
+		EvaluateOnly:  o.EvaluateOnly,
+		GreedyM:       o.GreedyM,
+		GreedyK:       o.GreedyK,
+		SkipReports:   o.SkipReports,
+		Parallelism:   o.Parallelism,
+		RetryAttempts: o.Retry.MaxAttempts,
+	}
+	if o.Features != 0 {
+		c.Features = xmlio.FeatureMaskToString(o.Features)
+	}
+	if o.TimeLimit != 0 {
+		c.TimeLimit = o.TimeLimit.String()
+	}
+	if spec := o.Faults.Spec(); spec != nil {
+		c.FaultSpec = spec.String()
+	}
+	return c, true
+}
+
+// wireStatements renders a workload back to its wire statements so a
+// persisted session carries its exact workload (nil workload = the
+// backend's default, which re-resolves at resume).
+func wireStatements(w *workload.Workload) []workload.Statement {
+	if w == nil {
+		return nil
+	}
+	out := make([]workload.Statement, 0, len(w.Events))
+	for _, e := range w.Events {
+		out = append(out, workload.Statement{SQL: e.SQL, Weight: e.Weight})
+	}
+	return out
+}

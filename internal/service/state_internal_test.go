@@ -1,0 +1,63 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// TestWireOptionsRoundTrip verifies the persistence invariant behind
+// checkpoint/resume: a session created from wire options must map back to
+// the identical wire form, so the resumed session is configured exactly as
+// the original. Options carrying programmatic-only state must be rejected
+// (ok=false) rather than silently persisted lossily.
+func TestWireOptionsRoundTrip(t *testing.T) {
+	in := CreateOptions{
+		Features:      "IDX",
+		StorageMB:     64,
+		TimeLimit:     "2s",
+		GreedyM:       2,
+		GreedyK:       6,
+		Parallelism:   3,
+		SkipReports:   true,
+		NoCompression: true,
+		FaultSpec:     "seed=5;whatif:error:0.1", // canonical rendering of Spec.String
+
+		RetryAttempts: 6,
+	}
+	opts, err := in.toCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := wireOptions(opts)
+	if !ok {
+		t.Fatal("wire-created options reported as not representable")
+	}
+	if out != in {
+		t.Fatalf("round trip changed the options:\n got %+v\nwant %+v", out, in)
+	}
+
+	// Defaults round-trip to defaults, with the empty feature string
+	// normalized to its explicit spelling "ALL".
+	var zero CreateOptions
+	opts, err = zero.toCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok = wireOptions(opts)
+	if !ok || out != (CreateOptions{Features: "ALL"}) {
+		t.Fatalf("zero options: ok=%v out=%+v", ok, out)
+	}
+
+	// Programmatic-only state cannot be represented on the wire.
+	opts.UserConfig = &catalog.Configuration{}
+	if _, ok := wireOptions(opts); ok {
+		t.Fatal("options with a UserConfig must not be persisted")
+	}
+	opts.UserConfig = nil
+	opts.CheckpointSink = func(*core.Checkpoint) {}
+	if _, ok := wireOptions(opts); ok {
+		t.Fatal("options with a CheckpointSink must not be persisted")
+	}
+}

@@ -9,8 +9,10 @@ package testsrv
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
@@ -27,6 +29,12 @@ type Session struct {
 	Test *whatif.Server
 
 	statsMu sync.Mutex
+
+	// faults, when attached via SetFaults, injects failures into the
+	// statistics import path (site "import") — the scenario-specific
+	// failure mode this package adds over a single server. Atomic so a
+	// late attach never races with in-flight imports.
+	faults atomic.Pointer[fault.Injector]
 }
 
 // NewSession imports the production server's metadata into a fresh test
@@ -42,6 +50,16 @@ func NewSession(prod *whatif.Server) *Session {
 func (s *Session) SetMetrics(reg *obs.Registry) {
 	s.Test.SetMetrics(reg)
 	s.Prod.SetMetrics(reg)
+}
+
+// SetFaults attaches a fault injector to the session's import path (site
+// "import") and to both servers (sites "whatif" and "stats"), so a single
+// spec exercises every backend failure mode of the production/test
+// scenario. Pass nil to detach.
+func (s *Session) SetFaults(in *fault.Injector) {
+	s.faults.Store(in)
+	s.Test.SetFaults(in)
+	s.Prod.SetFaults(in)
 }
 
 // Catalog returns the test server's (imported) catalog.
@@ -78,6 +96,12 @@ func (s *Session) EnsureStatistics(reqs []stats.Request, reduce bool) (int, erro
 	}
 	created := 0
 	for _, r := range missing {
+		// Imports already performed stay on the test server, so a retried
+		// EnsureStatistics call after an injected failure resumes with the
+		// remaining statistics — the loop is idempotent.
+		if err := s.faults.Load().Inject(fault.SiteImport); err != nil {
+			return created, err
+		}
 		if err := s.Test.ImportStatistic(s.Prod, r.Table, r.Columns); err != nil {
 			return created, err
 		}

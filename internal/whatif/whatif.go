@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
@@ -82,6 +83,12 @@ type Server struct {
 	// SetMetrics never races with in-flight calls.
 	metrics atomic.Pointer[serverMetrics]
 
+	// faults, when attached via SetFaults, injects failures into every
+	// what-if call (site "whatif") and statistics build (site "stats") —
+	// the chaos-testing hook the robustness layer is exercised with.
+	// Atomic for the same late-attach reason as metrics.
+	faults atomic.Pointer[fault.Injector]
+
 	opt *optimizer.Optimizer
 }
 
@@ -125,6 +132,17 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	s.metrics.Store(m)
 }
 
+// SetFaults attaches (or, with nil, detaches) a fault injector consulted on
+// every what-if call and statistics build. The injected error, latency, or
+// panic surfaces exactly where a real backend failure would, so the
+// advisor's retry/breaker path is exercised end to end.
+func (s *Server) SetFaults(in *fault.Injector) { s.faults.Store(in) }
+
+// injectFault fires the server's injector at site (no-op when detached).
+func (s *Server) injectFault(site string) error {
+	return s.faults.Load().Inject(site)
+}
+
 // NewServer creates a server over the catalog with empty statistics.
 func NewServer(name string, cat *catalog.Catalog, hw optimizer.Hardware) *Server {
 	s := &Server{Name: name, Cat: cat, Stats: stats.NewStore(), HW: hw}
@@ -166,6 +184,12 @@ func (s *Server) addOverhead(d float64) {
 func (s *Server) WhatIf(stmt sqlparser.Statement, cfg *catalog.Configuration) (*optimizer.Result, error) {
 	s.whatIfCalls.Add(1)
 	s.addOverhead(WhatIfCallCost)
+	if err := s.injectFault(fault.SiteWhatIf); err != nil {
+		// The failed call is still charged above: a real backend does the
+		// accounting before the optimizer can fail, and retries must show up
+		// in the server's load figures.
+		return nil, err
+	}
 	m := s.metrics.Load()
 	if m == nil {
 		return s.opt.Optimize(stmt, cfg)
@@ -249,6 +273,9 @@ func (s *Server) createStatistic(table string, cols []string) (*stats.Statistic,
 func (s *Server) buildStatistic(table string, cols []string) (*stats.Statistic, error) {
 	if s.Data == nil {
 		return nil, fmt.Errorf("whatif: server %q holds no data; import statistics from the production server", s.Name)
+	}
+	if err := s.injectFault(fault.SiteStats); err != nil {
+		return nil, err
 	}
 	st, err := stats.Build(s.Cat, table, cols, engine.NewSampler(s.Data), stats.BuildOptions{})
 	if err != nil {

@@ -1,0 +1,96 @@
+// Command linkcheck verifies the relative links in the repository's
+// markdown documentation: every [text](target) whose target is a local
+// path must point at a file that exists. External http(s) links and pure
+// fragment links are not fetched — the check is hermetic so CI stays
+// deterministic and offline.
+//
+// Usage:
+//
+//	go run ./scripts/linkcheck [files-or-dirs...]
+//
+// With no arguments it checks README.md, DESIGN.md, EXPERIMENTS.md,
+// ROADMAP.md, and every .md file under docs/.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links; images share the syntax and are
+// checked the same way.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	targets := os.Args[1:]
+	if len(targets) == 0 {
+		targets = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "docs"}
+	}
+	var files []string
+	for _, t := range targets {
+		fi, err := os.Stat(t)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // optional roots (docs/ may not exist in a trimmed checkout)
+			}
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, t)
+			continue
+		}
+		err = filepath.WalkDir(t, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: broken link %q (%s)\n", f, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skip reports link targets outside the checker's scope: external URLs,
+// mail links, and pure in-page fragments.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
