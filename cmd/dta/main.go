@@ -12,9 +12,12 @@
 //	dta -db tpch -sf 0.01 -workload queries.sql -storage-mb 512 -out rec.xml
 //	dta -db tpch -builtin -features IDX_MV -aligned
 //	dta -input session.xml -db tpch          # XML-scripted session (§6.1)
+//	dta -db synt1 -workload big.trc -stream  # bounded-memory streaming ingest
 //
 // Workload files use the trace format: one statement per line with optional
-// leading weight and duration fields separated by tabs.
+// leading weight and duration fields separated by tabs. With -stream the
+// trace is folded into the online compressor as it is read, so traces far
+// larger than memory tune with the same recommendation as the batch path.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		evaluate   = flag.Bool("evaluate", false, "evaluate the user configuration instead of tuning (§6.3)")
 		timeLimit  = flag.Duration("time-limit", 0, "tuning time bound (e.g. 5m)")
 		noCompress = flag.Bool("no-compression", false, "disable workload compression (§5.1)")
+		stream     = flag.Bool("stream", false, "stream -workload through the online compressor: bounded memory for very large traces, identical recommendation")
 		useTestSrv = flag.Bool("test-server", false, "tune through a test server (§5.3)")
 		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
 		tracePath  = flag.String("trace", "", "write the session's span timeline here as Chrome trace-event JSON (view in chrome://tracing or ui.perfetto.dev)")
@@ -54,7 +58,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *useTestSrv, *quiet, *tracePath, *par); err != nil {
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -62,7 +66,7 @@ func main() {
 
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
-	noCompress, useTestSrv, quiet bool, tracePath string, parallelism int) error {
+	noCompress, stream, useTestSrv, quiet bool, tracePath string, parallelism int) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
@@ -109,6 +113,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		opts.Features = m
 	}
 
+	if stream && wlPath == "" {
+		return fmt.Errorf("-stream requires -workload (a trace file to stream)")
+	}
 	if w == nil {
 		if wlPath != "" {
 			f, err := os.Open(wlPath)
@@ -116,8 +123,29 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 				return err
 			}
 			defer f.Close()
-			w, err = workload.ReadTrace(f)
-			if err != nil {
+			if stream {
+				// Online path: fold the trace into the bounded-memory
+				// compressor as it is read and hand the advisor the
+				// pre-compressed workload — same recommendation as the batch
+				// path for the same trace, but memory stays
+				// O(templates × MaxPerTemplate) however long the file is.
+				comp := workload.NewCompressor(workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
+				if err := workload.StreamTrace(f, func(e *workload.Event, _ int) error {
+					return comp.Add(e)
+				}); err != nil {
+					return err
+				}
+				st, err := os.Stat(wlPath)
+				if err != nil {
+					return err
+				}
+				w = comp.Workload()
+				opts.Ingest = &core.IngestStats{Events: comp.Events(), Bytes: st.Size(), Templates: comp.Templates()}
+				if !quiet {
+					fmt.Fprintf(os.Stderr, "streamed %d events (%d templates) into %d representatives (%.0fx)\n",
+						comp.Events(), comp.Templates(), comp.Len(), comp.Ratio())
+				}
+			} else if w, err = workload.ReadTrace(f); err != nil {
 				return err
 			}
 		} else {

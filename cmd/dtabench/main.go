@@ -40,14 +40,20 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel")
+	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel, ingest")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file as JSON")
 	parLevels := flag.String("parallelism", "1,2,4", "comma-separated Options.Parallelism levels for the parallel sweep")
+	ingestSizes := flag.String("ingest-sizes", "10000,100000,1000000", "comma-separated trace sizes (events) for the streaming-ingestion sweep")
 	flag.Parse()
 
 	levels, err := parseLevels(*parLevels)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dtabench: bad -parallelism: %v\n", err)
+		os.Exit(2)
+	}
+	sizes, err := parseLevels(*ingestSizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtabench: bad -ingest-sizes: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -140,6 +146,14 @@ func main() {
 		}
 		fmt.Println(experiments.ParallelString(rows))
 		return experiments.SummarizeParallel(rows), nil
+	})
+	run("ingest", func() ([]experiments.BenchRecord, error) {
+		rows, err := experiments.IngestSweep(cfg, sizes)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.IngestString(rows))
+		return experiments.SummarizeIngest(rows), nil
 	})
 	run("ablations", func() ([]experiments.BenchRecord, error) {
 		var recs []experiments.BenchRecord

@@ -9,6 +9,7 @@
 // Endpoints (see internal/service):
 //
 //	POST   /sessions             create a session (JSON or DTAXML body)
+//	POST   /sessions/trace       create a session from a raw trace streamed as the body
 //	POST   /sessions/resume      resume checkpointed sessions from -state-dir
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        session snapshot

@@ -67,6 +67,19 @@ type (
 	Hardware = optimizer.Hardware
 	// Workload is the set of statements to tune.
 	Workload = workload.Workload
+	// Event is one workload statement with its weight and duration.
+	Event = workload.Event
+	// Compressor is the bounded-memory online workload compressor
+	// (paper §5.1): feed events as they arrive, retain only
+	// O(templates × MaxPerTemplate) representatives, and hand the result to
+	// Tune via Options.Ingest. Fed in order it produces exactly what
+	// CompressWorkload produces in batch.
+	Compressor = workload.Compressor
+	// CompressOptions configures workload compression (batch or online).
+	CompressOptions = workload.CompressOptions
+	// IngestStats records a streaming ingest for Options.Ingest: setting it
+	// tells Tune the workload is already-compressed Compressor output.
+	IngestStats = core.IngestStats
 
 	// Progress is a live tuning-progress snapshot; set Options.Progress to
 	// receive them, or use the tuning service's event stream.
@@ -111,6 +124,23 @@ func ReadWorkload(r io.Reader) (*Workload, error) { return workload.ReadTrace(r)
 func CompressWorkload(w *Workload) *Workload {
 	return workload.Compress(w, workload.CompressOptions{})
 }
+
+// StreamTrace incrementally reads a profiler-style trace, handing each event
+// to sink with its 1-based line number; lines may be arbitrarily long and
+// errors carry the line they occurred on. A sink that folds events into a
+// Compressor tunes traces far larger than memory:
+//
+//	comp := dta.NewCompressor(dta.CompressOptions{})
+//	err  := dta.StreamTrace(f, func(e *dta.Event, _ int) error { return comp.Add(e) })
+//	rec, _ := dta.Tune(srv, comp.Workload(), dta.Options{
+//		Ingest: &dta.IngestStats{Events: comp.Events(), Templates: comp.Templates()},
+//	})
+func StreamTrace(r io.Reader, sink func(e *Event, line int) error) error {
+	return workload.StreamTrace(r, sink)
+}
+
+// NewCompressor creates an empty online workload compressor.
+func NewCompressor(opts CompressOptions) *Compressor { return workload.NewCompressor(opts) }
 
 // Tune produces an integrated physical design recommendation.
 func Tune(t Tuner, w *Workload, opts Options) (*Recommendation, error) {

@@ -198,6 +198,15 @@ type Options struct {
 	CheckpointSink  func(*Checkpoint)
 	CheckpointEvery int
 
+	// Ingest declares that the workload was already compressed online
+	// during ingestion (workload.StreamTrace feeding a workload.Compressor)
+	// and carries the raw-trace volume the compressor absorbed. When set,
+	// the advisor skips its own compression pass — re-compressing the
+	// representatives would double-fold weights — and stamps the ingest
+	// counters into Progress snapshots and the Recommendation. The
+	// workload handed to Tune must then be the Compressor's output.
+	Ingest *IngestStats
+
 	// Resume warm-starts the session from a previously captured
 	// Checkpoint: replayed decisions are served from the restored cost
 	// cache instead of optimizer calls, so the session re-reaches the
@@ -205,6 +214,20 @@ type Options struct {
 	// backend, a resumed session produces the same recommendation as an
 	// uninterrupted one.
 	Resume *Checkpoint
+}
+
+// IngestStats describes a workload compressed online while its trace was
+// streamed in: how many raw events and bytes went through the compressor and
+// how many statement templates it observed. The compressed workload itself
+// (the representatives) is what gets tuned; these counters preserve the
+// original trace's scale for progress reporting and the final recommendation.
+type IngestStats struct {
+	// Events is the number of raw trace events folded into the compressor.
+	Events int64
+	// Bytes is the number of trace bytes consumed.
+	Bytes int64
+	// Templates is the number of distinct statement templates observed.
+	Templates int
 }
 
 func (o Options) features() FeatureMask {
@@ -295,6 +318,12 @@ type Recommendation struct {
 	StatsCreated  int
 	Duration      time.Duration
 	Compressed    bool
+	// IngestedEvents and IngestedBytes record streaming-ingest volume
+	// (Options.Ingest): how many raw trace events and bytes were folded
+	// into the online compressor to produce the tuned workload. Zero for
+	// sessions not created from a streamed trace.
+	IngestedEvents int64
+	IngestedBytes  int64
 
 	Reports []QueryReport
 	// Usage aggregates structure usage across the workload (§6.3), sorted
@@ -350,10 +379,16 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	mandatory := base.Clone()
 	mandatory.Merge(opts.UserConfig)
 
-	// Workload compression (§5.1).
+	// Workload compression (§5.1). A workload that arrived through the
+	// streaming-ingest path (Options.Ingest) is already the online
+	// compressor's output: re-compressing it would fold representative
+	// weights a second time, so it is tuned as-is.
 	tuned := w
 	compressed := false
-	if !opts.NoCompression && (opts.CompressWorkload || w.Len() > opts.CompressThreshold) {
+	switch {
+	case opts.Ingest != nil:
+		compressed = opts.Ingest.Events > int64(w.Len())
+	case !opts.NoCompression && (opts.CompressWorkload || w.Len() > opts.CompressThreshold):
 		tuned = workload.Compress(w, workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
 		compressed = tuned.Len() < w.Len()
 	}
@@ -380,6 +415,10 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 		BaseCost:    baseCost,
 		EventsTuned: tuned.Len(),
 		Compressed:  compressed,
+	}
+	if opts.Ingest != nil {
+		rec.IngestedEvents = opts.Ingest.Events
+		rec.IngestedBytes = opts.Ingest.Bytes
 	}
 	rec.TemplatesTuned = len(tuned.Templates())
 	rec.SkippedEvents = ev.skippedEvents()

@@ -19,6 +19,12 @@ type Phase string
 
 // Pipeline phases, in execution order.
 const (
+	// PhaseIngest is reported while a streamed trace is still being read
+	// and compressed online (before the search pipeline starts). Only
+	// sessions created from a streamed trace pass through it; snapshots in
+	// this phase carry IngestedEvents/IngestedBytes instead of search
+	// counters.
+	PhaseIngest      Phase = "ingest"
 	PhaseBaseline    Phase = "baseline-costing"
 	PhaseDrops       Phase = "drop-analysis"
 	PhaseColGroups   Phase = "column-groups"
@@ -65,10 +71,22 @@ type Progress struct {
 	// StopReason StopDegraded. Streamed so operators watching a session
 	// see the degradation the moment it happens, not at the end.
 	Degraded bool `json:"degraded,omitempty"`
+	// IngestedEvents and IngestedBytes report streaming-ingest volume: raw
+	// trace events folded into the online compressor and trace bytes
+	// consumed. They grow during PhaseIngest and then stay at their final
+	// values for the rest of the session (zero for sessions that were not
+	// created from a streamed trace).
+	IngestedEvents int64 `json:"ingestedEvents,omitempty"`
+	IngestedBytes  int64 `json:"ingestedBytes,omitempty"`
 }
 
 // String renders the snapshot as a one-line status.
 func (p Progress) String() string {
+	if p.Phase == PhaseIngest {
+		return fmt.Sprintf("[%s] %d events · %.1f MB · %s",
+			p.Phase, p.IngestedEvents, float64(p.IngestedBytes)/(1<<20),
+			p.Elapsed.Round(time.Millisecond))
+	}
 	s := fmt.Sprintf("[%s] %d/%d events · %d what-if calls · best %.1f%% · %s",
 		p.Phase, p.EventsTuned, p.EventsTotal, p.WhatIfCalls,
 		100*p.BestImprovement, p.Elapsed.Round(time.Millisecond))
@@ -141,6 +159,12 @@ type tracker struct {
 	baseCost        float64
 	bestImprovement float64
 
+	// Streaming-ingest volume (Options.Ingest), echoed into every snapshot
+	// so watchers joining after the ingest phase still see how much trace
+	// the session consumed. Written once at construction.
+	ingestEvents int64
+	ingestBytes  int64
+
 	// cbMu serializes Progress callback invocations: countCall emits
 	// periodic snapshots from pool workers, and callbacks (the service's
 	// session lock, the CLI's stderr writer) expect one caller at a time.
@@ -161,6 +185,10 @@ type tracker struct {
 
 func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
 	tr := &tracker{ctx: ctx, cb: opts.Progress, start: start, timeLimit: opts.TimeLimit, phase: PhaseBaseline, metrics: opts.Metrics}
+	if opts.Ingest != nil {
+		tr.ingestEvents = opts.Ingest.Events
+		tr.ingestBytes = opts.Ingest.Bytes
+	}
 	if opts.TimeLimit > 0 {
 		tr.deadline = start.Add(opts.TimeLimit)
 	}
@@ -454,5 +482,7 @@ func (tr *tracker) emit() {
 		Elapsed:         time.Since(tr.start),
 		TimeLimit:       tr.timeLimit,
 		Degraded:        tr.degraded.Load(),
+		IngestedEvents:  tr.ingestEvents,
+		IngestedBytes:   tr.ingestBytes,
 	})
 }

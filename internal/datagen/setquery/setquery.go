@@ -9,6 +9,7 @@ package setquery
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/catalog"
@@ -162,6 +163,45 @@ func (t template) instantiate(cat *catalog.Catalog, rng *rand.Rand) string {
 		}
 	}
 	return sql
+}
+
+// Trace returns a reader that lazily renders the SYNT1 workload as a
+// profiler trace in the workload.ReadTrace line format ("1<TAB>SQL", one
+// event per line). The statement sequence is exactly what Workload produces
+// for the same arguments — same seed, same template draw, same constants —
+// so batch and streaming ingestion of matching parameters tune identical
+// events. Lines are generated on demand as the reader is drained: memory
+// stays O(1) in events, which is what lets the scale sweep push million-event
+// traces through the streaming path without materializing them.
+func Trace(cat *catalog.Catalog, events, templateCount int, seed int64) io.Reader {
+	rng := rand.New(rand.NewSource(seed))
+	return &traceReader{cat: cat, tmpls: templates(templateCount, rng), rng: rng, events: events}
+}
+
+// traceReader lazily renders trace lines; see Trace.
+type traceReader struct {
+	cat    *catalog.Catalog
+	tmpls  []template
+	rng    *rand.Rand
+	events int
+	next   int
+	buf    []byte
+}
+
+func (t *traceReader) Read(p []byte) (int, error) {
+	for len(t.buf) == 0 {
+		if t.next >= t.events {
+			return 0, io.EOF
+		}
+		tm := t.tmpls[t.next%len(t.tmpls)]
+		t.buf = append(t.buf[:0], "1\t"...)
+		t.buf = append(t.buf, tm.instantiate(t.cat, t.rng)...)
+		t.buf = append(t.buf, '\n')
+		t.next++
+	}
+	n := copy(p, t.buf)
+	t.buf = t.buf[n:]
+	return n, nil
 }
 
 // Workload generates the SYNT1 workload: events queries drawn from

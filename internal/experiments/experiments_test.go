@@ -181,6 +181,39 @@ func TestFigure45Shape(t *testing.T) {
 	t.Log("\n" + Figure45String(rows))
 }
 
+func TestIngestSweepShape(t *testing.T) {
+	cfg := Quick()
+	rows, err := IngestSweep(cfg, []int{1500, 4500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ParityChecked {
+			t.Fatalf("parity must run at quick sizes: %+v", r)
+		}
+		if r.Representatives > r.Templates*4 {
+			t.Fatalf("representatives %d exceed templates %d × 4", r.Representatives, r.Templates)
+		}
+		if r.Improvement <= 0 {
+			t.Fatalf("no improvement at n=%d", r.Events)
+		}
+	}
+	// Tripling the trace must not grow retained state: same templates, same
+	// representative bound, (much) higher compression ratio.
+	if rows[1].Representatives != rows[0].Representatives {
+		t.Fatalf("representatives grew with trace size: %d → %d", rows[0].Representatives, rows[1].Representatives)
+	}
+	if rows[1].Ratio <= rows[0].Ratio {
+		t.Fatalf("ratio should grow with trace size: %.1f → %.1f", rows[0].Ratio, rows[1].Ratio)
+	}
+	if IngestString(rows) == "" || len(SummarizeIngest(rows)) != 2 {
+		t.Fatal("render/summary failed")
+	}
+}
+
 func TestSec3AndAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end tuning")

@@ -17,6 +17,14 @@ type BenchRecord struct {
 	WallMS         int64   `json:"wallMS,omitempty"`
 	WhatIfCalls    int64   `json:"whatIfCalls,omitempty"`
 	ImprovementPct float64 `json:"improvementPct,omitempty"`
+	// Events is the raw trace size of an ingest-sweep case.
+	Events int64 `json:"events,omitempty"`
+	// AllocMB is the bytes allocated during streaming ingestion (MB) — the
+	// bounded-memory claim the ingest sweep exists to demonstrate.
+	AllocMB float64 `json:"allocMB,omitempty"`
+	// Ratio is the workload compression ratio (raw events per kept
+	// representative) an ingest-sweep case achieved.
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // WriteBenchJSON writes the records as an indented JSON array.

@@ -114,6 +114,10 @@ var LatencyBuckets = ExpBuckets(1e-5, 2, 23)
 // per configuration, pool sizes.
 var CountBuckets = ExpBuckets(1, 2, 12)
 
+// RatioBuckets suits multiplicative factors spanning 1× to ~32k× — workload
+// compression ratios (raw events per kept representative) live here.
+var RatioBuckets = ExpBuckets(1, 2, 16)
+
 // metric families by type name used in exposition.
 const (
 	typeCounter   = "counter"

@@ -115,6 +115,7 @@ func (c CreateOptions) toCore() (core.Options, error) {
 // Handler returns the service's HTTP API:
 //
 //	POST   /sessions             create a tuning session (JSON or DTAXML body)
+//	POST   /sessions/trace       create a session from a raw trace streamed as the body
 //	POST   /sessions/resume      resume checkpointed sessions from the state dir
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        one session's snapshot
@@ -127,6 +128,7 @@ func (c CreateOptions) toCore() (core.Options, error) {
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", m.handleCreate)
+	mux.HandleFunc("POST /sessions/trace", m.handleCreateTrace)
 	mux.HandleFunc("POST /sessions/resume", m.handleResume)
 	mux.HandleFunc("GET /sessions", m.handleList)
 	mux.HandleFunc("GET /sessions/{id}", m.handleGet)
@@ -201,6 +203,42 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := m.Create(req)
 	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+s.ID())
+	writeJSON(w, http.StatusCreated, s.Snapshot())
+}
+
+// handleCreateTrace is POST /sessions/trace: the request body is a raw
+// profiler trace in the workload.ReadTrace line format, streamed straight
+// into the session's online compressor without ever being buffered whole.
+// Because the body is the trace, the session parameters travel as query
+// parameters instead: ?database=<backend> names the backend and
+// ?options=<JSON CreateOptions> carries the tuning options. Progress during
+// ingestion is published on the session's event stream (phase "ingest"). A
+// malformed trace fails with 400 and a line-numbered error; the failed
+// session remains visible in the session list.
+func (m *Manager) handleCreateTrace(w http.ResponseWriter, r *http.Request) {
+	var copts CreateOptions
+	if o := r.URL.Query().Get("options"); o != "" {
+		if err := json.Unmarshal([]byte(o), &copts); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad options: %w", err))
+			return
+		}
+	}
+	opts, err := copts.toCore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req := Request{Backend: r.URL.Query().Get("database"), Options: opts}
+	s, err := m.CreateStreaming(req, r.Body)
+	if err != nil {
+		if s != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error(), "session": s.ID()})
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

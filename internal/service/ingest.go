@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ingestFlushEvery is how often (in events) streaming ingestion publishes a
+// progress snapshot and advances the ingest metric series.
+const ingestFlushEvery = 4096
+
+// countingReader counts the bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// publishIngest publishes an ingest-phase progress snapshot: the session is
+// still pending (no worker slot is held while the trace streams in), but
+// subscribers on the event stream see ingestion advance live.
+func (s *Session) publishIngest(events, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.progress = core.Progress{
+		Phase:          core.PhaseIngest,
+		IngestedEvents: events,
+		IngestedBytes:  bytes,
+		Elapsed:        time.Since(s.created),
+	}
+	s.publishLocked()
+}
+
+// CreateStreaming creates a tuning session whose workload arrives as a raw
+// profiler trace (the workload.ReadTrace line format) streamed from trace.
+// The trace is never materialized: each line is parsed and folded straight
+// into an online workload.Compressor, so a multi-million-event trace is
+// ingested in O(templates × MaxPerTemplate) workload memory. Ingestion runs
+// synchronously on the caller's goroutine (the HTTP handler streams the
+// request body through it); the session is visible and its event stream
+// publishes ingest-phase progress while the trace is still arriving, and the
+// tuning run is launched when ingestion completes.
+//
+// req.Workload is ignored — the trace is the workload. A malformed trace
+// (unparseable SQL, non-finite or negative weight/duration, no statements at
+// all) fails the session with a line-numbered error; the failed session is
+// returned alongside the error so callers can surface its ID. Streaming
+// sessions are not persisted to the manager's state directory: their
+// workload exists only as compressor output, which a manifest of wire
+// statements cannot faithfully restore.
+func (m *Manager) CreateStreaming(req Request, trace io.Reader) (*Session, error) {
+	b, err := m.backend(req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	opts := req.Options
+	if opts.BaseConfig == nil {
+		opts.BaseConfig = b.BaseConfig
+	}
+	opts.Parallelism = m.clampParallelism(opts.Parallelism)
+	if opts.Faults != nil {
+		opts.Faults.SetMetrics(m.reg)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := m.addSession("", b.Name, cancel)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	m.log.Info("session created (streaming ingest)", "session", s.id, "backend", b.Name)
+
+	// The ingest span precedes the session root span run() opens; both land
+	// on the same per-session trace, so the timeline shows ingest → queued →
+	// phases in order.
+	_, sp := obs.StartSpan(obs.WithTrace(ctx, s.trace), "session", "ingest")
+
+	comp := workload.NewCompressor(workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
+	cr := &countingReader{r: trace}
+	var lastEvents, lastBytes int64
+	flush := func() {
+		ev, by := comp.Events(), cr.n
+		m.cIngestEvents.Add(float64(ev - lastEvents))
+		m.cIngestBytes.Add(float64(by - lastBytes))
+		lastEvents, lastBytes = ev, by
+		s.publishIngest(ev, by)
+	}
+	err = workload.StreamTrace(cr, func(e *workload.Event, line int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if aerr := comp.Add(e); aerr != nil {
+			return aerr
+		}
+		if comp.Events()%ingestFlushEvery == 0 {
+			flush()
+		}
+		return nil
+	})
+	if err == nil && comp.Events() == 0 {
+		err = fmt.Errorf("service: trace contains no statements")
+	}
+	flush()
+	if err != nil {
+		sp.SetArg("error", err.Error()).End()
+		if ctx.Err() != nil {
+			m.cancelled.Add(1)
+			m.cFinished[StateCancelled].Inc()
+			m.log.Info("session cancelled during ingest", "session", s.id)
+			s.finish(StateCancelled, nil, err)
+		} else {
+			m.failed.Add(1)
+			m.cFinished[StateFailed].Inc()
+			m.log.Warn("trace ingest failed", "session", s.id, "error", err)
+			s.finish(StateFailed, nil, err)
+		}
+		return s, err
+	}
+
+	w := comp.Workload()
+	m.hTemplates.Observe(float64(comp.Templates()))
+	m.hRatio.Observe(comp.Ratio())
+	sp.SetArg("events", comp.Events()).SetArg("bytes", cr.n).
+		SetArg("templates", comp.Templates()).SetArg("representatives", w.Len()).End()
+	opts.Ingest = &core.IngestStats{Events: comp.Events(), Bytes: cr.n, Templates: comp.Templates()}
+	m.log.Info("trace ingested", "session", s.id,
+		"events", comp.Events(), "bytes", cr.n,
+		"templates", comp.Templates(), "representatives", w.Len())
+
+	go m.run(ctx, s, b, w, opts)
+	return s, nil
+}

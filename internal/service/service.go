@@ -266,6 +266,9 @@ type Result struct {
 	StopReason   string   `json:"stopReason,omitempty"`
 	Structures   []string `json:"structures,omitempty"`
 	Dropped      []string `json:"dropped,omitempty"`
+	// IngestedEvents is the raw-trace event count absorbed by streaming
+	// ingestion (zero for sessions not created from a streamed trace).
+	IngestedEvents int64 `json:"ingestedEvents,omitempty"`
 }
 
 // Snapshot captures the session's current state for reporting.
@@ -299,8 +302,9 @@ func (s *Session) Snapshot() Snapshot {
 			EventsTuned:  s.rec.EventsTuned,
 			WhatIfCalls:  s.rec.WhatIfCalls,
 			StatsCreated: s.rec.StatsCreated,
-			DurationMS:   s.rec.Duration.Milliseconds(),
-			StopReason:   s.rec.StopReason,
+			DurationMS:     s.rec.Duration.Milliseconds(),
+			StopReason:     s.rec.StopReason,
+			IngestedEvents: s.rec.IngestedEvents,
 		}
 		for _, st := range s.rec.NewStructures {
 			r.Structures = append(r.Structures, "CREATE "+st.String())
@@ -365,6 +369,13 @@ type Manager struct {
 	// gBreaker counts sessions whose circuit breaker is currently open
 	// (running in — or finished after — degraded mode, not yet terminal).
 	gBreaker *obs.Gauge
+	// Streaming-ingest series (see CreateStreaming): cumulative raw events
+	// and bytes through the online compressors, plus per-trace template
+	// counts and compression ratios.
+	cIngestEvents *obs.Counter
+	cIngestBytes  *obs.Counter
+	hTemplates    *obs.Histogram
+	hRatio        *obs.Histogram
 }
 
 // NewManager creates a manager running at most workers sessions at once
@@ -399,6 +410,14 @@ func NewManager(workers int) *Manager {
 		gRunning: reg.Gauge("dta_sessions", "Live sessions by state.", "state", string(StateRunning)),
 		gBreaker: reg.Gauge("dta_breaker_state",
 			"Live sessions whose circuit breaker is open (degraded mode); 0 = every live session healthy."),
+		cIngestEvents: reg.Counter("dta_ingest_events_total",
+			"Raw trace events folded into streaming-ingest session compressors."),
+		cIngestBytes: reg.Counter("dta_ingest_bytes_total",
+			"Trace bytes consumed by streaming session ingestion."),
+		hTemplates: reg.Histogram("dta_compress_templates",
+			"Distinct statement templates observed per streamed trace.", obs.CountBuckets),
+		hRatio: reg.Histogram("dta_compress_ratio",
+			"Workload compression ratio (raw events per kept representative) per streamed trace.", obs.RatioBuckets),
 	}
 	return m
 }
@@ -505,21 +524,7 @@ func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Sess
 	if opts.BaseConfig == nil {
 		opts.BaseConfig = b.BaseConfig
 	}
-	m.mu.Lock()
-	parCap := m.parCap
-	m.mu.Unlock()
-	if parCap > 0 {
-		// Clamp to the server-wide budget; the default request (0 =
-		// GOMAXPROCS) is resolved first so the cap only ever shrinks it.
-		p := opts.Parallelism
-		if p <= 0 {
-			p = runtime.GOMAXPROCS(0)
-		}
-		if p > parCap {
-			p = parCap
-		}
-		opts.Parallelism = p
-	}
+	opts.Parallelism = m.clampParallelism(opts.Parallelism)
 
 	opts.Resume = resume
 	if opts.Faults != nil {
@@ -529,38 +534,11 @@ func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Sess
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	m.mu.Lock()
-	if id == "" {
-		m.seq++
-		id = fmt.Sprintf("s-%04d", m.seq)
-	} else {
-		if _, dup := m.sessions[id]; dup {
-			m.mu.Unlock()
-			cancel()
-			return nil, fmt.Errorf("service: session %q already exists", id)
-		}
-		// Keep the sequence ahead of resumed IDs so new sessions never
-		// collide with them.
-		var n int
-		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq {
-			m.seq = n
-		}
+	s, err := m.addSession(id, b.Name, cancel)
+	if err != nil {
+		cancel()
+		return nil, err
 	}
-	s := &Session{
-		id:      id,
-		backend: b.Name,
-		created: time.Now(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StatePending,
-		subs:    map[int]chan Event{},
-	}
-	s.trace = obs.NewTrace(s.id)
-	m.sessions[s.id] = s
-	m.order = append(m.order, s.id)
-	m.mu.Unlock()
-	m.created.Add(1)
-	m.cCreated.Inc()
 	m.log.Info("session created", "session", s.id, "backend", b.Name, "events", w.Len())
 
 	// Persist the manifest and hook up checkpointing when a state directory
@@ -586,6 +564,62 @@ func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Sess
 	}
 
 	go m.run(ctx, s, b, w, opts)
+	return s, nil
+}
+
+// clampParallelism applies the server-wide per-session parallelism budget: a
+// request for more than the cap (or for the default, 0 = GOMAXPROCS) is
+// shrunk to it. Without a cap the request passes through untouched.
+func (m *Manager) clampParallelism(p int) int {
+	m.mu.Lock()
+	parCap := m.parCap
+	m.mu.Unlock()
+	if parCap <= 0 {
+		return p
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > parCap {
+		p = parCap
+	}
+	return p
+}
+
+// addSession allocates, registers, and counts a new pending session. An empty
+// id takes the next sequence number; a caller-supplied id (the resume path)
+// must not collide with a live session, and the sequence is kept ahead of it
+// so fresh sessions never collide either.
+func (m *Manager) addSession(id, backend string, cancel context.CancelFunc) (*Session, error) {
+	m.mu.Lock()
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s-%04d", m.seq)
+	} else {
+		if _, dup := m.sessions[id]; dup {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("service: session %q already exists", id)
+		}
+		var n int
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	s := &Session{
+		id:      id,
+		backend: backend,
+		created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StatePending,
+		subs:    map[int]chan Event{},
+	}
+	s.trace = obs.NewTrace(s.id)
+	m.sessions[s.id] = s
+	m.order = append(m.order, s.id)
+	m.mu.Unlock()
+	m.created.Add(1)
+	m.cCreated.Inc()
 	return s, nil
 }
 

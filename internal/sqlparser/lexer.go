@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokenKind int
@@ -83,10 +84,28 @@ func (l *lexer) next() (token, error) {
 scan:
 	start := l.pos
 	c := l.src[l.pos]
+	// Identifiers are scanned as decoded runes, not bytes: classifying a raw
+	// byte with the unicode tables accepts any 0x80–0xFF byte whose Latin-1
+	// codepoint happens to be a letter (0xFF = 'ÿ'), yielding ident tokens
+	// that are not valid UTF-8. Those survive into the AST, and the first
+	// case-mapping in deparse silently rewrites them to U+FFFD — so the
+	// statement's own signature no longer parses. Reject invalid UTF-8 here,
+	// with the offset, while the byte is still addressable.
+	r, rSize := utf8.DecodeRuneInString(l.src[l.pos:])
+	if r == utf8.RuneError && rSize == 1 {
+		return token{}, fmt.Errorf("sqlparser: invalid UTF-8 byte 0x%02x at %d", c, start)
+	}
 	switch {
-	case isIdentStart(rune(c)):
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+	case isIdentStart(r):
+		for l.pos < len(l.src) {
+			pr, prSize := utf8.DecodeRuneInString(l.src[l.pos:])
+			if pr == utf8.RuneError && prSize == 1 {
+				return token{}, fmt.Errorf("sqlparser: invalid UTF-8 byte 0x%02x at %d", l.src[l.pos], l.pos)
+			}
+			if !isIdentPart(pr) {
+				break
+			}
+			l.pos += prSize
 		}
 		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
 	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
@@ -159,7 +178,7 @@ scan:
 		l.pos++
 		return token{kind: tokPunct, text: string(c), pos: start}, nil
 	default:
-		return token{}, fmt.Errorf("sqlparser: unexpected character %q at %d", c, start)
+		return token{}, fmt.Errorf("sqlparser: unexpected character %q at %d", r, start)
 	}
 }
 

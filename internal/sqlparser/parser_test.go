@@ -135,6 +135,12 @@ func TestParseErrors(t *testing.T) {
 		"SELECT a FROM t WHERE a BETWEEN 1",
 		"SELECT a FROM t trailing garbage here",
 		"SELECT 'unterminated FROM t",
+		// Invalid UTF-8 must be rejected at the lexer: 0xFF read as a
+		// Latin-1 rune is the letter 'ÿ', and accepting it as an identifier
+		// produces an AST whose deparsed signature no longer parses (found
+		// by FuzzParse; crasher kept in testdata/fuzz/FuzzParse).
+		"SELECT(0)FROM \xff",
+		"SELECT a\xc3\x28 FROM t",
 	}
 	for _, sql := range bad {
 		if _, err := Parse(sql); err == nil {

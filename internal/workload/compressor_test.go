@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparser"
+)
+
+// randomWorkload builds a templated workload with weights, durations, and a
+// mix of numeric and string constants — the shape compression cares about.
+func randomWorkload(rng *rand.Rand, events int) *Workload {
+	w := &Workload{}
+	for i := 0; i < events; i++ {
+		var sql string
+		switch rng.Intn(4) {
+		case 0:
+			sql = fmt.Sprintf("SELECT a FROM t WHERE x = %d", rng.Intn(5000))
+		case 1:
+			sql = fmt.Sprintf("SELECT b, SUM(c) FROM t WHERE y < %d GROUP BY b", rng.Intn(800))
+		case 2:
+			sql = fmt.Sprintf("UPDATE t SET c = %d WHERE id = %d", rng.Intn(9), rng.Intn(10000))
+		default:
+			sql = fmt.Sprintf("SELECT a FROM t WHERE s = '%c' AND x = %d", 'a'+rune(rng.Intn(6)), rng.Intn(100))
+		}
+		if err := w.Add(sql, float64(rng.Intn(10)+1)); err != nil {
+			panic(err)
+		}
+		w.Events[len(w.Events)-1].Duration = float64(rng.Intn(50))
+	}
+	return w
+}
+
+func TestCompressorMatchesBatchCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		w := randomWorkload(rng, 50+rng.Intn(400))
+		opt := CompressOptions{MaxPerTemplate: 1 + rng.Intn(5), Threshold: []float64{0, 0.05, 0.2}[rng.Intn(3)]}
+
+		batch := Compress(w, opt)
+
+		c := NewCompressor(opt)
+		for _, e := range w.Events {
+			if err := c.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		online := c.Workload()
+
+		if online.Len() != batch.Len() {
+			t.Fatalf("trial %d: online %d reps, batch %d", trial, online.Len(), batch.Len())
+		}
+		for i := range batch.Events {
+			b, o := batch.Events[i], online.Events[i]
+			if b.SQL != o.SQL || b.Weight != o.Weight || b.Duration != o.Duration {
+				t.Fatalf("trial %d rep %d: batch %q w=%g d=%g, online %q w=%g d=%g",
+					trial, i, b.SQL, b.Weight, b.Duration, o.SQL, o.Weight, o.Duration)
+			}
+		}
+		if c.Events() != int64(w.Len()) || c.TotalWeight() != w.TotalWeight() {
+			t.Fatalf("trial %d: compressor counters drifted: events=%d weight=%g", trial, c.Events(), c.TotalWeight())
+		}
+	}
+}
+
+func TestCompressorBoundedState(t *testing.T) {
+	const templates, maxPer = 5, 4
+	c := NewCompressor(CompressOptions{MaxPerTemplate: maxPer})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		sql := fmt.Sprintf("SELECT a FROM t%d WHERE x = %d", rng.Intn(templates), rng.Intn(1<<30))
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(&Event{SQL: sql, Stmt: stmt, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Templates() != templates {
+		t.Fatalf("templates = %d, want %d", c.Templates(), templates)
+	}
+	if c.Len() > templates*maxPer {
+		t.Fatalf("retained %d reps, bound is %d", c.Len(), templates*maxPer)
+	}
+	if c.Events() != 20000 || c.TotalWeight() != 20000 {
+		t.Fatalf("events=%d weight=%g", c.Events(), c.TotalWeight())
+	}
+
+	// Once every template is saturated, each further Add folds into existing
+	// state: allocations per event are a small constant (vector scratch),
+	// independent of how many events have been streamed through.
+	e := &Event{SQL: "SELECT a FROM t0 WHERE x = 123456", Weight: 1}
+	stmt, err := sqlparser.Parse(e.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stmt = stmt
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 32 {
+		t.Fatalf("steady-state Add allocates %v objects per event; state is not bounded", allocs)
+	}
+}
+
+func TestCompressorRejectsPoisonedEvents(t *testing.T) {
+	c := NewCompressor(CompressOptions{})
+	stmt, err := sqlparser.Parse("SELECT a FROM t WHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Event{
+		{Stmt: stmt, Weight: -1},
+		{Stmt: stmt, Weight: math.NaN()},
+		{Stmt: stmt, Weight: 1, Duration: math.NaN()},
+	}
+	for i, e := range bad {
+		if err := c.Add(e); err == nil {
+			t.Fatalf("event %d should be rejected", i)
+		}
+	}
+	if c.Events() != 0 || c.Len() != 0 {
+		t.Fatalf("rejected events leaked into state: events=%d reps=%d", c.Events(), c.Len())
+	}
+}
+
+func TestCompressEmptyWorkloadNoPanic(t *testing.T) {
+	c := Compress(&Workload{}, CompressOptions{})
+	if c.Len() != 0 || c.TotalWeight() != 0 {
+		t.Fatalf("empty workload must compress to empty, got len=%d", c.Len())
+	}
+}
+
+func TestCompressFoldsDurationWeighted(t *testing.T) {
+	// Two near-identical events (distance below threshold) fold into one
+	// representative whose duration is the weighted mean, preserving the
+	// Σ weight×duration total.
+	w := &Workload{}
+	for _, e := range []struct{ x, wt, dur float64 }{{100, 3, 10}, {101, 1, 2}} {
+		if err := w.Add(fmt.Sprintf("SELECT a FROM t WHERE x = %g", e.x), e.wt); err != nil {
+			t.Fatal(err)
+		}
+		w.Events[len(w.Events)-1].Duration = e.dur
+	}
+	// Pin the numeric range wide so 100 vs 101 is within threshold.
+	if err := w.Add("SELECT a FROM t WHERE x = 0", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Reorder: range-pinning event first so the scale is wide when 100/101 arrive.
+	w.Events = []*Event{w.Events[2], w.Events[0], w.Events[1]}
+
+	c := Compress(w, CompressOptions{MaxPerTemplate: 2, Threshold: 0.1})
+	if c.Len() != 2 {
+		t.Fatalf("want 2 reps (0 and folded 100/101), got %d", c.Len())
+	}
+	rep := c.Events[1]
+	if rep.Weight != 4 {
+		t.Fatalf("folded weight = %g, want 4", rep.Weight)
+	}
+	want := (10.0*3 + 2.0*1) / 4
+	if rep.Duration != want {
+		t.Fatalf("folded duration = %g, want weighted mean %g", rep.Duration, want)
+	}
+	var totIn, totOut float64
+	for _, e := range w.Events {
+		totIn += e.Weight * e.Duration
+	}
+	for _, e := range c.Events {
+		totOut += e.Weight * e.Duration
+	}
+	if abs64(totIn-totOut) > 1e-9 {
+		t.Fatalf("Σ weight×duration not preserved: %g vs %g", totIn, totOut)
+	}
+}
+
+func TestCompressRepresentativesAreInputEvents(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) > 150 {
+			seeds = seeds[:150]
+		}
+		w := &Workload{}
+		for _, s := range seeds {
+			sql := fmt.Sprintf("SELECT a FROM t WHERE x = %d", int(s)%3000)
+			if err := w.Add(sql, float64(s%5)+1); err != nil {
+				return false
+			}
+		}
+		input := map[string]bool{}
+		for _, e := range w.Events {
+			input[e.SQL] = true
+		}
+		c := Compress(w, CompressOptions{MaxPerTemplate: 3})
+		for _, e := range c.Events {
+			if !input[e.SQL] {
+				return false // a representative must be a real input statement
+			}
+		}
+		return c.Len() <= w.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}

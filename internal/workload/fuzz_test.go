@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes to the trace reader and checks the
+// ingestion invariants end to end: no panic on any input; the streaming and
+// batch readers agree exactly (same error or same events — ReadTrace is a
+// StreamTrace sink, so disagreement means state leaked between lines); every
+// accepted event carries finite, strictly positive weight and finite,
+// non-negative duration (the NaN/Inf/negative rejection this reader exists
+// for); and whatever is accepted survives a WriteTrace → ReadTrace round
+// trip byte-for-byte.
+func FuzzReadTrace(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT a FROM t WHERE x = 1\n",
+		"2\tSELECT a FROM t WHERE x = 1\n# comment\n\n3\t1.5\tSELECT b FROM t\n",
+		"2\t0.5\tSELECT a\tFROM t WHERE x = 1\n",     // tab inside SQL
+		"NaN\tSELECT a FROM t\n",                     // poisoned weight
+		"1\t-Inf\tSELECT a FROM t\n",                 // poisoned duration
+		"-2\tSELECT a FROM t\n",                      // negative weight
+		"0\tSELECT a FROM t",                         // zero weight, no trailing newline
+		"1e300\t1e18\tSELECT a FROM t WHERE x = 1\n", // extreme finite fields
+		"2\tnot-a-duration\tignored\n",               // duration folds into SQL, then fails parse
+		"0x1p-3\tSELECT a FROM t\n",                  // hex float weight
+		"#\n#only comments\n",
+		"not sql at all\n",
+		"\t\t\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadTrace(bytes.NewReader(data))
+
+		var streamed []*Event
+		serr := StreamTrace(bytes.NewReader(data), func(e *Event, line int) error {
+			streamed = append(streamed, e)
+			return nil
+		})
+
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("readers disagree: ReadTrace err=%v, StreamTrace err=%v", err, serr)
+		}
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("trace error lost its line number: %v", err)
+			}
+			return
+		}
+
+		if len(w.Events) != len(streamed) {
+			t.Fatalf("readers disagree: ReadTrace %d events, StreamTrace %d", len(w.Events), len(streamed))
+		}
+		total := 0.0
+		for i, e := range w.Events {
+			s := streamed[i]
+			if e.SQL != s.SQL || e.Weight != s.Weight || e.Duration != s.Duration {
+				t.Fatalf("event %d differs between readers: %+v vs %+v", i, e, s)
+			}
+			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight <= 0 {
+				t.Fatalf("accepted event %d has weight %v", i, e.Weight)
+			}
+			if math.IsNaN(e.Duration) || math.IsInf(e.Duration, 0) || e.Duration < 0 {
+				t.Fatalf("accepted event %d has duration %v", i, e.Duration)
+			}
+			total += e.Weight
+		}
+		if got := w.TotalWeight(); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("TotalWeight %v is not finite", got)
+		} else if got != total {
+			t.Fatalf("TotalWeight %v != sum of accepted weights %v", got, total)
+		}
+
+		// Round trip: re-serializing the re-read serialization is a fixed
+		// point (%g round-trips float64 exactly; tabs in SQL re-split the
+		// same way because the weight and duration fields are always
+		// written).
+		fp := fingerprint(t, w)
+		w2, err := ReadTrace(strings.NewReader(fp))
+		if err != nil {
+			t.Fatalf("round trip failed to re-read: %v\ntrace:\n%s", err, fp)
+		}
+		if fp2 := fingerprint(t, w2); fp2 != fp {
+			t.Fatalf("round trip not a fixed point:\nfirst:\n%s\nsecond:\n%s", fp, fp2)
+		}
+	})
+}

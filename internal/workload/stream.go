@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// StreamTrace incrementally reads a profiler-style trace in the ReadTrace
+// format — one statement per line with optional leading weight and duration
+// fields separated by tabs — and hands each parsed event to sink as it
+// arrives, together with its 1-based line number. Unlike ReadTrace it never
+// materializes the trace: memory use is one line at a time, lines may be
+// arbitrarily long (no bufio.Scanner token cap), and a sink that folds
+// events into a Compressor tunes multi-million-event traces in
+// O(templates × MaxPerTemplate) space.
+//
+// Every error — unparseable SQL, a non-finite or negative weight or
+// duration, or an I/O failure — is reported with the line it occurred on.
+// The *Event passed to sink is freshly allocated and never retained or
+// reused by the reader, so the sink may keep it. A non-nil error returned
+// by the sink stops the stream and is returned wrapped with the line
+// number.
+func StreamTrace(r io.Reader, sink func(e *Event, line int) error) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("workload: line %d: %w", lineNo+1, err)
+		}
+		if line != "" {
+			lineNo++
+			e, perr := parseTraceLine(line, lineNo)
+			if perr != nil {
+				return perr
+			}
+			if e != nil {
+				if serr := sink(e, lineNo); serr != nil {
+					return fmt.Errorf("workload: line %d: %w", lineNo, serr)
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+	}
+}
+
+// parseTraceLine parses one physical trace line into an event; it returns
+// (nil, nil) for blank and comment lines. Weight and duration fields must be
+// finite and non-negative: strconv.ParseFloat happily parses "NaN" and
+// "Inf", and a NaN weight silently poisons TotalWeight, percent-improvement
+// math, and every greedy cost comparison downstream (NaN compares false
+// everywhere, so the search loses determinism instead of failing loudly).
+// Rejecting them here, with the line number, is the only place the
+// information still exists.
+func parseTraceLine(line string, lineNo int) (*Event, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, nil
+	}
+	weight, duration := 1.0, 0.0
+	sql := line
+	parts := strings.SplitN(line, "\t", 3)
+	if len(parts) >= 2 {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err == nil {
+			if err := checkField("weight", f); err != nil {
+				return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+			}
+			weight = f
+			sql = parts[len(parts)-1]
+			if len(parts) == 3 {
+				if d, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err == nil {
+					if err := checkField("duration", d); err != nil {
+						return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+					}
+					duration = d
+				} else {
+					sql = parts[1] + "\t" + parts[2]
+				}
+			}
+		}
+	}
+	if weight == 0 {
+		weight = 1 // unspecified, same convention as Workload.Add
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+	}
+	return &Event{SQL: sql, Stmt: stmt, Weight: weight, Duration: duration}, nil
+}
+
+// checkField rejects the non-finite and negative numeric trace fields that
+// would otherwise corrupt downstream weight arithmetic.
+func checkField(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("non-finite %s %v", name, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("negative %s %v", name, v)
+	}
+	return nil
+}

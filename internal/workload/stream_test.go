@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// A statement with a >1 MiB constant used to kill ReadTrace's bufio.Scanner
+// ("token too long", with no line number); the streaming reader must take it
+// in stride.
+func longLineSQL() string {
+	return "SELECT a FROM t WHERE s = '" + strings.Repeat("x", 2<<20) + "'"
+}
+
+func TestStreamTraceArbitraryLineLength(t *testing.T) {
+	in := "SELECT a FROM t WHERE x = 1\n" + "3\t" + longLineSQL() + "\n"
+	w, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("long line must parse: %v", err)
+	}
+	if w.Len() != 2 || w.Events[1].Weight != 3 {
+		t.Fatalf("len=%d weight=%g", w.Len(), w.Events[1].Weight)
+	}
+	if len(w.Events[1].SQL) < 2<<20 {
+		t.Fatalf("long SQL truncated to %d bytes", len(w.Events[1].SQL))
+	}
+}
+
+func TestStreamTraceRejectsPoisonedFields(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want string // substring of the error
+	}{
+		{"nan weight", "NaN\tSELECT a FROM t", "line 3: non-finite weight"},
+		{"inf weight", "+Inf\tSELECT a FROM t", "line 3: non-finite weight"},
+		{"neg inf weight", "-Inf\tSELECT a FROM t", "line 3: non-finite weight"},
+		{"negative weight", "-2\tSELECT a FROM t", "line 3: negative weight"},
+		{"nan duration", "2\tNaN\tSELECT a FROM t", "line 3: non-finite duration"},
+		{"inf duration", "2\tInf\tSELECT a FROM t", "line 3: non-finite duration"},
+		{"negative duration", "2\t-0.5\tSELECT a FROM t", "line 3: negative duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Two valid leading lines so the reported line number is load-bearing.
+			in := "# header\nSELECT a FROM t WHERE x = 1\n" + tc.line + "\n"
+			if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+				t.Fatalf("poisoned line %q must be rejected", tc.line)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry %q", err, tc.want)
+			}
+			// The same guard holds on the streaming path.
+			err := StreamTrace(strings.NewReader(in), func(*Event, int) error { return nil })
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("StreamTrace error %v does not carry %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStreamTraceLineNumbersInParseErrors(t *testing.T) {
+	in := "SELECT a FROM t\n\n# comment\nSELECT a FROM\n"
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("want line-4 parse error, got %v", err)
+	}
+}
+
+func TestStreamTraceSinkErrorCarriesLine(t *testing.T) {
+	in := "SELECT a FROM t WHERE x = 1\nSELECT a FROM t WHERE x = 2\n"
+	n := 0
+	err := StreamTrace(strings.NewReader(in), func(*Event, int) error {
+		n++
+		if n == 2 {
+			return fmt.Errorf("sink full")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("sink error not propagated with line: %v", err)
+	}
+}
+
+func TestStreamTraceMatchesReadTrace(t *testing.T) {
+	in := strings.Join([]string{
+		"# comment",
+		"SELECT a FROM t WHERE x = 1",
+		"",
+		"5\tSELECT a FROM t WHERE x = 2",
+		"3\t1.5\tSELECT b FROM t WHERE y = 9",
+		"2\tnot-a-duration\tignored",
+	}, "\n")
+	// On the last line the duration field fails to parse, so it folds back
+	// into the SQL text — which then fails to parse as SQL. Both paths must
+	// agree on that error and its line.
+	_, rerr := ReadTrace(strings.NewReader(in))
+	serr := StreamTrace(strings.NewReader(in), func(*Event, int) error { return nil })
+	if rerr == nil || serr == nil || rerr.Error() != serr.Error() {
+		t.Fatalf("paths disagree: ReadTrace=%v StreamTrace=%v", rerr, serr)
+	}
+
+	valid := strings.Join([]string{
+		"SELECT a FROM t WHERE x = 1",
+		"5\tSELECT a FROM t WHERE x = 2",
+		"3\t1.5\tSELECT b FROM t WHERE y = 9",
+	}, "\n") // no trailing newline: the final unterminated line still counts
+	w, err := ReadTrace(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Event
+	if err := StreamTrace(strings.NewReader(valid), func(e *Event, _ int) error {
+		streamed = append(streamed, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != w.Len() {
+		t.Fatalf("streamed %d events, read %d", len(streamed), w.Len())
+	}
+	for i, e := range streamed {
+		b := w.Events[i]
+		if e.SQL != b.SQL || e.Weight != b.Weight || e.Duration != b.Duration {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e, b)
+		}
+	}
+}

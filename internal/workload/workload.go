@@ -10,8 +10,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/sqlparser"
@@ -57,9 +55,10 @@ type Statement struct {
 	Weight float64 `json:"weight,omitempty"`
 }
 
-// FromStatements parses weighted statements into a workload. Weights ≤ 0
-// count as 1, mirroring trace semantics. An empty list is an error: a
-// tuning session needs something to tune.
+// FromStatements parses weighted statements into a workload. A weight of 0
+// counts as 1, mirroring trace semantics; negative or non-finite weights are
+// rejected. An empty list is an error: a tuning session needs something to
+// tune.
 func FromStatements(stmts []Statement) (*Workload, error) {
 	w := &Workload{}
 	for i, st := range stmts {
@@ -85,13 +84,20 @@ func MustNew(sqls ...string) *Workload {
 	return w
 }
 
-// Add appends a parsed statement with the given weight.
+// Add appends a parsed statement with the given weight. A weight of 0 means
+// "unspecified" and counts as 1; negative, NaN, and ±Inf weights are
+// rejected — a single NaN weight would poison TotalWeight and every cost
+// comparison the advisor makes (NaN compares false everywhere), so it must
+// not enter the workload at all.
 func (w *Workload) Add(sql string, weight float64) error {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return fmt.Errorf("workload: %w", err)
 	}
-	if weight <= 0 {
+	if err := checkField("weight", weight); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if weight == 0 {
 		weight = 1
 	}
 	w.Events = append(w.Events, &Event{SQL: sql, Stmt: stmt, Weight: weight})
@@ -150,42 +156,20 @@ func (t Template) Weight() float64 {
 //	weight <TAB> SQL
 //	weight <TAB> duration <TAB> SQL
 //
-// Blank lines and lines starting with '#' are skipped.
+// Blank lines and lines starting with '#' are skipped. Lines may be
+// arbitrarily long (a giant IN-list is still one statement), parse errors
+// and invalid weight/duration fields carry the line number, and non-finite
+// or negative numeric fields are rejected. ReadTrace materializes the whole
+// trace; for traces too large to hold in memory, stream it through
+// StreamTrace into a Compressor instead.
 func ReadTrace(r io.Reader) (*Workload, error) {
 	w := &Workload{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		weight, duration := 1.0, 0.0
-		sql := line
-		parts := strings.SplitN(line, "\t", 3)
-		if len(parts) >= 2 {
-			if f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err == nil {
-				weight = f
-				sql = parts[len(parts)-1]
-				if len(parts) == 3 {
-					if d, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err == nil {
-						duration = d
-					} else {
-						sql = parts[1] + "\t" + parts[2]
-					}
-				}
-			}
-		}
-		stmt, err := sqlparser.Parse(sql)
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
-		}
-		w.Events = append(w.Events, &Event{SQL: sql, Stmt: stmt, Weight: weight, Duration: duration})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: %w", err)
+	err := StreamTrace(r, func(e *Event, _ int) error {
+		w.Events = append(w.Events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return w, nil
 }
@@ -215,98 +199,34 @@ type CompressOptions struct {
 // Compress implements workload compression (paper §5.1, following the
 // technique of Chaudhuri, Gupta, Narasayya [7]): the workload is partitioned
 // by statement signature — exploiting the inherent templatization of real
-// workloads — and a small subset of each partition is chosen with a
-// clustering method over the statements' constant vectors. Each surviving
-// representative absorbs the weight of the events in its cluster, so the
-// compressed workload preserves total cost structure.
+// workloads — and a small subset of each partition is chosen with a greedy
+// k-center clustering over the statements' constant vectors. Each surviving
+// representative absorbs the weight (and, weighted, the traced duration) of
+// the events in its cluster, so the compressed workload preserves total cost
+// structure.
 //
 // Uniform random sampling ignores cost and structure; tuning the top-k
 // queries by cost can starve whole templates. Compression avoids both
 // failure modes by construction.
+//
+// Compress is the batch entry point of the online Compressor: it feeds the
+// events through one in order, so batch and streaming compression of the
+// same input produce identical representatives. An event whose weight or
+// duration is invalid (possible only in a hand-built workload — every
+// ingestion path rejects them) passes through uncompressed rather than
+// poisoning a cluster. An empty workload compresses to an empty workload.
 func Compress(w *Workload, opt CompressOptions) *Workload {
-	maxPer := opt.MaxPerTemplate
-	if maxPer <= 0 {
-		maxPer = 4
+	c := NewCompressor(opt)
+	var passthrough []*Event
+	for _, e := range w.Events {
+		if err := c.Add(e); err != nil {
+			cp := *e
+			passthrough = append(passthrough, &cp)
+		}
 	}
-	threshold := opt.Threshold
-	if threshold <= 0 {
-		threshold = 0.1
-	}
-	out := &Workload{}
-	for _, tmpl := range w.Templates() {
-		reps := pickRepresentatives(tmpl.Events, maxPer, threshold)
-		out.Events = append(out.Events, reps...)
-	}
+	out := c.Workload()
+	out.Events = append(out.Events, passthrough...)
 	return out
-}
-
-// pickRepresentatives runs a greedy k-center clustering over the events'
-// constant vectors: start from the highest-weighted event, repeatedly add
-// the event farthest from the chosen set, stop at maxPer representatives or
-// when every remaining event is within threshold of a representative. Each
-// event's weight is then assigned to its nearest representative.
-func pickRepresentatives(events []*Event, maxPer int, threshold float64) []*Event {
-	if len(events) == 1 {
-		e := *events[0]
-		return []*Event{&e}
-	}
-	vecs := make([][]lit, len(events))
-	for i, e := range events {
-		vecs[i] = litVector(e.Stmt)
-	}
-	// Normalization scale per constant position.
-	scale := positionScales(vecs)
-
-	// Seed: the heaviest event (ties to the first).
-	seed := 0
-	for i, e := range events {
-		if e.Weight > events[seed].Weight {
-			seed = i
-		}
-	}
-	chosen := []int{seed}
-	minDist := make([]float64, len(events))
-	for i := range events {
-		minDist[i] = litDistance(vecs[i], vecs[seed], scale)
-	}
-	for len(chosen) < maxPer {
-		far, farDist := -1, threshold
-		for i := range events {
-			if minDist[i] > farDist {
-				far, farDist = i, minDist[i]
-			}
-		}
-		if far < 0 {
-			break // everything is close to a representative
-		}
-		chosen = append(chosen, far)
-		for i := range events {
-			if d := litDistance(vecs[i], vecs[far], scale); d < minDist[i] {
-				minDist[i] = d
-			}
-		}
-	}
-	sort.Ints(chosen)
-
-	// Copy representatives and fold cluster weights into them.
-	reps := make([]*Event, len(chosen))
-	repIdx := make(map[int]int, len(chosen))
-	for k, i := range chosen {
-		cp := *events[i]
-		cp.Weight = 0
-		reps[k] = &cp
-		repIdx[i] = k
-	}
-	for i, e := range events {
-		best, bestD := 0, litDistance(vecs[i], vecs[chosen[0]], scale)
-		for k := 1; k < len(chosen); k++ {
-			if d := litDistance(vecs[i], vecs[chosen[k]], scale); d < bestD {
-				best, bestD = k, d
-			}
-		}
-		reps[best].Weight += e.Weight
-	}
-	return reps
 }
 
 // lit is a constant in normalized form for distance computation.
@@ -329,40 +249,6 @@ func litVector(s sqlparser.Statement) []lit {
 		}
 	}
 	return out
-}
-
-// positionScales returns, per constant position, the value spread used to
-// normalize numeric distances into [0,1].
-func positionScales(vecs [][]lit) []float64 {
-	n := 0
-	for _, v := range vecs {
-		if len(v) > n {
-			n = len(v)
-		}
-	}
-	scale := make([]float64, n)
-	for p := 0; p < n; p++ {
-		lo, hi := 0.0, 0.0
-		first := true
-		for _, v := range vecs {
-			if p >= len(v) || !v[p].isNum {
-				continue
-			}
-			if first {
-				lo, hi = v[p].num, v[p].num
-				first = false
-				continue
-			}
-			if v[p].num < lo {
-				lo = v[p].num
-			}
-			if v[p].num > hi {
-				hi = v[p].num
-			}
-		}
-		scale[p] = hi - lo
-	}
-	return scale
 }
 
 // litDistance is the normalized L∞ distance between two constant vectors of

@@ -35,11 +35,14 @@ func TestNewParseError(t *testing.T) {
 	if err := w.Add("garbage", 1); err == nil {
 		t.Fatal("Add should propagate parse errors")
 	}
-	if err := w.Add("SELECT a FROM t", -5); err != nil {
+	if err := w.Add("SELECT a FROM t", -5); err == nil {
+		t.Fatal("Add should reject negative weights")
+	}
+	if err := w.Add("SELECT a FROM t", 0); err != nil {
 		t.Fatal(err)
 	}
 	if w.Events[0].Weight != 1 {
-		t.Fatal("non-positive weights normalize to 1")
+		t.Fatal("weight 0 (unspecified) normalizes to 1")
 	}
 }
 
@@ -155,6 +158,48 @@ func TestCompressSpreadConstantsKeepMultipleReps(t *testing.T) {
 	}
 	if c.TotalWeight() != 100 {
 		t.Fatalf("weight = %g", c.TotalWeight())
+	}
+}
+
+// fingerprint serializes a workload into a comparable string.
+func fingerprint(t *testing.T, w *Workload) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTraceRoundTripFingerprint(t *testing.T) {
+	// Tabs inside SQL and extreme-but-finite weights must survive
+	// WriteTrace → ReadTrace byte-for-byte (%g round-trips float64 exactly).
+	w := &Workload{}
+	add := func(sql string, weight, duration float64) {
+		t.Helper()
+		if err := w.Add(sql, weight); err != nil {
+			t.Fatal(err)
+		}
+		w.Events[len(w.Events)-1].Duration = duration
+	}
+	add("SELECT a\tFROM t WHERE x = 1", 1, 0)
+	add("SELECT a FROM t\tWHERE\ts = 'v'", 1e300, 0.25)
+	add("SELECT b FROM t WHERE y < 7", 5e-300, 1e18)
+	add("UPDATE t SET c = 2\tWHERE id = 3", 123456789.125, 3)
+
+	fp := fingerprint(t, w)
+	w2, err := ReadTrace(strings.NewReader(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, w2); got != fp {
+		t.Fatalf("round trip changed the trace:\n-- wrote --\n%s-- reread --\n%s", fp, got)
+	}
+	for i := range w.Events {
+		a, b := w.Events[i], w2.Events[i]
+		if a.SQL != b.SQL || a.Weight != b.Weight || a.Duration != b.Duration {
+			t.Fatalf("event %d drifted: %+v vs %+v", i, a, b)
+		}
 	}
 }
 
