@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/derive"
 	"repro/internal/obs"
 	"repro/internal/testsrv"
 	"repro/internal/workload"
@@ -54,11 +55,12 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the session's span timeline here as Chrome trace-event JSON (view in chrome://tracing or ui.perfetto.dev)")
 		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
 		par        = flag.Int("parallelism", 0, "concurrent what-if evaluations (0 = GOMAXPROCS); the recommendation does not depend on it")
+		deriveMode = flag.String("derive", "off", "cost derivation: off | on (answer composite what-if calls from atomic plan facts) | verify (derive and cross-check every derived cost); the recommendation does not depend on it")
 	)
 	flag.Parse()
 
 	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par); err != nil {
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par, *deriveMode); err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -66,9 +68,14 @@ func main() {
 
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
-	noCompress, stream, useTestSrv, quiet bool, tracePath string, parallelism int) error {
+	noCompress, stream, useTestSrv, quiet bool, tracePath string, parallelism int,
+	deriveMode string) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
+	if err != nil {
+		return err
+	}
+	dmode, err := derive.ParseMode(deriveMode)
 	if err != nil {
 		return err
 	}
@@ -156,6 +163,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	if parallelism > 0 {
 		opts.Parallelism = parallelism
 	}
+	if dmode.Enabled() {
+		opts.Derive = dmode
+	}
 	if storageMB > 0 {
 		opts.StorageBudget = storageMB << 20
 	} else if opts.StorageBudget == 0 {
@@ -220,6 +230,9 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		fmt.Fprintf(os.Stderr, "tuned %d events (%d templates): improvement %.1f%%, %d structures, %s, %d what-if calls\n",
 			rec.EventsTuned, rec.TemplatesTuned, 100*rec.Improvement, len(rec.NewStructures),
 			rec.Duration.Round(time.Millisecond), rec.WhatIfCalls)
+		if rec.DerivedEvals > 0 {
+			fmt.Fprintf(os.Stderr, "  %d evaluations answered by cost derivation (no optimizer call)\n", rec.DerivedEvals)
+		}
 		if rec.StopReason != "" {
 			fmt.Fprintf(os.Stderr, "  stopped early: %s (best-so-far recommendation)\n", rec.StopReason)
 		}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/derive"
 	"repro/internal/experiments"
 )
 
@@ -40,10 +41,11 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel, ingest")
+	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel, ingest, derive")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file as JSON")
 	parLevels := flag.String("parallelism", "1,2,4", "comma-separated Options.Parallelism levels for the parallel sweep")
 	ingestSizes := flag.String("ingest-sizes", "10000,100000,1000000", "comma-separated trace sizes (events) for the streaming-ingestion sweep")
+	deriveMode := flag.String("derive", "off", "cost-derivation mode every tuning run uses: off, on, or verify (the derive sweep always runs all three)")
 	flag.Parse()
 
 	levels, err := parseLevels(*parLevels)
@@ -61,6 +63,11 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	if _, err := derive.ParseMode(*deriveMode); err != nil {
+		fmt.Fprintf(os.Stderr, "dtabench: bad -derive: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Derive = *deriveMode
 
 	var records []experiments.BenchRecord
 	run := func(name string, fn func() ([]experiments.BenchRecord, error)) {
@@ -154,6 +161,14 @@ func main() {
 		}
 		fmt.Println(experiments.IngestString(rows))
 		return experiments.SummarizeIngest(rows), nil
+	})
+	run("derive", func() ([]experiments.BenchRecord, error) {
+		rows, err := experiments.DeriveSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.DeriveString(rows))
+		return experiments.SummarizeDerive(rows), nil
 	})
 	run("ablations", func() ([]experiments.BenchRecord, error) {
 		var recs []experiments.BenchRecord

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/demo"
+	"repro/internal/derive"
 	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/testsrv"
@@ -55,6 +56,7 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		faultSpec  = flag.String("fault-spec", "", `server-wide fault injection spec, e.g. "seed=7;whatif:error:0.10" (sites: whatif, stats, import; kinds: error, latency, panic)`)
 		stateDir   = flag.String("state-dir", "", "directory for session checkpoints; killed sessions resume from here on restart")
+		deriveMode = flag.String("derive", "on", "cost-derivation default for sessions that do not set options.derive: off | on | verify; the recommendation does not depend on it")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir); err != nil {
+	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir, *deriveMode); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -77,10 +79,15 @@ type FaultSetter interface {
 	SetFaults(*fault.Injector)
 }
 
-func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir string) error {
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir, deriveMode string) error {
 	m := service.NewManager(workers)
 	m.SetLogger(logger)
 	m.SetParallelismCap(maxPar)
+	dmode, err := derive.ParseMode(deriveMode)
+	if err != nil {
+		return fmt.Errorf("bad -derive: %w", err)
+	}
+	m.SetDeriveDefault(dmode)
 
 	var injector *fault.Injector
 	if faultSpec != "" {

@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/derive"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -33,6 +35,16 @@ type Tuner interface {
 	EnsureStatistics(reqs []stats.Request, reduce bool) (int, error)
 	// WhatIfCallCount reports the cumulative number of what-if calls.
 	WhatIfCallCount() int64
+}
+
+// AlternativesTuner is an optional Tuner extension: a backend that can
+// return the plan skeleton of the optimized statement together with its cost
+// (one optimization, charged as one what-if call). With Options.Derive
+// enabled the evaluator probes for it and, when present, feeds the skeletons
+// to the derivation engine so composite-configuration costs replay from a
+// single atomic call per event instead of a lattice walk.
+type AlternativesTuner interface {
+	WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error)
 }
 
 // FeatureMask selects which physical design features to tune (paper §2.1:
@@ -126,6 +138,16 @@ type Options struct {
 	// CandidatePoolCap bounds the enumeration pool to the highest-benefit
 	// candidates (default 48; 0 keeps the default, negative disables).
 	CandidatePoolCap int
+
+	// Derive selects the cost-derivation layer's mode (off, on, verify).
+	// When enabled, cost-cache misses are answered, where provably exact,
+	// by algebraic derivation from previously observed plan facts instead
+	// of a what-if optimizer call (INUM/CoPhy-style); recommendations are
+	// byte-identical to derive-off runs, only the optimizer call count
+	// drops. Verify cross-checks every derived cost against a real call
+	// and fails the session on divergence beyond derive.VerifyTolerance.
+	// The zero value is off.
+	Derive derive.Mode
 
 	// NoMerging disables the merging step (for ablation).
 	NoMerging bool
@@ -315,7 +337,11 @@ type Recommendation struct {
 	// shipped DTA, rather than failing the session).
 	SkippedEvents int
 	WhatIfCalls   int64
-	StatsCreated  int
+	// DerivedEvals counts cost evaluations answered by the derivation
+	// layer (Options.Derive) instead of a what-if optimizer call; zero
+	// with derivation off.
+	DerivedEvals int64
+	StatsCreated int
 	Duration      time.Duration
 	Compressed    bool
 	// IngestedEvents and IngestedBytes record streaming-ingest volume
@@ -396,6 +422,12 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	tuneSpan.SetArg("events", tuned.Len()).SetArg("compressed", compressed)
 
 	ev := newEvaluator(t, tuned)
+	if _, err := derive.ParseMode(string(opts.Derive)); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.Derive.Enabled() {
+		ev.enableDerive(opts.Derive)
+	}
 	if opts.Resume != nil {
 		ev.warmStart(opts.Resume.Cache)
 	}
@@ -606,6 +638,7 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 // number stays exact when several sessions share one what-if server.
 func sealRecommendation(ev *evaluator, tr *tracker, rec *Recommendation, start time.Time) *Recommendation {
 	rec.WhatIfCalls = ev.calls.Load()
+	rec.DerivedEvals = ev.drv.Derivations()
 	rec.Duration = time.Since(start)
 	if tr != nil {
 		tr.setPhase(PhaseDone)

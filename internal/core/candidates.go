@@ -68,6 +68,16 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 				return 0, err
 			}
 			statsCreated += created
+			if created > 0 {
+				// New statistics change optimizer estimates; plan facts
+				// recorded before them no longer predict fresh calls.
+				ev.bumpDeriveEpoch()
+			}
+			// This query's candidates are the structure pool its greedy
+			// search draws from — the derivation lattice tops for the
+			// evaluations about to run. Set sequentially here (like the
+			// statistics), so tops never depend on scheduling.
+			ev.setDerivePool(cands)
 
 			idx := i
 			perQueryCost := func(cfg *catalog.Configuration) (float64, error) {

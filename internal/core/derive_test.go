@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/derive"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// planFingerprint reduces a recommendation to what derivation must preserve:
+// every cost, structure, and per-statement report — but not WhatIfCalls,
+// which derivation exists to reduce.
+func planFingerprint(rec *Recommendation) string {
+	s := fmt.Sprintf("base=%v cost=%v improvement=%v storage=%d stop=%q\n",
+		rec.BaseCost, rec.Cost, rec.Improvement, rec.StorageBytes, rec.StopReason)
+	for _, st := range rec.NewStructures {
+		s += "new " + st.Key() + "\n"
+	}
+	for _, st := range rec.DroppedStructures {
+		s += "drop " + st.Key() + "\n"
+	}
+	for _, r := range rec.Reports {
+		s += fmt.Sprintf("report %q before=%v after=%v used=%v\n", r.SQL, r.CostBefore, r.CostAfter, r.UsedStructures)
+	}
+	return s
+}
+
+// TestDeriveModeEquivalence runs the full advisor over a mixed workload
+// (selective lookups, aggregations, a join, an update) with derivation off,
+// on, and verifying, each at parallelism 1 and 4. Every mode and level must
+// produce the identical recommendation; within a mode the what-if call count
+// must not depend on parallelism; and derivation must actually cut calls.
+func TestDeriveModeEquivalence(t *testing.T) {
+	type leg struct {
+		mode derive.Mode
+		par  int
+	}
+	legs := []leg{
+		{derive.Off, 1}, {derive.Off, 4},
+		{derive.On, 1}, {derive.On, 4},
+		{derive.Verify, 1}, {derive.Verify, 4},
+	}
+	prints := map[leg]string{}
+	calls := map[leg]int64{}
+	derived := map[leg]int64{}
+	for _, l := range legs {
+		s := testServer(t)
+		rec, err := Tune(s, parallelWorkload(t), Options{Parallelism: l.par, Derive: l.mode})
+		if err != nil {
+			t.Fatalf("%v/P%d: %v", l.mode, l.par, err)
+		}
+		prints[l] = planFingerprint(rec)
+		calls[l] = rec.WhatIfCalls
+		derived[l] = rec.DerivedEvals
+	}
+	ref := prints[legs[0]]
+	for _, l := range legs[1:] {
+		if prints[l] != ref {
+			t.Errorf("recommendation drifts under %v/P%d:\n--- off/P1 ---\n%s--- %v/P%d ---\n%s",
+				l.mode, l.par, ref, l.mode, l.par, prints[l])
+		}
+	}
+	for _, m := range []derive.Mode{derive.Off, derive.On, derive.Verify} {
+		if calls[leg{m, 1}] != calls[leg{m, 4}] {
+			t.Errorf("%v: WhatIfCalls depends on parallelism: P1=%d P4=%d", m, calls[leg{m, 1}], calls[leg{m, 4}])
+		}
+	}
+	if calls[leg{derive.On, 1}] >= calls[leg{derive.Off, 1}] {
+		t.Errorf("derivation must reduce what-if calls: on=%d off=%d", calls[leg{derive.On, 1}], calls[leg{derive.Off, 1}])
+	}
+	if derived[leg{derive.On, 1}] == 0 || derived[leg{derive.Verify, 1}] == 0 {
+		t.Error("DerivedEvals must be > 0 with derivation enabled")
+	}
+	if derived[leg{derive.Off, 1}] != 0 {
+		t.Error("DerivedEvals must be 0 with derivation off")
+	}
+}
+
+// TestDeriveMatchesRealCostsOnRandomConfigs is the equivalence property at
+// the evaluator level: over seeded-random configurations drawn from a pool
+// of indexes and a view, every derived (cost, used) pair equals the pair a
+// derivation-free evaluator computes with real optimizer calls — exactly,
+// not within a tolerance.
+func TestDeriveMatchesRealCostsOnRandomConfigs(t *testing.T) {
+	s := testServer(t)
+	w := workload.MustNew(
+		"SELECT id FROM t WHERE x = 42",
+		"SELECT a, COUNT(*) FROM t WHERE x < 100 GROUP BY a",
+		"SELECT SUM(amt) FROM t WHERE a = 7",
+		"SELECT id FROM t WHERE amt > 900 ORDER BY amt",
+		"SELECT t.id, d.grp FROM t, d WHERE t.d_id = d.d_id AND d.grp = 3",
+		"UPDATE t SET amt = 0 WHERE id = 17",
+	)
+	pool := []catalog.Structure{
+		{Index: catalog.NewIndex("t", "x")},
+		{Index: catalog.NewIndex("t", "x", "a")},
+		{Index: catalog.NewIndex("t", "a").WithInclude("amt")},
+		{Index: catalog.NewIndex("t", "amt").WithInclude("id")},
+		{Index: catalog.NewIndex("t", "d_id")},
+		{Index: catalog.NewIndex("d", "d_id").WithInclude("grp")},
+		{View: catalog.NewMaterializedView(
+			[]string{"t"}, nil, nil,
+			[]catalog.ColRef{catalog.NewColRef("t", "a")},
+			[]catalog.Agg{{Func: "COUNT"}},
+			100,
+		)},
+	}
+
+	evOn := newEvaluator(s, w)
+	evOn.enableDerive(derive.On)
+	evOn.setDerivePool(pool)
+	evOff := newEvaluator(s, w)
+
+	rnd := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 150; trial++ {
+		cfg := catalog.NewConfiguration()
+		for _, st := range pool {
+			if rnd.Intn(2) == 1 {
+				st.ApplyTo(cfg)
+			}
+		}
+		for i := range w.Events {
+			cOn, uOn, err := evOn.eventCostByIndex(i, cfg)
+			if err != nil {
+				t.Fatalf("trial %d event %d (derive on): %v", trial, i, err)
+			}
+			cOff, uOff, err := evOff.eventCostByIndex(i, cfg)
+			if err != nil {
+				t.Fatalf("trial %d event %d (derive off): %v", trial, i, err)
+			}
+			if cOn != cOff {
+				t.Fatalf("trial %d event %d: derived cost %v != real cost %v", trial, i, cOn, cOff)
+			}
+			if strings.Join(uOn, ",") != strings.Join(uOff, ",") {
+				t.Fatalf("trial %d event %d: derived used %v != real used %v", trial, i, uOn, uOff)
+			}
+		}
+	}
+	if evOn.drv.Derivations() == 0 {
+		t.Fatal("no derivations happened; the property test is vacuous")
+	}
+	if evOn.calls.Load() >= evOff.calls.Load() {
+		t.Fatalf("derivation must cut real calls: on=%d off=%d", evOn.calls.Load(), evOff.calls.Load())
+	}
+}
+
+// altCountingTuner counts every what-if optimization the backend actually
+// serves, including skeleton calls, to pin session-exact call accounting.
+type altCountingTuner struct {
+	*whatif.Server
+	served atomic.Int64
+}
+
+func (a *altCountingTuner) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
+	a.served.Add(1)
+	return a.Server.WhatIfCost(stmt, cfg)
+}
+
+func (a *altCountingTuner) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
+	a.served.Add(1)
+	return a.Server.WhatIfAlternativesCost(stmt, cfg)
+}
+
+// TestDeriveCallAccountingSessionExact: with derivation on,
+// Recommendation.WhatIfCalls still equals the number of optimizations the
+// backend served — derived evaluations are not calls and must not be
+// counted, and skeleton calls count once like any other call.
+func TestDeriveCallAccountingSessionExact(t *testing.T) {
+	a := &altCountingTuner{Server: testServer(t)}
+	rec, err := Tune(a, parallelWorkload(t), Options{Parallelism: 4, Derive: derive.On})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WhatIfCalls != a.served.Load() {
+		t.Fatalf("rec.WhatIfCalls = %d, backend served %d", rec.WhatIfCalls, a.served.Load())
+	}
+	if rec.DerivedEvals == 0 {
+		t.Fatal("expected derived evaluations")
+	}
+}
+
+// corruptAltTuner doubles every end-to-end cost in the skeletons it returns,
+// simulating a backend whose decomposition disagrees with its optimizer.
+type corruptAltTuner struct {
+	*whatif.Server
+}
+
+func (c *corruptAltTuner) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
+	cost, used, alts, err := c.Server.WhatIfAlternativesCost(stmt, cfg)
+	if alts != nil {
+		for i := range alts.Components {
+			alts.Components[i].Final *= 2
+		}
+	}
+	return cost, used, alts, err
+}
+
+// TestDeriveVerifyCatchesBadSkeleton: verify mode must fail the session when
+// a derived cost diverges from the real optimizer's answer beyond
+// derive.VerifyTolerance.
+func TestDeriveVerifyCatchesBadSkeleton(t *testing.T) {
+	c := &corruptAltTuner{Server: testServer(t)}
+	w := workload.MustNew(
+		"SELECT id FROM t WHERE x = 42",
+		"SELECT a, COUNT(*) FROM t WHERE x < 100 GROUP BY a",
+	)
+	_, err := Tune(c, w, Options{Derive: derive.Verify})
+	if err == nil {
+		t.Fatal("verify mode must reject a skeleton that disagrees with the optimizer")
+	}
+	if !strings.Contains(err.Error(), "verify mismatch") {
+		t.Fatalf("expected a verify mismatch error, got: %v", err)
+	}
+}

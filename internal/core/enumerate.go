@@ -23,6 +23,9 @@ import (
 // Configuration.Clone is a deep copy — never shared state. The alignment
 // replay below is bookkeeping over cached decisions and stays sequential.
 func enumerate(ev *evaluator, tr *tracker, mandatory *catalog.Configuration, cands []catalog.Structure, opts Options) ([]catalog.Structure, error) {
+	// The enumeration pool is the last candidate set of the session; it
+	// also serves the final configuration costing and the analysis reports.
+	ev.setDerivePool(cands)
 	cost := func(cfg *catalog.Configuration) (float64, error) { return ev.configCost(cfg) }
 	g := greedyOptions{
 		m: opts.GreedyM, k: opts.GreedyK,

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/derive"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
@@ -45,9 +48,14 @@ type evaluator struct {
 	// parallelism.
 	calls atomic.Int64
 
+	// drv, when non-nil, is the session's cost-derivation engine
+	// (Options.Derive): cache-miss leaders consult it before reaching the
+	// optimizer, and every successful real call feeds it a plan fact.
+	drv *derive.Engine
+
 	// Cache-behaviour counters (attach caches the registry series once so
 	// the hot path never takes registry locks); all nil without metrics.
-	mHits, mMisses, mCoalesced *obs.Counter
+	mHits, mMisses, mCoalesced, mDerived *obs.Counter
 }
 
 // cacheEntry is one single-flight cost slot. The leader that created the
@@ -129,10 +137,12 @@ func (ev *evaluator) attach(tr *tracker) {
 	if tr.metrics == nil {
 		return
 	}
-	const help = "What-if cost cache behaviour: served hits, leader misses (one optimizer call each), and waits coalesced onto another worker's in-flight call."
+	const help = "What-if cost cache behaviour: served hits, leader misses (one optimizer call each), waits coalesced onto another worker's in-flight call, and misses answered by cost derivation (no optimizer call)."
 	ev.mHits = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "hit")
 	ev.mMisses = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "miss")
 	ev.mCoalesced = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "coalesced")
+	ev.mDerived = tr.metrics.Counter("dta_cost_cache_requests_total", help, "outcome", "derived")
+	ev.drv.AttachMetrics(tr.metrics)
 }
 
 // pool returns the session's worker pool (nil → sequential).
@@ -147,10 +157,11 @@ func (ev *evaluator) pool() *workerPool {
 // resolve against the catalog).
 func (ev *evaluator) analyzed(i int) *optimizer.QueryInfo { return ev.infos[i].q }
 
-// relevantKey builds the cache key component: the sorted keys of cfg
-// structures that can affect the event.
-func (ev *evaluator) relevantKey(info *eventInfo, cfg *catalog.Configuration) string {
-	var keys []string
+// relevantStructures returns the cfg structures that can affect the event,
+// sorted by key — the set behind both the cost-cache key and the derivation
+// engine's lattice nodes.
+func (ev *evaluator) relevantStructures(info *eventInfo, cfg *catalog.Configuration) []derive.Keyed {
+	var out []derive.Keyed
 	for _, ix := range cfg.Indexes {
 		if !info.tables[ix.Table] {
 			continue
@@ -163,7 +174,7 @@ func (ev *evaluator) relevantKey(info *eventInfo, cfg *catalog.Configuration) st
 				continue
 			}
 		}
-		keys = append(keys, ix.Key())
+		out = append(out, derive.Keyed{Key: ix.Key(), Structure: catalog.Structure{Index: ix}})
 	}
 	for table, p := range cfg.TableParts {
 		if !info.tables[table] {
@@ -175,41 +186,80 @@ func (ev *evaluator) relevantKey(info *eventInfo, cfg *catalog.Configuration) st
 		if !info.refCols[table+"."+p.Column] && cfg.ClusteredIndex(table) == nil {
 			continue
 		}
-		keys = append(keys, "tp:"+table+"="+p.String())
+		out = append(out, derive.Keyed{Key: "tp:" + table + "=" + p.String(), Structure: catalog.Structure{PartTable: table, Part: p}})
 	}
 	for _, v := range cfg.Views {
 		if info.isDML {
 			if v.References(info.target) {
-				keys = append(keys, v.Key())
+				out = append(out, derive.Keyed{Key: v.Key(), Structure: catalog.Structure{View: v}})
 			}
 			continue
 		}
-		// A view can only answer a query over exactly its table set.
-		if len(v.Tables) == len(info.tables) {
-			all := true
-			for _, tn := range v.Tables {
-				if !info.tables[tn] {
-					all = false
-					break
-				}
-			}
-			if all {
-				keys = append(keys, v.Key())
-			}
+		if info.viewRelevant(v) {
+			out = append(out, derive.Keyed{Key: v.Key(), Structure: catalog.Structure{View: v}})
 		}
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, "|")
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// viewRelevant reports whether a view can answer the (SELECT) event: a view
+// can only answer a query over exactly its table set.
+func (info *eventInfo) viewRelevant(v *catalog.MaterializedView) bool {
+	if len(v.Tables) != len(info.tables) {
+		return false
+	}
+	for _, tn := range v.Tables {
+		if !info.tables[tn] {
+			return false
+		}
+	}
+	return true
+}
+
+// additiveRelevant reports whether a candidate-pool structure is an additive
+// plan alternative for this (SELECT) event — the filter behind the
+// derivation engine's lattice tops. It mirrors relevantStructures' query
+// branch for non-clustered indexes and views; clustered indexes and
+// partitionings reshape base tables and are never pool-added to a lattice.
+func (info *eventInfo) additiveRelevant(s catalog.Structure) bool {
+	switch {
+	case s.Index != nil:
+		ix := s.Index
+		if ix.Clustered || !info.tables[ix.Table] {
+			return false
+		}
+		return info.refCols[ix.Table+"."+ix.KeyColumns[0]] || info.coversAnyScope(ix)
+	case s.View != nil:
+		return info.viewRelevant(s.View)
+	default:
+		return false
+	}
+}
+
+// relevantKey builds the cache key component: the sorted keys of cfg
+// structures that can affect the event.
+func (ev *evaluator) relevantKey(rel []derive.Keyed) string {
+	var b strings.Builder
+	for i, k := range rel {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(k.Key)
+	}
+	return b.String()
 }
 
 func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float64, []string, error) {
-	if ev.infos[i].q == nil {
+	info := ev.infos[i]
+	if info.q == nil {
 		// The statement does not resolve against the catalog (e.g. it
 		// references objects of a database not being tuned); it is skipped
 		// rather than failing the whole tuning session.
 		return 0, nil, nil
 	}
-	key := itoa(i) + "\x00" + ev.relevantKey(ev.infos[i], cfg)
+	rel := ev.relevantStructures(info, cfg)
+	key := itoa(i) + "\x00" + ev.relevantKey(rel)
 	ev.mu.Lock()
 	if ce, ok := ev.cache[key]; ok {
 		ev.mu.Unlock()
@@ -240,9 +290,29 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 	if ev.tr.ctxStopped() {
 		return fail(errStopped)
 	}
+	if ev.drv != nil {
+		if info.isDML {
+			// Update overhead depends on the full index set — costs are not
+			// plan-set monotone — so DML always takes the real call.
+			ev.drv.FallbackDML()
+		} else if res, ok := ev.drv.Resolve(i, rel, info.additiveRelevant, func(node *catalog.Configuration) (float64, []string, error) {
+			return ev.eventCostByIndex(i, node)
+		}); ok {
+			if err := ev.verifyDerived(i, cfg, res); err != nil {
+				return fail(err)
+			}
+			// A derived answer is a fourth cache outcome: no optimizer call
+			// happened, so neither ev.calls, the tracker's call accounting,
+			// nor the circuit breaker hears about it.
+			ev.count(ev.mDerived)
+			ce.cost, ce.used = res.Cost, res.Used
+			close(ce.ready)
+			return ce.cost, ce.used, nil
+		}
+	}
 	ev.count(ev.mMisses)
 	_, sp := obs.StartSpan(ev.tr.spanCtx(), "whatif", "what-if")
-	c, used, err := ev.whatIfCall(i, cfg)
+	c, used, alts, err := ev.whatIfCall(i, cfg, ev.drv != nil && !info.isDML)
 	if err != nil {
 		sp.SetArg("event", i).SetArg("error", err.Error()).End()
 		if ev.tr.ctxStopped() {
@@ -260,21 +330,89 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 		return fail(err)
 	}
 	sp.SetArg("event", i).SetArg("cost", c).End()
+	if ev.drv != nil && !info.isDML {
+		// Every successful real call doubles as an atomic plan fact other
+		// configurations of this event can derive from; when the backend
+		// returned a plan skeleton, the fact answers every sub-configuration
+		// by selection replay.
+		ev.drv.Record(i, rel, c, used, alts)
+	}
 	ce.cost, ce.used = c, used
 	close(ce.ready)
 	return c, used, nil
+}
+
+// enableDerive installs a cost-derivation engine (Options.Derive). Must be
+// called before any evaluation so the fact database covers every real call.
+func (ev *evaluator) enableDerive(mode derive.Mode) {
+	ev.drv = derive.New(mode)
+}
+
+// setDerivePool hands the derivation engine the candidate pool of the
+// search phase about to run; a no-op with derivation off.
+func (ev *evaluator) setDerivePool(cands []catalog.Structure) {
+	if ev.drv == nil {
+		return
+	}
+	pool := make([]derive.Keyed, 0, len(cands))
+	for _, s := range cands {
+		pool = append(pool, derive.Keyed{Key: s.Key(), Structure: s})
+	}
+	ev.drv.SetPool(pool)
+}
+
+// bumpDeriveEpoch invalidates derivation facts after statistics creation; a
+// no-op with derivation off.
+func (ev *evaluator) bumpDeriveEpoch() { ev.drv.BumpEpoch() }
+
+// verifyDerived cross-checks a derived cost against a real optimizer call
+// (Mode Verify only). The cross-check call runs under the session's retry
+// policy but outside its what-if accounting: it is diagnostic load, not
+// part of producing the recommendation, so ev.calls, the tracker, and the
+// circuit breaker stay untouched — dta_derive_verify_total records it. A
+// cross-check the backend cannot answer (faults exhausted retries) is
+// counted and skipped; a cost divergence beyond derive.VerifyTolerance
+// fails the evaluation.
+func (ev *evaluator) verifyDerived(i int, cfg *catalog.Configuration, res derive.Result) error {
+	if ev.drv.Mode() != derive.Verify {
+		return nil
+	}
+	tr := ev.tr
+	real, err := fault.Do(tr.doCtx(), tr.retryPolicy(), func() (float64, error) {
+		if err := tr.inject(fault.SiteWhatIf); err != nil {
+			return 0, err
+		}
+		c, _, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
+		return c, err
+	}, nil)
+	if err != nil {
+		ev.drv.VerifyOutcome(false, err)
+		return nil
+	}
+	diff := math.Abs(real - res.Cost)
+	scale := math.Max(math.Abs(real), math.Abs(res.Cost))
+	if diff > derive.VerifyTolerance*math.Max(scale, 1) {
+		ev.drv.VerifyOutcome(false, nil)
+		return fmt.Errorf("derive: verify mismatch on event %d: derived cost %.9g, real what-if cost %.9g", i, res.Cost, real)
+	}
+	ev.drv.VerifyOutcome(true, nil)
+	return nil
 }
 
 // whatIfCall issues a cache-miss leader's optimizer call under the session's
 // retry policy and fault injector. Every attempt — retries included — is
 // charged to the session's what-if accounting (ev.calls and the tracker),
 // feeds the circuit breaker, and increments dta_retries_total, so the
-// reported call count reflects the real load placed on the backend.
-func (ev *evaluator) whatIfCall(i int, cfg *catalog.Configuration) (float64, []string, error) {
+// reported call count reflects the real load placed on the backend. With
+// wantAlts set and a backend that supports it, the same single call also
+// returns the statement's plan skeleton for the derivation engine.
+func (ev *evaluator) whatIfCall(i int, cfg *catalog.Configuration, wantAlts bool) (float64, []string, *optimizer.Alternatives, error) {
 	type res struct {
 		cost float64
 		used []string
+		alts *optimizer.Alternatives
 	}
+	at, haveAlts := ev.t.(AlternativesTuner)
 	tr := ev.tr
 	r, err := fault.Do(tr.doCtx(), tr.retryPolicy(), func() (res, error) {
 		ev.calls.Add(1)
@@ -282,12 +420,16 @@ func (ev *evaluator) whatIfCall(i int, cfg *catalog.Configuration) (float64, []s
 		if err := tr.inject(fault.SiteWhatIf); err != nil {
 			return res{}, err
 		}
+		if wantAlts && haveAlts {
+			c, used, alts, err := at.WhatIfAlternativesCost(ev.events[i].Stmt, cfg)
+			return res{cost: c, used: used, alts: alts}, err
+		}
 		c, used, err := ev.t.WhatIfCost(ev.events[i].Stmt, cfg)
 		return res{cost: c, used: used}, err
 	}, func(_ int, err error) {
 		tr.attemptDone(fault.SiteWhatIf, err)
 	})
-	return r.cost, r.used, err
+	return r.cost, r.used, r.alts, err
 }
 
 // count increments a cached cache-behaviour counter (nil without metrics).

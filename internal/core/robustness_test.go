@@ -4,13 +4,32 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/derive"
 	"repro/internal/fault"
 	"repro/internal/workload"
 )
+
+// testDeriveMode returns the Options.Derive mode the robustness suite runs
+// under: CI's fault-matrix job pins "verify" in one leg via DTA_DERIVE, so
+// every derived cost is cross-checked while faults fire; unset keeps
+// derivation off.
+func testDeriveMode(tb testing.TB) derive.Mode {
+	tb.Helper()
+	s := os.Getenv("DTA_DERIVE")
+	if s == "" {
+		return derive.Off
+	}
+	m, err := derive.ParseMode(s)
+	if err != nil {
+		tb.Fatalf("bad DTA_DERIVE: %v", err)
+	}
+	return m
+}
 
 // lookupWorkload builds n selective lookups with varying literals, enough
 // distinct events to keep a session busy through candidate selection.
@@ -45,7 +64,7 @@ func TestStopReasonTransitions(t *testing.T) {
 			name: "completed",
 			want: "",
 			run: func(t *testing.T) (*Recommendation, error) {
-				return Tune(testServer(t), lookupWorkload(3), Options{Features: FeatureIndexes})
+				return Tune(testServer(t), lookupWorkload(3), Options{Features: FeatureIndexes, Derive: testDeriveMode(t)})
 			},
 		},
 		{
@@ -55,7 +74,7 @@ func TestStopReasonTransitions(t *testing.T) {
 				ctx, cancel := context.WithCancel(context.Background())
 				defer cancel()
 				ct := &cancellingTuner{Tuner: testServer(t), limit: 150, cancel: cancel}
-				return TuneContext(ctx, ct, lookupWorkload(40), Options{NoCompression: true})
+				return TuneContext(ctx, ct, lookupWorkload(40), Options{NoCompression: true, Derive: testDeriveMode(t)})
 			},
 		},
 		{
@@ -64,6 +83,7 @@ func TestStopReasonTransitions(t *testing.T) {
 			run: func(t *testing.T) (*Recommendation, error) {
 				return Tune(testServer(t), lookupWorkload(60), Options{
 					NoCompression: true, TimeLimit: 25 * time.Millisecond,
+					Derive: testDeriveMode(t),
 				})
 			},
 		},
@@ -81,6 +101,7 @@ func TestStopReasonTransitions(t *testing.T) {
 				}
 				return Tune(testServer(t), lookupWorkload(40), Options{
 					NoCompression: true, Faults: fault.NewInjector(spec),
+					Derive: testDeriveMode(t),
 				})
 			},
 		},
@@ -116,7 +137,7 @@ func TestStopReasonTransitions(t *testing.T) {
 // without degrading and recommends exactly what a fault-free run does.
 func TestRetryMasksTransientFaults(t *testing.T) {
 	w := lookupWorkload(8)
-	clean, err := Tune(testServer(t), w, Options{NoCompression: true})
+	clean, err := Tune(testServer(t), w, Options{NoCompression: true, Derive: testDeriveMode(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +147,7 @@ func TestRetryMasksTransientFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := fault.NewInjector(spec)
-	flaky, err := Tune(testServer(t), w, Options{NoCompression: true, Faults: in})
+	flaky, err := Tune(testServer(t), w, Options{NoCompression: true, Faults: in, Derive: testDeriveMode(t)})
 	if err != nil {
 		t.Fatalf("retries should have absorbed the faults: %v", err)
 	}
@@ -158,9 +179,13 @@ func TestCheckpointResume(t *testing.T) {
 	w := lookupWorkload(10)
 	var first *Checkpoint
 	snaps := 0
+	// CheckpointEvery counts real optimizer calls; keep it small enough that
+	// a checkpoint lands even when derivation (DTA_DERIVE=verify in CI's
+	// fault matrix) answers most evaluations without a call.
 	full, err := Tune(testServer(t), w, Options{
 		NoCompression:   true,
-		CheckpointEvery: 60,
+		Derive:          testDeriveMode(t),
+		CheckpointEvery: 25,
 		CheckpointSink: func(ck *Checkpoint) {
 			snaps++
 			if first == nil {
@@ -192,7 +217,7 @@ func TestCheckpointResume(t *testing.T) {
 
 	// Resume on a fresh server — the post-crash world: no statistics, cold
 	// caches, only the checkpoint file.
-	resumed, err := Tune(testServer(t), w, Options{NoCompression: true, Resume: &restored})
+	resumed, err := Tune(testServer(t), w, Options{NoCompression: true, Resume: &restored, Derive: testDeriveMode(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +244,7 @@ func TestDegradedSkipsReports(t *testing.T) {
 	}
 	rec, err := Tune(testServer(t), lookupWorkload(40), Options{
 		NoCompression: true, Faults: fault.NewInjector(spec),
+		Derive: testDeriveMode(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,551 @@
+// Package derive implements the cost-derivation layer between the advisor's
+// single-flight cost cache and the what-if backend, in the spirit of INUM
+// and CoPhy (Dash et al.): instead of issuing one optimizer call per
+// (event, relevant-structure-subset), it issues real calls only for a small
+// number of *atomic* configurations per event and derives every other
+// configuration's cost algebraically from the cached plan facts.
+//
+// The derivation rule is a sandwich argument over the plan-set lattice.
+// Split an event's relevant structures into a *base* part (clustered
+// indexes and table partitionings, which reshape the base tables) and an
+// *additive* part (non-clustered indexes and materialized views, which only
+// add plan alternatives). For a SELECT event, if a real optimizer fact is
+// known for a superset configuration T ⊇ S with the same base and the same
+// statistics state, and the fact's used-structure set is contained in S,
+// then cost(S) = cost(T) exactly: T's winning plan needs nothing outside S,
+// so it is available under S, and every plan available under S is also
+// available under T (S adds no alternatives T lacks), so nothing under S
+// can beat it. No interpolation and no model assumptions are involved — the
+// derived cost is the number the optimizer itself would return.
+//
+// Resolution starts at the canonical *top* of S (S plus every additive pool
+// candidate relevant to the event) and costs it for real once. For
+// single-scope SELECTs that one call also returns the *plan skeleton*
+// (optimizer.Alternatives): every plan alternative costed end-to-end, each
+// gated by the single additive structure it needs. Any subset's cost then
+// follows by replaying the optimizer's selection arithmetic over the
+// alternatives the subset makes available — the INUM observation — so one
+// atomic call per (event, pool, epoch) answers every configuration the
+// search explores. Statements without a skeleton (joins) fall back to the
+// sandwich walk: while the top's plan uses structures outside S, strip
+// exactly those structures and cost the smaller node; each stripped node is
+// shared by every other subset resolution of the same event. Whenever
+// neither path can produce an applicable answer — DML events (maintenance
+// cost depends on the whole index set and is not plan-set monotone), an
+// empty pool, a fact recorded under an older statistics epoch, or S being
+// its own top — the engine reports a fallback and the caller issues the
+// ordinary real call.
+package derive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+)
+
+// Mode selects how the derivation layer participates in cost evaluation.
+type Mode string
+
+// Modes. The zero value ("") means Off: callers that never looked at the
+// knob keep the exact pre-derivation behaviour.
+const (
+	// Off disables derivation: every cost-cache miss issues a real call.
+	Off Mode = "off"
+	// On answers cache misses by derivation when an applicable fact exists.
+	On Mode = "on"
+	// Verify derives like On but cross-checks every derived cost against a
+	// real optimizer call; divergence beyond VerifyTolerance is an error.
+	Verify Mode = "verify"
+)
+
+// ParseMode parses a wire/CLI mode string ("" and "off" → Off).
+func ParseMode(s string) (Mode, error) {
+	switch Mode(strings.ToLower(s)) {
+	case "", Off:
+		return Off, nil
+	case On:
+		return On, nil
+	case Verify:
+		return Verify, nil
+	}
+	return Off, fmt.Errorf("derive: unknown mode %q (want off, on, or verify)", s)
+}
+
+// Enabled reports whether the mode performs derivation.
+func (m Mode) Enabled() bool { return m == On || m == Verify }
+
+// VerifyTolerance is the maximum relative divergence Verify mode accepts
+// between a derived cost and the real optimizer's answer. Derivation is
+// mathematically exact — the derived number is a previously returned
+// optimizer cost, not a model estimate — so the tolerance only absorbs
+// float formatting round-trips, not approximation error.
+const VerifyTolerance = 1e-9
+
+// Fallback reasons, the label values of dta_derive_fallbacks_total.
+const (
+	// ReasonDML marks INSERT/UPDATE/DELETE events: their update overhead
+	// grows with every index present, so costs are not plan-set monotone
+	// and every DML evaluation stays a real call.
+	ReasonDML = "dml"
+	// ReasonAtom marks a configuration that is its own top — no additive
+	// pool candidate extends it — and is therefore costed for real as an
+	// atomic configuration.
+	ReasonAtom = "atom"
+	// ReasonStale marks a lattice walk that hit a node whose cached cost
+	// was computed under an older statistics epoch; deriving from it could
+	// diverge from what a fresh optimizer call would return, so the caller
+	// re-costs for real.
+	ReasonStale = "stats-epoch"
+	// ReasonError marks a walk abandoned because a node evaluation failed
+	// (cancellation, degradation, backend error); the caller's own real
+	// call reports the definitive error.
+	ReasonError = "eval-error"
+	// ReasonEscape marks a defensive impossibility guard: a node's plan
+	// reported a used structure outside the node, or a plan skeleton offered
+	// no selectable alternative. It indicates a backend relevance-filter or
+	// skeleton bug, never normal operation.
+	ReasonEscape = "used-escape"
+)
+
+// Keyed pairs a structure with its canonical key, the currency the engine
+// and the evaluator exchange (the evaluator already has both on hand, and
+// the engine must not recompute keys on hot paths).
+type Keyed struct {
+	// Key is Structure.Key(), precomputed.
+	Key string
+	// Structure is the physical design structure itself.
+	Structure catalog.Structure
+}
+
+// Result is a derived cost evaluation: the exact cost and used-structure
+// set a real optimizer call on the configuration would have returned.
+type Result struct {
+	// Cost is the optimizer-estimated cost.
+	Cost float64
+	// Used holds the keys of the structures the plan uses.
+	Used []string
+}
+
+// Eval evaluates one atomic node configuration on behalf of a lattice walk.
+// The advisor routes it through its single-flight cost cache, so concurrent
+// walks over shared nodes coalesce onto one real call and node facts are
+// recorded exactly once per statistics epoch.
+type Eval func(cfg *catalog.Configuration) (float64, []string, error)
+
+// fact is one recorded real-call outcome: the configuration's relevant key
+// set (joined), its cost, the used-structure keys of the winning plan, and —
+// for single-scope SELECTs — the plan skeleton, from which any
+// sub-configuration's cost follows by replaying the optimizer's selection
+// arithmetic (alts.Select) without touching the lattice walk at all.
+type fact struct {
+	cost float64
+	used []string
+	alts *optimizer.Alternatives
+}
+
+// factScope scopes facts to one (event, statistics epoch, base part): the
+// sandwich argument needs identical statements, identical statistics, and
+// identical base-table shapes on both sides.
+type factScope struct {
+	event int
+	epoch int64
+	base  string
+}
+
+// Engine is one tuning session's derivation state: the structure registry,
+// the current candidate pool, the statistics epoch, and the per-event fact
+// database. All methods are safe for concurrent use and all are nil-safe,
+// so an advisor with derivation off carries a nil *Engine at zero cost.
+type Engine struct {
+	mode Mode
+
+	mu      sync.Mutex
+	structs map[string]catalog.Structure
+	pool    []Keyed
+	epoch   int64
+	facts   map[factScope]map[string]*fact
+
+	atoms       atomic.Int64
+	derivations atomic.Int64
+	fallbacks   atomic.Int64
+
+	mAtoms, mDerivations              *obs.Counter
+	mFallback                         map[string]*obs.Counter
+	mVerifyOK, mVerifyBad, mVerifyErr *obs.Counter
+}
+
+// New returns an engine in the given mode (nil when the mode is Off, so
+// callers can gate on the pointer alone).
+func New(mode Mode) *Engine {
+	if !mode.Enabled() {
+		return nil
+	}
+	return &Engine{
+		mode:    mode,
+		structs: map[string]catalog.Structure{},
+		facts:   map[factScope]map[string]*fact{},
+	}
+}
+
+// Mode reports the engine's mode (Off for a nil engine).
+func (e *Engine) Mode() Mode {
+	if e == nil {
+		return Off
+	}
+	return e.mode
+}
+
+// AttachMetrics caches the dta_derive_* series so hot paths never take
+// registry locks. Safe on a nil engine or nil registry.
+func (e *Engine) AttachMetrics(reg *obs.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	e.mAtoms = reg.Counter("dta_derive_atoms_total",
+		"Atomic plan facts recorded, one per successful real what-if call with derivation active.")
+	e.mDerivations = reg.Counter("dta_derive_derivations_total",
+		"Cost evaluations answered by algebraic derivation instead of an optimizer call.")
+	const fbHelp = "Derivation fallbacks to a real what-if call, by reason."
+	e.mFallback = map[string]*obs.Counter{}
+	for _, r := range []string{ReasonDML, ReasonAtom, ReasonStale, ReasonError, ReasonEscape} {
+		e.mFallback[r] = reg.Counter("dta_derive_fallbacks_total", fbHelp, "reason", r)
+	}
+	const vHelp = "Verify-mode cross-checks of derived costs against real optimizer calls."
+	e.mVerifyOK = reg.Counter("dta_derive_verify_total", vHelp, "result", "match")
+	e.mVerifyBad = reg.Counter("dta_derive_verify_total", vHelp, "result", "mismatch")
+	e.mVerifyErr = reg.Counter("dta_derive_verify_total", vHelp, "result", "error")
+}
+
+// SetPool installs the current candidate pool — the structures the search
+// phase may add to configurations — replacing the previous pool. The
+// advisor calls it at deterministic phase boundaries (per-query candidate
+// selection, global enumeration), which keeps every lattice top, and hence
+// the set of real calls issued, independent of scheduling. Safe on nil.
+func (e *Engine) SetPool(pool []Keyed) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pool = append(e.pool[:0:0], pool...)
+	for _, p := range e.pool {
+		if _, ok := e.structs[p.Key]; !ok {
+			e.structs[p.Key] = p.Structure
+		}
+	}
+}
+
+// BumpEpoch invalidates derivation facts after statistics creation: costs
+// computed under different statistics states are not comparable, and the
+// sandwich argument requires both sides at the same epoch. The cost cache
+// itself is untouched — first-touch semantics there are exactly what
+// derivation must reproduce. Safe on nil.
+func (e *Engine) BumpEpoch() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.epoch++
+	e.mu.Unlock()
+}
+
+// Record stores the plan fact of a completed real what-if call: rel is the
+// configuration's relevant structure set (sorted by key, as the evaluator's
+// cache key builder produces it), cost and used the optimizer's answer, and
+// alts the plan skeleton when the backend produced one (nil otherwise).
+// Safe on nil.
+func (e *Engine) Record(event int, rel []Keyed, cost float64, used []string, alts *optimizer.Alternatives) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, k := range rel {
+		if _, ok := e.structs[k.Key]; !ok {
+			e.structs[k.Key] = k.Structure
+		}
+	}
+	scope := factScope{event: event, epoch: e.epoch, base: baseOf(rel)}
+	byNode := e.facts[scope]
+	if byNode == nil {
+		byNode = map[string]*fact{}
+		e.facts[scope] = byNode
+	}
+	node := joinKeys(rel)
+	if _, ok := byNode[node]; !ok {
+		byNode[node] = &fact{cost: cost, used: append([]string(nil), used...), alts: alts}
+		e.atoms.Add(1)
+		count(e.mAtoms)
+	}
+}
+
+// Resolve attempts to derive the cost of the configuration whose relevant
+// structure set is rel (sorted by key). additive reports whether a pool
+// structure is an additive plan alternative for this event; eval costs
+// atomic node configurations (through the caller's cache). The boolean
+// reports success; on false the caller issues its ordinary real call.
+// Safe on nil (always false).
+func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure) bool, eval Eval) (Result, bool) {
+	if e == nil {
+		return Result{}, false
+	}
+
+	inS := make(map[string]bool, len(rel))
+	for _, k := range rel {
+		inS[k.Key] = true
+	}
+
+	e.mu.Lock()
+	for _, k := range rel {
+		if _, ok := e.structs[k.Key]; !ok {
+			e.structs[k.Key] = k.Structure
+		}
+	}
+	epoch := e.epoch
+	top := append([]string(nil), keysOf(rel)...)
+	for _, p := range e.pool {
+		if inS[p.Key] || isBase(p.Structure) || !additive(p.Structure) {
+			continue
+		}
+		top = append(top, p.Key)
+		inS[p.Key] = false // known key, not in S
+	}
+	e.mu.Unlock()
+
+	if len(top) == len(rel) {
+		e.fallback(ReasonAtom)
+		return Result{}, false
+	}
+	sort.Strings(top)
+	scope := factScope{event: event, epoch: epoch, base: baseOf(rel)}
+
+	// Walk the lattice downward from the canonical top. Every node strictly
+	// contains S until the loop exits, so nested evaluations (which re-enter
+	// Resolve through the caller's cache) only ever wait on strictly larger
+	// keys — the wait graph is acyclic and the walk cannot deadlock.
+	node := top
+	for {
+		if len(node) == len(rel) {
+			// The walk stripped everything outside S without finding an
+			// applicable fact: S itself is the remaining atom.
+			e.fallback(ReasonAtom)
+			return Result{}, false
+		}
+		f := e.lookup(scope, node)
+		if f == nil {
+			cfg, ok := e.buildConfig(node)
+			if !ok {
+				e.fallback(ReasonEscape)
+				return Result{}, false
+			}
+			if _, _, err := eval(cfg); err != nil {
+				e.fallback(ReasonError)
+				return Result{}, false
+			}
+			if f = e.lookup(scope, node); f == nil {
+				// The evaluation was served from a cache entry recorded
+				// under an older statistics epoch; its cost is not valid
+				// at the current epoch, so derivation stops here.
+				e.fallback(ReasonStale)
+				return Result{}, false
+			}
+		}
+		if f.alts != nil {
+			// Plan-skeleton replay (INUM): the node's skeleton holds every
+			// plan alternative costed end-to-end, so S's cost is the result
+			// of the optimizer's own selection arithmetic restricted to the
+			// alternatives S makes available — no walk, no further calls.
+			if cost, used, ok := f.alts.Select(func(k string) bool { return inS[k] }); ok {
+				e.derivations.Add(1)
+				count(e.mDerivations)
+				return Result{Cost: cost, Used: used}, true
+			}
+			// A skeleton with no selectable alternative is impossible for a
+			// well-formed backend (a base access always exists); re-cost for
+			// real rather than guess.
+			e.fallback(ReasonEscape)
+			return Result{}, false
+		}
+		var outside []string
+		for _, u := range f.used {
+			if _, ok := inS[u]; !ok || !inS[u] {
+				outside = append(outside, u)
+			}
+		}
+		if len(outside) == 0 {
+			// The winning plan of the superset needs nothing outside S:
+			// its cost and used set transfer to S exactly.
+			e.derivations.Add(1)
+			count(e.mDerivations)
+			return Result{Cost: f.cost, Used: append([]string(nil), f.used...)}, true
+		}
+		next := subtract(node, outside)
+		if len(next) >= len(node) {
+			e.fallback(ReasonEscape)
+			return Result{}, false
+		}
+		if len(next) < len(rel) {
+			// Impossible if used ⊆ node and base(S) ⊆ S, guarded anyway.
+			e.fallback(ReasonEscape)
+			return Result{}, false
+		}
+		node = next
+	}
+}
+
+// VerifyOutcome feeds one Verify-mode cross-check result into the engine's
+// accounting: match, mismatch, or backend error (err). Safe on nil.
+func (e *Engine) VerifyOutcome(match bool, err error) {
+	if e == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		count(e.mVerifyErr)
+	case match:
+		count(e.mVerifyOK)
+	default:
+		count(e.mVerifyBad)
+	}
+}
+
+// Atoms reports how many atomic plan facts were recorded. Safe on nil.
+func (e *Engine) Atoms() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.atoms.Load()
+}
+
+// Derivations reports how many evaluations were answered by derivation.
+// Safe on nil.
+func (e *Engine) Derivations() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.derivations.Load()
+}
+
+// Fallbacks reports how many resolutions fell back to a real call. Safe on
+// nil.
+func (e *Engine) Fallbacks() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.fallbacks.Load()
+}
+
+// FallbackDML counts a DML evaluation that bypassed derivation. Safe on nil.
+func (e *Engine) FallbackDML() { e.fallback(ReasonDML) }
+
+// fallback counts one fallback under the given reason.
+func (e *Engine) fallback(reason string) {
+	if e == nil {
+		return
+	}
+	e.fallbacks.Add(1)
+	if e.mFallback != nil {
+		count(e.mFallback[reason])
+	}
+}
+
+// lookup finds the fact for the exact node key set, or nil.
+func (e *Engine) lookup(scope factScope, node []string) *fact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byNode := e.facts[scope]
+	if byNode == nil {
+		return nil
+	}
+	return byNode[strings.Join(node, "|")]
+}
+
+// buildConfig materializes a node's configuration from the structure
+// registry, applying structures in sorted key order so identical node sets
+// always produce identical configurations.
+func (e *Engine) buildConfig(node []string) (*catalog.Configuration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cfg := catalog.NewConfiguration()
+	for _, k := range node {
+		s, ok := e.structs[k]
+		if !ok {
+			return nil, false
+		}
+		s.ApplyTo(cfg)
+	}
+	return cfg, true
+}
+
+// isBase reports whether the structure belongs to the base (shaping) part
+// of a configuration: clustered indexes and table partitionings alter the
+// base tables themselves and are never added or stripped by lattice walks.
+func isBase(s catalog.Structure) bool {
+	if s.Index != nil {
+		return s.Index.Clustered
+	}
+	return s.Index == nil && s.View == nil
+}
+
+// baseOf joins the base-part keys of a sorted relevant set.
+func baseOf(rel []Keyed) string {
+	var b strings.Builder
+	for _, k := range rel {
+		if isBase(k.Structure) {
+			if b.Len() > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(k.Key)
+		}
+	}
+	return b.String()
+}
+
+// keysOf extracts the key column of a Keyed slice.
+func keysOf(rel []Keyed) []string {
+	out := make([]string, len(rel))
+	for i, k := range rel {
+		out[i] = k.Key
+	}
+	return out
+}
+
+// joinKeys joins a sorted Keyed slice into the canonical node string.
+func joinKeys(rel []Keyed) string {
+	var b strings.Builder
+	for i, k := range rel {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(k.Key)
+	}
+	return b.String()
+}
+
+// subtract returns sorted \ removed, preserving order.
+func subtract(sorted, removed []string) []string {
+	drop := make(map[string]bool, len(removed))
+	for _, r := range removed {
+		drop[r] = true
+	}
+	out := make([]string, 0, len(sorted))
+	for _, k := range sorted {
+		if !drop[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// count increments a cached counter (nil without metrics).
+func count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

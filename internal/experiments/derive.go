@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen/setquery"
+	"repro/internal/derive"
+)
+
+// DeriveRow is one mode of the cost-derivation sweep: the full advisor run on
+// the SYNT1 workload with Options.Derive = Mode. Because derived costs are
+// exact (the derivation layer only answers when the plan-set argument
+// guarantees the optimizer would return the same number), every row must
+// report the same recommendation and improvement — only the what-if call
+// count and the wall clock may change.
+type DeriveRow struct {
+	Mode         string
+	Wall         time.Duration
+	WhatIfCalls  int64
+	DerivedEvals int64
+	Improvement  float64
+	Fingerprint  string // chosen structures, order-sensitive
+}
+
+// DeriveSweep tunes the same SYNT1 workload once per derivation mode
+// (off, on, verify), each against a fresh server so statistics and cost
+// caches never carry over, and reports the exact optimizer call count and
+// recommendation per mode. It is the measurement behind the claim that cost
+// derivation is a pure call-count optimization: any drift in the
+// recommendation fingerprint or improvement relative to the derive=off run
+// is returned as an error, not a row. The verify leg additionally
+// cross-checks every derived cost against a real what-if call inside the
+// advisor, so a clean run is itself the equivalence proof.
+func DeriveSweep(cfg Config) ([]DeriveRow, error) {
+	rows := make([]DeriveRow, 0, 3)
+	for _, mode := range []string{"off", "on", "verify"} {
+		srv, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cat := setquery.Catalog(cfg.SYNT1Rows)
+		w := setquery.Workload(cat, cfg.SYNT1Events, cfg.SYNT1Templ, cfg.Seed)
+		opts := cfg.tuneOpts(srv, core.FeatureIndexes)
+		opts.SkipReports = true
+		opts.CompressWorkload = true
+		opts.Derive = derive.Mode(mode)
+		start := time.Now()
+		rec, err := core.Tune(srv, w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("derive=%s: %w", mode, err)
+		}
+		rows = append(rows, DeriveRow{
+			Mode:         mode,
+			Wall:         time.Since(start),
+			WhatIfCalls:  rec.WhatIfCalls,
+			DerivedEvals: rec.DerivedEvals,
+			Improvement:  rec.Improvement,
+			Fingerprint:  recFingerprint(rec),
+		})
+	}
+	for _, r := range rows[1:] {
+		if r.Fingerprint != rows[0].Fingerprint || r.Improvement != rows[0].Improvement {
+			return rows, fmt.Errorf(
+				"derivation drift: derive=%s recommends differently than derive=off (improvement %.6f vs %.6f):\n%s\nvs\n%s",
+				r.Mode, r.Improvement, rows[0].Improvement, r.Fingerprint, rows[0].Fingerprint)
+		}
+	}
+	return rows, nil
+}
+
+// deriveRatio is the what-if call reduction factor of one row over the
+// derive=off baseline row.
+func deriveRatio(rows []DeriveRow, r DeriveRow) float64 {
+	if len(rows) == 0 || r.WhatIfCalls <= 0 {
+		return 0
+	}
+	return float64(rows[0].WhatIfCalls) / float64(r.WhatIfCalls)
+}
+
+// DeriveString renders the sweep with per-mode call reduction over the
+// derive=off baseline.
+func DeriveString(rows []DeriveRow) string {
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Mode,
+			r.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.WhatIfCalls),
+			fmt.Sprintf("%d", r.DerivedEvals),
+			fmt.Sprintf("%.1fx", deriveRatio(rows, r)),
+			fmt.Sprintf("%.1f%%", 100*r.Improvement),
+		})
+	}
+	return renderTable("Cost-derivation sweep (SYNT1, identical recommendations required)",
+		[]string{"Derive", "Wall", "WhatIfCalls", "Derived", "CallReduction", "Improvement"}, body)
+}
+
+// SummarizeDerive flattens the sweep for the -json artifact: one record per
+// mode, Case "derive=<mode>", Ratio carrying the call reduction factor.
+func SummarizeDerive(rows []DeriveRow) []BenchRecord {
+	var out []BenchRecord
+	for _, r := range rows {
+		out = append(out, BenchRecord{
+			Experiment:     "derive",
+			Case:           "derive=" + r.Mode,
+			WallMS:         ms(r.Wall),
+			WhatIfCalls:    r.WhatIfCalls,
+			DerivedEvals:   r.DerivedEvals,
+			ImprovementPct: 100 * r.Improvement,
+			Ratio:          deriveRatio(rows, r),
+		})
+	}
+	return out
+}

@@ -214,6 +214,38 @@ func TestIngestSweepShape(t *testing.T) {
 	}
 }
 
+func TestDeriveSweepShape(t *testing.T) {
+	rows, err := DeriveSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// DeriveSweep itself enforces recommendation and improvement equality
+	// across modes; the shape left to assert is the call reduction.
+	on := rows[1]
+	if on.Mode != "on" {
+		t.Fatalf("row order: %+v", rows)
+	}
+	if on.DerivedEvals == 0 {
+		t.Fatal("derivation never fired")
+	}
+	if ratio := deriveRatio(rows, on); ratio < 2 {
+		t.Errorf("call reduction %.1fx (off %d → on %d), want ≥ 2x even at quick scale",
+			ratio, rows[0].WhatIfCalls, on.WhatIfCalls)
+	}
+	// The verify leg re-checks every derived cost against the optimizer; its
+	// surviving without error is the point, but it must also have derived.
+	if rows[2].DerivedEvals == 0 {
+		t.Fatal("verify leg never derived")
+	}
+	if DeriveString(rows) == "" || len(SummarizeDerive(rows)) != 3 {
+		t.Fatal("render/summary failed")
+	}
+	t.Log("\n" + DeriveString(rows))
+}
+
 func TestSec3AndAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end tuning")

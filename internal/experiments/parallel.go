@@ -14,11 +14,12 @@ import (
 // every row must report the same recommendation (Improvement) and the same
 // WhatIfCalls — only the wall clock may change.
 type ParallelRow struct {
-	Parallelism int
-	Wall        time.Duration
-	WhatIfCalls int64
-	Improvement float64
-	Fingerprint string // chosen structures, order-sensitive
+	Parallelism  int
+	Wall         time.Duration
+	WhatIfCalls  int64
+	DerivedEvals int64
+	Improvement  float64
+	Fingerprint  string // chosen structures, order-sensitive
 }
 
 // ParallelSweep tunes the same TPC-H workload once per parallelism level,
@@ -47,11 +48,12 @@ func ParallelSweep(cfg Config, levels []int) ([]ParallelRow, error) {
 			fp += st.Key() + "\n"
 		}
 		rows = append(rows, ParallelRow{
-			Parallelism: p,
-			Wall:        time.Since(start),
-			WhatIfCalls: rec.WhatIfCalls,
-			Improvement: rec.Improvement,
-			Fingerprint: fp,
+			Parallelism:  p,
+			Wall:         time.Since(start),
+			WhatIfCalls:  rec.WhatIfCalls,
+			DerivedEvals: rec.DerivedEvals,
+			Improvement:  rec.Improvement,
+			Fingerprint:  fp,
 		})
 	}
 	for _, r := range rows[1:] {
@@ -95,6 +97,7 @@ func SummarizeParallel(rows []ParallelRow) []BenchRecord {
 			Case:           fmt.Sprintf("p=%d", r.Parallelism),
 			WallMS:         ms(r.Wall),
 			WhatIfCalls:    r.WhatIfCalls,
+			DerivedEvals:   r.DerivedEvals,
 			ImprovementPct: 100 * r.Improvement,
 		})
 	}

@@ -23,8 +23,13 @@ type BenchRecord struct {
 	// bounded-memory claim the ingest sweep exists to demonstrate.
 	AllocMB float64 `json:"allocMB,omitempty"`
 	// Ratio is the workload compression ratio (raw events per kept
-	// representative) an ingest-sweep case achieved.
+	// representative) an ingest-sweep case achieved — or, for derive-sweep
+	// cases, the what-if call reduction factor over the derive=off run.
 	Ratio float64 `json:"ratio,omitempty"`
+	// DerivedEvals is the number of cost evaluations the derivation layer
+	// answered without an optimizer call (derive-sweep and parallel-sweep
+	// cases with derivation enabled).
+	DerivedEvals int64 `json:"derivedEvals,omitempty"`
 }
 
 // WriteBenchJSON writes the records as an indented JSON array.

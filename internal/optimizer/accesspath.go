@@ -156,12 +156,14 @@ func (c *optContext) accessPaths(s *Scope) []accessPath {
 }
 
 // bestAccess returns the cheapest access path, and the cheapest path whose
-// output order covers wantOrder (nil if none).
+// output order covers wantOrder (nil if none). Exact cost ties break by
+// (operator, structure key) — see pathLess — so the winner never depends on
+// the configuration's structure enumeration order.
 func (c *optContext) bestAccess(s *Scope, wantOrder []string) (best accessPath, ordered *accessPath) {
 	paths := c.accessPaths(s)
 	bi := 0
 	for i := 1; i < len(paths); i++ {
-		if paths[i].plan.Cost < paths[bi].plan.Cost {
+		if pathLess(paths[i].plan, paths[bi].plan) {
 			bi = i
 		}
 	}
@@ -170,7 +172,7 @@ func (c *optContext) bestAccess(s *Scope, wantOrder []string) (best accessPath, 
 		oi := -1
 		for i := range paths {
 			if orderedPrefix(paths[i].plan.Ordered, wantOrder) {
-				if oi < 0 || paths[i].plan.Cost < paths[oi].plan.Cost {
+				if oi < 0 || pathLess(paths[i].plan, paths[oi].plan) {
 					oi = i
 				}
 			}
@@ -181,6 +183,22 @@ func (c *optContext) bestAccess(s *Scope, wantOrder []string) (best accessPath, 
 		}
 	}
 	return best, ordered
+}
+
+// pathLess is the strict total order plan selections minimize over: cost
+// first, then operator, then structure key. The tie-break makes equal-cost
+// choices (symmetric candidate indexes are common) independent of the order
+// structures happen to be listed in the configuration, which both keeps
+// recommendations deterministic and lets the derivation layer replay the
+// selection from a plan skeleton.
+func pathLess(a, b *Plan) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Structure < b.Structure
 }
 
 // matchedPrefix computes the selectivity of the sargable prefix of the key

@@ -1,0 +1,216 @@
+package optimizer
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+)
+
+// AltComponent is one end-to-end costed plan alternative of a single-scope
+// SELECT: the complete statement plan built over one access path or one
+// materialized view. Every field is independent of which other additive
+// structures the configuration holds, which is what makes subset costing a
+// pure selection over the components (the INUM observation).
+type AltComponent struct {
+	// Structure is the additive structure key that must be present for this
+	// alternative to exist ("" = base access through the heap or a clustered
+	// index, available under every sub-configuration).
+	Structure string
+	// Op is the access operator at the root of the alternative's access plan
+	// (HeapScan, ClusteredSeek, IndexSeek, ViewScan, ...), the second field
+	// of the pathLess tie-break order.
+	Op string
+	// View marks a materialized-view alternative, which competes against the
+	// chosen base access on pre-finish cost (the optimizer's view rule).
+	View bool
+	// Pre is the access/view plan cost before grouping, ordering and TOP —
+	// the metric the optimizer's access-path and view selections compare.
+	Pre float64
+	// Final is the end-to-end statement cost when this alternative is chosen.
+	Final float64
+	// Ordered reports whether the alternative's output order satisfies the
+	// query's interesting order (the sort-avoidance rule of basePlan).
+	Ordered bool
+	// Used holds the used-structure keys the finished plan reports when this
+	// alternative wins.
+	Used []string
+}
+
+// altLess mirrors pathLess over skeleton components: minimize pre-finish
+// cost, break exact ties by (operator, structure key). For index and view
+// components Structure equals the plan's structure key; base components are
+// uniquely identified by Op alone, so the two orders coincide on every pair
+// pathLess can be asked to compare.
+func altLess(a, b *AltComponent) bool {
+	if a.Pre != b.Pre {
+		return a.Pre < b.Pre
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Structure < b.Structure
+}
+
+// Alternatives is the plan skeleton of one single-scope SELECT under one
+// configuration: every access alternative costed end-to-end, such that the
+// statement's cost and used structures under any sub-configuration — same
+// base structures, any subset of the additive ones — follow from Select
+// without another optimizer call.
+type Alternatives struct {
+	// Components lists the alternatives in the optimizer's own enumeration
+	// order (base accesses, then non-clustered indexes, then views).
+	Components []AltComponent
+	// HasOrder reports whether the query has an interesting order, enabling
+	// the ordered-alternative rule during Select.
+	HasOrder bool
+}
+
+// OptimizeAlternatives is Optimize plus the plan skeleton: for a single-scope
+// SELECT the second result carries every plan alternative costed end-to-end;
+// for any other statement shape it is nil and the call behaves exactly like
+// Optimize. The Result is identical to Optimize's in either case, including
+// the RequiredStats set (the skeleton only repeats computations the direct
+// optimization performs, and stat requests dedup by key).
+func (o *Optimizer) OptimizeAlternatives(stmt sqlparser.Statement, cfg *catalog.Configuration) (*Result, *Alternatives, error) {
+	sel, ok := stmt.(*sqlparser.Select)
+	if !ok {
+		res, err := o.Optimize(stmt, cfg)
+		return res, nil, err
+	}
+	if cfg == nil {
+		cfg = catalog.NewConfiguration()
+	}
+	ctx := &optContext{opt: o, cfg: cfg, wanted: map[string]stats.Request{}}
+	plan, err := ctx.optimizeSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	var alts *Alternatives
+	if q, err := o.analyze(sel); err == nil && len(q.Scopes) == 1 {
+		alts = ctx.selectAlternatives(q)
+	}
+	res := &Result{Cost: plan.Cost, Plan: plan}
+	for _, r := range ctx.wanted {
+		res.RequiredStats = append(res.RequiredStats, r)
+	}
+	sortRequests(res.RequiredStats)
+	res.UsedStructures = plan.structureKeys()
+	return res, alts, nil
+}
+
+// selectAlternatives builds the plan skeleton of a single-scope query: each
+// access path and each matching view, finished end-to-end exactly as
+// optimizeSelect would finish it if that alternative were chosen.
+func (c *optContext) selectAlternatives(q *QueryInfo) *Alternatives {
+	s := q.Scopes[0]
+	width := s.Table.ColumnWidth(s.Required)
+	want := c.interestingOrder(q)
+	a := &Alternatives{HasOrder: len(want) > 0}
+	for _, p := range c.accessPaths(s) {
+		fin := c.finishSelect(q, joined{plan: p.plan, rows: p.rows, width: width})
+		gate := ""
+		// Heap and clustered accesses are gated by base structures, which
+		// every sub-configuration in a derivation scope shares; only
+		// non-clustered index paths require their structure to be present.
+		if p.plan.Op == "IndexSeek" || p.plan.Op == "IndexScan" {
+			gate = p.plan.Structure
+		}
+		a.Components = append(a.Components, AltComponent{
+			Structure: gate,
+			Op:        p.plan.Op,
+			Pre:       p.plan.Cost,
+			Final:     fin.Cost,
+			Ordered:   len(want) > 0 && orderedPrefix(p.plan.Ordered, want),
+			Used:      fin.structureKeys(),
+		})
+	}
+	if len(c.cfg.Views) > 0 {
+		// Single scope: the table set is a singleton and there are no join
+		// predicates, mirroring bestViewPlan's inputs for this query shape.
+		tables := []string{strings.ToLower(s.Table.Name)}
+		joinSet := map[string]bool{}
+		for _, v := range c.cfg.Views {
+			if cand := c.tryView(q, v, tables, joinSet); cand != nil {
+				fin := c.finishSelect(q, *cand)
+				a.Components = append(a.Components, AltComponent{
+					Structure: v.Key(),
+					Op:        cand.plan.Op,
+					View:      true,
+					Pre:       cand.plan.Cost,
+					Final:     fin.Cost,
+					Used:      fin.structureKeys(),
+				})
+			}
+		}
+	}
+	return a
+}
+
+// Select replays the optimizer's plan choice over the alternatives available
+// under a sub-configuration: has reports whether an additive structure key is
+// present. Because every component cost is config-independent (the same
+// arithmetic produces bit-identical floats under the sub-configuration) and
+// every selection minimizes the pathLess total order, the replayed choice is
+// exactly the choice a real optimization of that configuration would make.
+// ok is false only when no alternative is available, which cannot happen for
+// a skeleton built by selectAlternatives (a base scan always exists).
+func (a *Alternatives) Select(has func(string) bool) (float64, []string, bool) {
+	avail := func(c *AltComponent) bool {
+		return c.Structure == "" || has(c.Structure)
+	}
+
+	// Access-path selection (bestAccess): minimum by pathLess.
+	var j *AltComponent
+	for i := range a.Components {
+		c := &a.Components[i]
+		if c.View || !avail(c) {
+			continue
+		}
+		if j == nil || altLess(c, j) {
+			j = c
+		}
+	}
+	if j == nil {
+		return 0, nil, false
+	}
+	chosen := j
+
+	// Ordered alternative: the cheapest order-preserving path wins when its
+	// end-to-end cost beats the unordered choice (basePlan's sort avoidance;
+	// the incumbent keeps an exact tie).
+	if a.HasOrder {
+		var alt *AltComponent
+		for i := range a.Components {
+			c := &a.Components[i]
+			if c.View || !avail(c) || !c.Ordered {
+				continue
+			}
+			if alt == nil || altLess(c, alt) {
+				alt = c
+			}
+		}
+		if alt != nil && alt.Final < j.Final {
+			chosen = alt
+		}
+	}
+
+	// View selection: the cheapest matching view competes against the chosen
+	// base access on pre-finish cost (optimizeSelect's view rule; the base
+	// access keeps an exact tie).
+	var vw *AltComponent
+	for i := range a.Components {
+		c := &a.Components[i]
+		if !c.View || !avail(c) {
+			continue
+		}
+		if vw == nil || altLess(c, vw) {
+			vw = c
+		}
+	}
+	if vw != nil && vw.Pre < chosen.Pre {
+		chosen = vw
+	}
+	return chosen.Final, append([]string(nil), chosen.Used...), true
+}

@@ -1,0 +1,195 @@
+package optimizer
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+)
+
+// altFixture returns the additive structures (non-clustered indexes and
+// views) the skeleton equivalence tests select subsets from. ix3 and ix4 are
+// deliberately symmetric — same leading column, same included width — so
+// covering scans over them cost exactly the same and exercise the
+// deterministic (cost, op, structure) tie-break.
+func altFixture() []catalog.Structure {
+	view := catalog.NewMaterializedView(
+		[]string{"t"}, nil, nil,
+		[]catalog.ColRef{catalog.NewColRef("t", "a")},
+		[]catalog.Agg{{Func: "COUNT"}, {Func: "SUM", Col: catalog.NewColRef("t", "x")}},
+		100,
+	)
+	return []catalog.Structure{
+		{Index: catalog.NewIndex("t", "x")},
+		{Index: catalog.NewIndex("t", "x", "a")},
+		{Index: catalog.NewIndex("t", "a").WithInclude("x")},
+		{Index: catalog.NewIndex("t", "a").WithInclude("d_id")},
+		{View: view},
+	}
+}
+
+// applySubset builds a configuration holding the base structures plus the
+// chosen additive subset, applying the additive structures in reverse order
+// so the test also proves the choice does not depend on the order structures
+// are listed in the configuration.
+func applySubset(base *catalog.Configuration, adds []catalog.Structure, mask int) *catalog.Configuration {
+	cfg := base.Clone()
+	for i := len(adds) - 1; i >= 0; i-- {
+		if mask&(1<<i) != 0 {
+			adds[i].ApplyTo(cfg)
+		}
+	}
+	return cfg
+}
+
+// TestAlternativesSelectMatchesDirectOptimize is the skeleton soundness
+// property: for every query shape and every subset of additive structures,
+// replaying the skeleton taken at the full configuration returns exactly the
+// cost and used-structure set a direct optimization of the subset returns.
+func TestAlternativesSelectMatchesDirectOptimize(t *testing.T) {
+	cat := testCatalog()
+	o := newOpt(cat)
+	adds := altFixture()
+
+	queries := []string{
+		"SELECT id FROM t WHERE x = 42",
+		"SELECT x, a FROM t WHERE x < 3000",
+		"SELECT a, COUNT(*), SUM(x) FROM t GROUP BY a",
+		"SELECT a FROM t WHERE a < 50 ORDER BY a",
+		"SELECT TOP 10 x FROM t WHERE a = 3 ORDER BY x",
+		"SELECT DISTINCT a FROM t WHERE x >= 9000",
+	}
+
+	bases := map[string]*catalog.Configuration{
+		"heap": catalog.NewConfiguration(),
+	}
+	clustered := catalog.NewConfiguration()
+	cix := catalog.NewIndex("t", "id")
+	cix.Clustered = true
+	clustered.AddIndex(cix)
+	bases["clustered"] = clustered
+	parted := catalog.NewConfiguration()
+	parted.SetTablePartitioning("t", catalog.NewPartitionScheme("x", 10, 100, 1000, 5000))
+	bases["partitioned"] = parted
+
+	for baseName, base := range bases {
+		for _, q := range queries {
+			stmt := sqlparser.MustParse(q)
+			full := applySubset(base, adds, (1<<len(adds))-1)
+			res, alts, err := o.OptimizeAlternatives(stmt, full)
+			if err != nil {
+				t.Fatalf("%s/%q: OptimizeAlternatives: %v", baseName, q, err)
+			}
+			direct, err := o.Optimize(stmt, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost != direct.Cost {
+				t.Fatalf("%s/%q: OptimizeAlternatives cost %v != Optimize cost %v", baseName, q, res.Cost, direct.Cost)
+			}
+			if alts == nil {
+				t.Fatalf("%s/%q: single-scope SELECT must produce a skeleton", baseName, q)
+			}
+			for mask := 0; mask < 1<<len(adds); mask++ {
+				sub := applySubset(base, adds, mask)
+				has := func(key string) bool {
+					for i, s := range adds {
+						if mask&(1<<i) != 0 && s.Key() == key {
+							return true
+						}
+					}
+					return false
+				}
+				got, gotUsed, ok := alts.Select(has)
+				if !ok {
+					t.Fatalf("%s/%q mask %b: Select failed", baseName, q, mask)
+				}
+				want, err := o.Optimize(stmt, sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want.Cost {
+					t.Fatalf("%s/%q mask %b: replayed cost %v != direct cost %v", baseName, q, mask, got, want.Cost)
+				}
+				sort.Strings(gotUsed)
+				wantUsed := append([]string(nil), want.UsedStructures...)
+				sort.Strings(wantUsed)
+				if len(gotUsed) != len(wantUsed) {
+					t.Fatalf("%s/%q mask %b: replayed used %v != direct used %v", baseName, q, mask, gotUsed, wantUsed)
+				}
+				for i := range gotUsed {
+					if gotUsed[i] != wantUsed[i] {
+						t.Fatalf("%s/%q mask %b: replayed used %v != direct used %v", baseName, q, mask, gotUsed, wantUsed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlternativesNilForJoinsAndDML: statements the skeleton cannot decompose
+// report no skeleton and identical Optimize results.
+func TestAlternativesNilForJoinsAndDML(t *testing.T) {
+	cat := testCatalog()
+	o := newOpt(cat)
+	cfg := catalog.NewConfiguration()
+	cfg.AddIndex(catalog.NewIndex("t", "x"))
+	cfg.AddIndex(catalog.NewIndex("d", "d_id").WithInclude("name"))
+
+	for _, q := range []string{
+		"SELECT d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 17",
+		"UPDATE t SET x = 1 WHERE id = 77",
+	} {
+		stmt := sqlparser.MustParse(q)
+		res, alts, err := o.OptimizeAlternatives(stmt, cfg)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if alts != nil {
+			t.Fatalf("%q: expected no skeleton", q)
+		}
+		direct, err := o.Optimize(stmt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != direct.Cost || math.IsNaN(res.Cost) {
+			t.Fatalf("%q: cost %v != direct %v", q, res.Cost, direct.Cost)
+		}
+	}
+}
+
+// TestTieBreakIsOrderIndependent pins the pathLess property the derivation
+// layer depends on: two exactly symmetric covering indexes cost the same, and
+// the optimizer picks the same one regardless of the order the configuration
+// lists them in.
+func TestTieBreakIsOrderIndependent(t *testing.T) {
+	cat := testCatalog()
+	o := newOpt(cat)
+	q := sqlparser.MustParse("SELECT a FROM t WHERE a < 50")
+	ix1 := catalog.NewIndex("t", "a").WithInclude("x")
+	ix2 := catalog.NewIndex("t", "a").WithInclude("d_id")
+
+	fwd := catalog.NewConfiguration()
+	fwd.AddIndex(ix1)
+	fwd.AddIndex(ix2)
+	rev := catalog.NewConfiguration()
+	rev.AddIndex(ix2)
+	rev.AddIndex(ix1)
+
+	rf, err := o.Optimize(q, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := o.Optimize(q, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Cost != rr.Cost {
+		t.Fatalf("tied configs must cost the same: %v vs %v", rf.Cost, rr.Cost)
+	}
+	if len(rf.UsedStructures) != 1 || len(rr.UsedStructures) != 1 || rf.UsedStructures[0] != rr.UsedStructures[0] {
+		t.Fatalf("tie must break identically under both orders: %v vs %v", rf.UsedStructures, rr.UsedStructures)
+	}
+}

@@ -41,7 +41,7 @@ func (c *optContext) bestViewPlan(q *QueryInfo) *joined {
 	var best *joined
 	for _, v := range c.cfg.Views {
 		if cand := c.tryView(q, v, tables, joinSet); cand != nil {
-			if best == nil || cand.plan.Cost < best.plan.Cost {
+			if best == nil || pathLess(cand.plan, best.plan) {
 				best = cand
 			}
 		}

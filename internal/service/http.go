@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/fault"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
@@ -36,6 +37,13 @@ type CreateOptions struct {
 	// default, GOMAXPROCS). The server-wide budget (dtaserver
 	// -max-parallelism) caps it. Recommendations do not depend on it.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Derive selects the cost-derivation layer's mode: "on" answers
+	// cost-cache misses algebraically from atomic plan facts where provably
+	// exact (recommendations unchanged, far fewer optimizer calls),
+	// "verify" additionally cross-checks every derived cost against a real
+	// call, "off" disables it. Empty defers to the server default
+	// (dtaserver -derive).
+	Derive string `json:"derive,omitempty"`
 	// FaultSpec, when non-empty, attaches a session-scoped deterministic
 	// fault injector (grammar "seed=N;site:kind:prob[:duration];...", see
 	// internal/fault) — the chaos-testing knob. Sites: whatif, stats,
@@ -97,6 +105,13 @@ func (c CreateOptions) toCore() (core.Options, error) {
 			return core.Options{}, fmt.Errorf("bad timeLimit: %w", err)
 		}
 		opts.TimeLimit = d
+	}
+	if c.Derive != "" {
+		mode, err := derive.ParseMode(c.Derive)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("bad derive: %w", err)
+		}
+		opts.Derive = mode
 	}
 	if c.FaultSpec != "" {
 		spec, err := fault.ParseSpec(c.FaultSpec)

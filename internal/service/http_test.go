@@ -305,3 +305,57 @@ func TestHTTPCancelAndErrors(t *testing.T) {
 		t.Fatalf("POST unknown field = %d", resp.StatusCode)
 	}
 }
+
+// TestHTTPDeriveOption drives options.derive over the wire: a derivation-on
+// session must report derivedEvals and fewer what-if calls than the same
+// session with derivation off, while recommending the identical structures —
+// and a bad mode must be rejected at create time.
+func TestHTTPDeriveOption(t *testing.T) {
+	_, ts, _ := newTestAPI(t, 2)
+
+	run := func(mode string) service.Snapshot {
+		t.Helper()
+		resp, snap := postJSON(t, ts.URL+"/sessions", map[string]any{
+			"database": "db",
+			"options":  map[string]any{"derive": mode},
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /sessions derive=%s = %d", mode, resp.StatusCode)
+		}
+		final := waitTerminal(t, ts.URL, snap.ID)
+		if final.State != service.StateDone {
+			t.Fatalf("derive=%s: state = %s (%s)", mode, final.State, final.Error)
+		}
+		return final
+	}
+
+	// Sessions share the backend, and the first session creates statistics
+	// that change later sessions' cost estimates; warm them up front so the
+	// off/on comparison sees identical statistics.
+	run("off")
+
+	off := run("off")
+	on := run("on")
+	if off.Result.DerivedEvals != 0 {
+		t.Fatalf("derive=off reported derivedEvals=%d", off.Result.DerivedEvals)
+	}
+	if on.Result.DerivedEvals == 0 {
+		t.Fatal("derive=on reported no derived evaluations")
+	}
+	if on.Result.WhatIfCalls >= off.Result.WhatIfCalls {
+		t.Fatalf("derive=on must cut calls: on=%d off=%d", on.Result.WhatIfCalls, off.Result.WhatIfCalls)
+	}
+	if fmt.Sprint(on.Result.Structures) != fmt.Sprint(off.Result.Structures) ||
+		on.Result.Improvement != off.Result.Improvement {
+		t.Fatalf("recommendation depends on derive mode:\n off: %v (%v)\n on:  %v (%v)",
+			off.Result.Structures, off.Result.Improvement, on.Result.Structures, on.Result.Improvement)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/sessions", map[string]any{
+		"database": "db",
+		"options":  map[string]any{"derive": "sometimes"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST bad derive mode = %d", resp.StatusCode)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -148,7 +149,40 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 
-	// Content negotiation: Accept: application/json yields the JSON view.
+	// A derivation-enabled session surfaces the dta_derive_* family and the
+	// cost cache's fourth outcome ("derived") in the same scrape.
+	_, snap2 := runSession(t, ts, `{"database":"db","options":{"derive":"verify"}}`)
+	if snap2.State != service.StateDone {
+		t.Fatalf("derive session state = %s, want done (error %q)", snap2.State, snap2.Error)
+	}
+	resp3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := string(raw)
+	for _, want := range []string{
+		`dta_cost_cache_requests_total{outcome="derived"}`,
+		"dta_derive_atoms_total",
+		"dta_derive_derivations_total",
+		"dta_derive_fallbacks_total",
+		`dta_derive_verify_total{result="match"}`,
+	} {
+		if !strings.Contains(derived, want) {
+			t.Errorf("derive exposition is missing %q", want)
+		}
+	}
+	if vals := promValues(t, derived, "dta_derive_verify_total"); vals[`{result="mismatch"}`] != 0 {
+		t.Errorf("verify mismatches on a healthy backend: %v", vals)
+	}
+
+	// Content negotiation: Accept: application/json yields the JSON view
+	// (re-read the totals: the derive session above added calls).
+	mx = m.Metrics()
 	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
 	req.Header.Set("Accept", "application/json")
 	resp2, err := http.DefaultClient.Do(req)

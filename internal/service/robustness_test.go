@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -25,6 +26,12 @@ func faultSpec() string {
 	}
 	return "seed=7;whatif:error:0.10"
 }
+
+// deriveOpt returns the options.derive value robustness sessions request:
+// CI's fault-matrix job pins "verify" in one leg via DTA_DERIVE so every
+// derived cost is cross-checked while faults fire; unset defers to the
+// server default.
+func deriveOpt() string { return os.Getenv("DTA_DERIVE") }
 
 // TestFaultMatrixDegradedSession drives a session through the HTTP API
 // against a backend with the fault-matrix injection rate and asserts the
@@ -40,7 +47,7 @@ func TestFaultMatrixDegradedSession(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 
-	body := fmt.Sprintf(`{"options":{"faultSpec":%q}}`, faultSpec())
+	body := fmt.Sprintf(`{"options":{"faultSpec":%q,"derive":%q}}`, faultSpec(), deriveOpt())
 	resp, err := srv.Client().Post(srv.URL+"/sessions", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +144,7 @@ func TestStateDirResume(t *testing.T) {
 	if err := ref.Register(&service.Backend{Name: "db", Tuner: smallServer(t)}); err != nil {
 		t.Fatal(err)
 	}
-	refSess, err := ref.Create(service.Request{Workload: wl})
+	refSess, err := ref.Create(service.Request{Workload: wl, Options: core.Options{Derive: derive.Mode(deriveOpt())}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,6 +162,7 @@ func TestStateDirResume(t *testing.T) {
 	// workload, same (default) options, fresh identical server.
 	var first *core.Checkpoint
 	if _, err := core.Tune(smallServer(t), wl, core.Options{
+		Derive:          derive.Mode(deriveOpt()),
 		CheckpointEvery: 50,
 		CheckpointSink: func(ck *core.Checkpoint) {
 			if first == nil {
@@ -172,12 +180,13 @@ func TestStateDirResume(t *testing.T) {
 	// schema (id + statements + wire options + checkpoint).
 	dir := t.TempDir()
 	state := struct {
-		ID         string               `json:"id"`
-		Created    time.Time            `json:"created"`
-		Statements []workload.Statement `json:"statements"`
+		ID         string                `json:"id"`
+		Created    time.Time             `json:"created"`
+		Statements []workload.Statement  `json:"statements"`
 		Options    service.CreateOptions `json:"options"`
-		Checkpoint *core.Checkpoint     `json:"checkpoint"`
-	}{ID: "s-0042", Created: time.Now(), Statements: stmts, Checkpoint: first}
+		Checkpoint *core.Checkpoint      `json:"checkpoint"`
+	}{ID: "s-0042", Created: time.Now(), Statements: stmts,
+		Options: service.CreateOptions{Derive: deriveOpt()}, Checkpoint: first}
 	data, err := json.Marshal(state)
 	if err != nil {
 		t.Fatal(err)

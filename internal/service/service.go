@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -261,6 +262,7 @@ type Result struct {
 	StorageMB    float64  `json:"storageMB"`
 	EventsTuned  int      `json:"eventsTuned"`
 	WhatIfCalls  int64    `json:"whatIfCalls"`
+	DerivedEvals int64    `json:"derivedEvals,omitempty"`
 	StatsCreated int      `json:"statsCreated"`
 	DurationMS   int64    `json:"durationMS"`
 	StopReason   string   `json:"stopReason,omitempty"`
@@ -301,6 +303,7 @@ func (s *Session) Snapshot() Snapshot {
 			StorageMB:    float64(s.rec.StorageBytes) / (1 << 20),
 			EventsTuned:  s.rec.EventsTuned,
 			WhatIfCalls:  s.rec.WhatIfCalls,
+			DerivedEvals: s.rec.DerivedEvals,
 			StatsCreated: s.rec.StatsCreated,
 			DurationMS:     s.rec.Duration.Milliseconds(),
 			StopReason:     s.rec.StopReason,
@@ -332,6 +335,10 @@ type Manager struct {
 	// budget: sessions asking for more (or for the default) are clamped to
 	// it, so one greedy client cannot monopolize the box's cores.
 	parCap int
+
+	// deriveDefault is the cost-derivation mode applied to sessions whose
+	// request leaves options.derive empty (dtaserver -derive).
+	deriveDefault derive.Mode
 
 	// reg is the observability registry shared by the service, every
 	// backend's what-if server, and every session's tuning pipeline; exposed
@@ -439,6 +446,16 @@ func (m *Manager) SetParallelismCap(n int) {
 	m.parCap = n
 }
 
+// SetDeriveDefault sets the cost-derivation mode for sessions whose request
+// does not choose one (options.derive empty). An explicit per-session
+// "off"/"on"/"verify" always wins. Call before serving; the default applies
+// to sessions created afterwards.
+func (m *Manager) SetDeriveDefault(mode derive.Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deriveDefault = mode
+}
+
 // SetLogger replaces the manager's logger (default: discard). Session
 // lifecycle events are logged with the session ID as a structured attribute.
 func (m *Manager) SetLogger(l *slog.Logger) {
@@ -525,6 +542,14 @@ func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Sess
 		opts.BaseConfig = b.BaseConfig
 	}
 	opts.Parallelism = m.clampParallelism(opts.Parallelism)
+	if opts.Derive == "" {
+		// The wire form persisted below keeps the request's empty value, so
+		// a resumed session follows the server default at resume time, the
+		// same way parallelism is re-clamped.
+		m.mu.Lock()
+		opts.Derive = m.deriveDefault
+		m.mu.Unlock()
+	}
 
 	opts.Resume = resume
 	if opts.Faults != nil {

@@ -194,6 +194,7 @@ func wireOptions(o core.Options) (CreateOptions, bool) {
 		GreedyK:       o.GreedyK,
 		SkipReports:   o.SkipReports,
 		Parallelism:   o.Parallelism,
+		Derive:        string(o.Derive),
 		RetryAttempts: o.Retry.MaxAttempts,
 	}
 	if o.Features != 0 {

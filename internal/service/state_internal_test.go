@@ -20,6 +20,7 @@ func TestWireOptionsRoundTrip(t *testing.T) {
 		GreedyM:       2,
 		GreedyK:       6,
 		Parallelism:   3,
+		Derive:        "verify",
 		SkipReports:   true,
 		NoCompression: true,
 		FaultSpec:     "seed=5;whatif:error:0.1", // canonical rendering of Spec.String

@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
 	"repro/internal/stats"
 	"repro/internal/whatif"
@@ -68,6 +69,13 @@ func (s *Session) Catalog() *catalog.Catalog { return s.Test.Cat }
 // WhatIfCost runs the what-if optimization on the test server.
 func (s *Session) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, error) {
 	return s.Test.WhatIfCost(stmt, cfg)
+}
+
+// WhatIfAlternativesCost runs the what-if optimization on the test server,
+// returning the plan skeleton too (core.AlternativesTuner), so cost
+// derivation works identically in the production/test scenario.
+func (s *Session) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
+	return s.Test.WhatIfAlternativesCost(stmt, cfg)
 }
 
 // WhatIfCallCount reports test-server what-if calls (production receives

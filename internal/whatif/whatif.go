@@ -372,6 +372,40 @@ func (s *Server) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration
 	return res.Cost, res.UsedStructures, nil
 }
 
+// WhatIfAlternativesCost is WhatIfCost returning, in addition, the plan
+// skeleton of the optimized statement when one exists (single-scope SELECTs;
+// nil otherwise). It is charged exactly like a single what-if call — same
+// counter, same overhead, same fault site — because it performs one
+// optimization and the skeleton falls out of work the optimizer already did.
+func (s *Server) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
+	s.whatIfCalls.Add(1)
+	s.addOverhead(WhatIfCallCost)
+	if err := s.injectFault(fault.SiteWhatIf); err != nil {
+		// Charged above even on failure, matching WhatIf.
+		return 0, nil, nil, err
+	}
+	m := s.metrics.Load()
+	if m == nil {
+		res, alts, err := s.opt.OptimizeAlternatives(stmt, cfg)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		return res.Cost, res.UsedStructures, alts, nil
+	}
+	start := time.Now()
+	res, alts, err := s.opt.OptimizeAlternatives(stmt, cfg)
+	m.latency.Observe(time.Since(start).Seconds())
+	if cfg != nil {
+		m.structsIdx.Observe(float64(len(cfg.Indexes)))
+		m.structsView.Observe(float64(len(cfg.Views)))
+		m.structsPart.Observe(float64(len(cfg.TableParts)))
+	}
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return res.Cost, res.UsedStructures, alts, nil
+}
+
 // WhatIfCallCount reports the number of what-if calls issued so far
 // (core.Tuner interface).
 func (s *Server) WhatIfCallCount() int64 { return s.whatIfCalls.Load() }

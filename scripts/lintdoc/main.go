@@ -9,7 +9,7 @@
 //
 // With no arguments it audits the packages the robustness PR put under
 // contract: internal/core, internal/whatif, internal/service, internal/obs,
-// internal/fault. Test files are skipped.
+// internal/fault, internal/derive. Test files are skipped.
 package main
 
 import (
@@ -30,6 +30,7 @@ var defaultPackages = []string{
 	"internal/service",
 	"internal/obs",
 	"internal/fault",
+	"internal/derive",
 }
 
 func main() {
