@@ -13,6 +13,7 @@
 //	dta -db tpch -builtin -features IDX_MV -aligned
 //	dta -input session.xml -db tpch          # XML-scripted session (§6.1)
 //	dta -db synt1 -workload big.trc -stream  # bounded-memory streaming ingest
+//	dta -db tpch -explain                    # per-structure provenance report
 //
 // Workload files use the trace format: one statement per line with optional
 // leading weight and duration fields separated by tabs. With -stream the
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/derive"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/testsrv"
 	"repro/internal/workload"
@@ -53,6 +55,8 @@ func main() {
 		useTestSrv = flag.Bool("test-server", false, "tune through a test server (§5.3)")
 		allowDrops = flag.Bool("allow-drops", false, "allow dropping existing non-constraint structures")
 		tracePath  = flag.String("trace", "", "write the session's span timeline here as Chrome trace-event JSON (view in chrome://tracing or ui.perfetto.dev)")
+		explain    = flag.Bool("explain", false, "after tuning, print per-structure provenance (the greedy decision that admitted each structure, the alternatives it beat, the queries it benefits) reconstructed from the decision journal")
+		jnlPath    = flag.String("journal", "", "write the session's decision journal here as NDJSON, one typed event per line")
 		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
 		par        = flag.Int("parallelism", 0, "concurrent what-if evaluations (0 = GOMAXPROCS); the recommendation does not depend on it")
 		deriveMode = flag.String("derive", "off", "cost derivation: off | on (answer composite what-if calls from atomic plan facts) | verify (derive and cross-check every derived cost); the recommendation does not depend on it")
@@ -60,7 +64,8 @@ func main() {
 	flag.Parse()
 
 	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par, *deriveMode); err != nil {
+		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par, *deriveMode,
+		*explain, *jnlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -69,7 +74,7 @@ func main() {
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
 	noCompress, stream, useTestSrv, quiet bool, tracePath string, parallelism int,
-	deriveMode string) error {
+	deriveMode string, explain bool, jnlPath string) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
@@ -203,6 +208,15 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		trace = obs.NewTrace("dta " + dbName)
 		ctx = obs.WithTrace(ctx, trace)
 	}
+	// With -explain or -journal, run the session under a decision journal —
+	// the same event stream dtaserver serves at GET /sessions/{id}/journal.
+	// Journaling is purely observational: the recommendation is byte-identical
+	// with it on or off.
+	var jnl *journal.Journal
+	if explain || jnlPath != "" {
+		jnl = journal.New("dta " + dbName)
+		ctx = journal.WithContext(ctx, jnl)
+	}
 
 	rec, err := core.TuneContext(ctx, tuner, w, opts)
 	if err != nil {
@@ -223,6 +237,34 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		}
 		if !quiet {
 			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", trace.SpanCount(), tracePath)
+		}
+	}
+
+	if jnlPath != "" {
+		f, err := os.Create(jnlPath)
+		if err != nil {
+			return err
+		}
+		if err := jnl.WriteNDJSON(f, nil); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d journal events to %s\n", jnl.Len(), jnlPath)
+		}
+	}
+	if explain {
+		keys := make([]string, 0, len(rec.NewStructures))
+		for _, s := range rec.NewStructures {
+			keys = append(keys, s.Key())
+		}
+		exp := journal.Explain(jnl.Events(), keys)
+		exp.DroppedEvents = jnl.DroppedByKind()
+		if err := exp.WriteText(os.Stderr); err != nil {
+			return err
 		}
 	}
 

@@ -15,6 +15,8 @@
 //	GET    /sessions/{id}        session snapshot
 //	GET    /sessions/{id}/events progress stream (NDJSON)
 //	GET    /sessions/{id}/trace  session timeline (Chrome trace-event JSON)
+//	GET    /sessions/{id}/journal decision journal (NDJSON, ?kind= filters)
+//	GET    /sessions/{id}/explain per-structure provenance from the journal
 //	DELETE /sessions/{id}        cancel (keeps the best-so-far result)
 //	GET    /metrics              Prometheus metrics (JSON via Accept header)
 //	GET    /metrics.json         cumulative service metrics, JSON

@@ -16,6 +16,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/derive"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
@@ -341,9 +342,14 @@ type Recommendation struct {
 	// layer (Options.Derive) instead of a what-if optimizer call; zero
 	// with derivation off.
 	DerivedEvals int64
-	StatsCreated int
-	Duration      time.Duration
-	Compressed    bool
+	// DeriveFallbacks breaks down, by reason (dml, atom, stats-epoch,
+	// eval-error, used-escape), the evaluations the derivation layer
+	// declined and answered with a real optimizer call; nil with
+	// derivation off.
+	DeriveFallbacks map[string]int64
+	StatsCreated    int
+	Duration        time.Duration
+	Compressed      bool
 	// IngestedEvents and IngestedBytes record streaming-ingest volume
 	// (Options.Ingest): how many raw trace events and bytes were folded
 	// into the online compressor to produce the tuned workload. Zero for
@@ -502,7 +508,7 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	if !opts.NoMerging && !tr.stopped() {
 		tr.setPhase(PhaseMerging)
 		before := len(cands)
-		cands = mergeCandidates(t.Catalog(), cands, benefit, opts, tr.pool)
+		cands = mergeCandidates(t.Catalog(), cands, benefit, opts, tr)
 		if opts.Metrics != nil {
 			opts.Metrics.Histogram("dta_merge_pool_size",
 				"Candidate pool size entering/leaving the merging step (§2.2).",
@@ -639,7 +645,13 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 func sealRecommendation(ev *evaluator, tr *tracker, rec *Recommendation, start time.Time) *Recommendation {
 	rec.WhatIfCalls = ev.calls.Load()
 	rec.DerivedEvals = ev.drv.Derivations()
+	rec.DeriveFallbacks = ev.drv.FallbacksByReason()
 	rec.Duration = time.Since(start)
+	if rec.StopReason != "" && tr.journaling() {
+		e := journal.Ev(journal.KindStop)
+		e.Reason = rec.StopReason
+		tr.record(e)
+	}
 	if tr != nil {
 		tr.setPhase(PhaseDone)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
@@ -88,6 +89,33 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			if err != nil {
 				return 0, err
 			}
+			// journalQuery records the query's selection outcome: one summary
+			// event plus one accept/reject event per generated candidate.
+			journalQuery := func(bestCost, gain float64, chosen []catalog.Structure) {
+				if !tr.journaling() {
+					return
+				}
+				qe := journal.Ev(journal.KindQuery)
+				qe.Query = i
+				qe.SQL = w.Events[i].SQL
+				qe.CostBefore, qe.CostAfter, qe.Gain = baseCost, bestCost, gain
+				qe.Alternatives = len(cands)
+				tr.record(qe)
+				chosenKeys := map[string]bool{}
+				for _, s := range chosen {
+					chosenKeys[s.Key()] = true
+				}
+				for _, s := range cands {
+					ce := journal.Ev(journal.KindCandidate)
+					ce.Query = i
+					ce.Structure = s.Key()
+					ce.Accepted = chosenKeys[s.Key()]
+					if ce.Accepted {
+						ce.Gain = gain
+					}
+					tr.record(ce)
+				}
+			}
 			// The global storage budget applies per query too: a structure that
 			// alone exceeds the budget can never appear in the final design, and
 			// keeping it as a candidate would crowd out affordable non-redundant
@@ -95,11 +123,13 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			chosen, err := greedySearch(mandatory, cands, perQueryCost, greedyOptions{
 				m: opts.GreedyM, k: perQueryK, cat: t.Catalog(), tr: tr,
 				budget: opts.StorageBudget,
+				scope:  "query", query: i,
 			})
 			if err != nil {
 				return 0, err
 			}
 			if len(chosen) == 0 {
+				journalQuery(baseCost, 0, nil)
 				return 0, nil
 			}
 			bestCfg := mandatory.Clone()
@@ -111,6 +141,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 				return 0, err
 			}
 			gain := (baseCost - bestCost) * w.Events[i].Weight
+			journalQuery(bestCost, gain, chosen)
 			for _, s := range chosen {
 				key := s.Key()
 				if _, dup := pool[key]; !dup {

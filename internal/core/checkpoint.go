@@ -40,11 +40,11 @@ type Checkpoint struct {
 // snapshots from overlapping; a worker that loses the race simply skips —
 // the next boundary will snapshot again.
 type checkpointer struct {
-	sink   func(*Checkpoint)
-	every  int64
-	busy   atomic.Bool
-	tr     *tracker
-	ev     *evaluator
+	sink  func(*Checkpoint)
+	every int64
+	busy  atomic.Bool
+	tr    *tracker
+	ev    *evaluator
 }
 
 // maybeSnapshot emits a checkpoint when the call count crosses an interval

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/journal"
 )
 
 // greedyDrop removes existing structures whose maintenance cost outweighs
@@ -66,6 +67,15 @@ func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configurat
 			if best == nil || r.cost < best.cost {
 				best = r
 			}
+		}
+		if best != nil && ev.tr.journaling() {
+			// One event per round: the cheapest removal and whether it was
+			// actually taken (the final round's best is a rejection).
+			e := journal.Ev(journal.KindDrop)
+			e.Structure = best.s.Key()
+			e.Accepted = best.cost < curCost
+			e.CostBefore, e.CostAfter = curCost, best.cost
+			ev.tr.record(e)
 		}
 		if best == nil || best.cost >= curCost {
 			return cur, dropped, nil

@@ -31,6 +31,7 @@ func enumerate(ev *evaluator, tr *tracker, mandatory *catalog.Configuration, can
 		m: opts.GreedyM, k: opts.GreedyK,
 		budget: opts.StorageBudget, cat: ev.t.Catalog(), tr: tr,
 		onStep: func(c float64) { tr.observeCost(c) },
+		scope:  "enumeration", query: -1,
 	}
 
 	if !opts.Aligned {

@@ -134,6 +134,12 @@ func (ev *evaluator) attach(tr *tracker) {
 	if tr.ckpt != nil {
 		tr.ckpt.ev = ev
 	}
+	if ev.drv != nil {
+		// The derivation engine journals its per-evaluation fallbacks and
+		// feeds the live Progress breakdown through the tracker.
+		ev.drv.SetJournal(tr.jnl)
+		tr.deriveStats = ev.drv.Stats
+	}
 	if tr.metrics == nil {
 		return
 	}
@@ -294,7 +300,7 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 		if info.isDML {
 			// Update overhead depends on the full index set — costs are not
 			// plan-set monotone — so DML always takes the real call.
-			ev.drv.FallbackDML()
+			ev.drv.FallbackDML(i)
 		} else if res, ok := ev.drv.Resolve(i, rel, info.additiveRelevant, func(node *catalog.Configuration) (float64, []string, error) {
 			return ev.eventCostByIndex(i, node)
 		}); ok {

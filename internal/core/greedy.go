@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -36,6 +37,12 @@ type greedyOptions struct {
 	// minImprove is the minimum relative improvement a greedy step must
 	// deliver to continue.
 	minImprove float64
+	// scope labels this search's decision-journal events ("query" for a
+	// per-query candidate selection, "enumeration" for the global
+	// search); empty means the search does not journal. query is the
+	// workload event index for per-query searches (-1 otherwise).
+	scope string
+	query int
 }
 
 // frontierEval is one candidate's evaluation within a parallel frontier:
@@ -195,6 +202,17 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 	seedSpan.SetArg("m", o.m).SetArg("candidates", len(cands))
 	err = trySubset(0, state{cfg: base.Clone(), cost: baseCost}, 0)
 	endSeed()
+	if o.scope != "" && o.tr.journaling() && len(best.chosen) > 0 {
+		ev := journal.Ev(journal.KindSeed)
+		ev.Scope, ev.Query = o.scope, o.query
+		for _, s := range best.chosen {
+			ev.Structures = append(ev.Structures, s.Key())
+		}
+		ev.Accepted = true
+		ev.CostBefore, ev.CostAfter = baseCost, best.cost
+		ev.Alternatives = len(cands)
+		o.tr.record(ev)
+	}
 	if err != nil {
 		if stopping(err) {
 			return best.chosen, nil
@@ -223,6 +241,12 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 			bestCost := math.Inf(1)
 			bestKey := ""
 			var bestCfg *catalog.Configuration
+			// The runner-up — the structure the step would have taken had the
+			// winner not existed — is tracked through the same deterministic
+			// reduction purely for the decision journal.
+			runnerCost := math.Inf(1)
+			runnerKey := ""
+			alternatives := 0
 			for i, r := range res {
 				if r.err != nil {
 					return false, r.err
@@ -230,16 +254,37 @@ func greedySearch(base *catalog.Configuration, cands []catalog.Structure, cost c
 				if !r.ok {
 					continue
 				}
+				alternatives++
 				if bestIdx < 0 || better(r.cost, cands[i], bestCost, bestKey) {
+					runnerCost, runnerKey = bestCost, bestKey
 					bestIdx, bestCost, bestCfg, bestKey = i, r.cost, r.cfg, cands[i].Key()
+				} else if runnerKey == "" || better(r.cost, cands[i], runnerCost, runnerKey) {
+					runnerCost, runnerKey = r.cost, cands[i].Key()
 				}
 			}
 			if expired() {
 				return false, nil
 			}
+			journalStep := func(accepted bool) {
+				if o.scope == "" || !o.tr.journaling() || bestIdx < 0 {
+					return
+				}
+				ev := journal.Ev(journal.KindStep)
+				ev.Scope, ev.Query, ev.Step = o.scope, o.query, step
+				ev.Structure = bestKey
+				ev.Accepted = accepted
+				ev.CostBefore, ev.CostAfter = best.cost, bestCost
+				ev.Alternatives = alternatives
+				if runnerKey != "" {
+					ev.RunnerUp, ev.RunnerUpCost = runnerKey, runnerCost
+				}
+				o.tr.record(ev)
+			}
 			if bestIdx < 0 || bestCost >= best.cost*(1-o.minImprove) {
+				journalStep(false)
 				return false, nil
 			}
+			journalStep(true)
 			usedKeys[cands[bestIdx].Key()] = true
 			best = state{
 				chosen: append(best.chosen, cands[bestIdx]),

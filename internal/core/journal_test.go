@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/journal"
+)
+
+// TestJournalingDeterminism is the observability contract: attaching a
+// decision journal must not change the recommendation in any way — same
+// structures, costs, stop reason, and exact what-if call count.
+func TestJournalingDeterminism(t *testing.T) {
+	w := parallelWorkload(t)
+
+	plain, err := Tune(testServer(t), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jnl := journal.New("test")
+	ctx := journal.WithContext(context.Background(), jnl)
+	journaled, err := TuneContext(ctx, testServer(t), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := fingerprint(journaled), fingerprint(plain); got != want {
+		t.Fatalf("journaling changed the recommendation:\n--- journaled ---\n%s--- plain ---\n%s", got, want)
+	}
+	if jnl.Len() == 0 {
+		t.Fatal("journal stayed empty; the pipeline emitted nothing")
+	}
+}
+
+// TestJournalCoversDecisionPoints runs a workload that exercises every
+// pipeline stage and checks each decision point left events of its kind.
+func TestJournalCoversDecisionPoints(t *testing.T) {
+	jnl := journal.New("test")
+	ctx := journal.WithContext(context.Background(), jnl)
+	rec, err := TuneContext(ctx, testServer(t), parallelWorkload(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.NewStructures) == 0 {
+		t.Fatal("nothing recommended; the test exercises nothing")
+	}
+	for _, k := range []journal.Kind{
+		journal.KindPhase, journal.KindQuery, journal.KindCandidate,
+		journal.KindStep, journal.KindMerge,
+	} {
+		if n := len(jnl.Events(k)); n == 0 {
+			t.Errorf("no %s events journaled", k)
+		}
+	}
+	// Events must serialize cleanly (no Inf/NaN smuggled into costs).
+	for _, e := range jnl.Events() {
+		if _, err := json.Marshal(e); err != nil {
+			t.Fatalf("event %+v does not marshal: %v", e, err)
+		}
+	}
+}
+
+// explainForRec reconstructs provenance for every recommended structure
+// purely from the journal.
+func explainForRec(rec *Recommendation, jnl *journal.Journal) *journal.Explanation {
+	keys := make([]string, 0, len(rec.NewStructures))
+	for _, s := range rec.NewStructures {
+		keys = append(keys, s.Key())
+	}
+	return journal.Explain(jnl.Events(), keys)
+}
+
+// requireExplained asserts the acceptance criterion: every recommended
+// structure's provenance is reconstructable from the journal alone —
+// an admitting enumeration decision and at least one benefiting query.
+func requireExplained(t *testing.T, name string, rec *Recommendation, jnl *journal.Journal) {
+	t.Helper()
+	if len(rec.NewStructures) == 0 {
+		t.Fatalf("%s: no structures recommended; acceptance test exercises nothing", name)
+	}
+	if jnl.Dropped() != 0 {
+		t.Fatalf("%s: journal dropped %d events on a normal-size workload", name, jnl.Dropped())
+	}
+	exp := explainForRec(rec, jnl)
+	for _, p := range exp.Structures {
+		if p.AdmittedBy == "" {
+			t.Errorf("%s: structure %s has no recorded admission", name, p.Structure)
+			continue
+		}
+		if p.AdmittedBy == "greedy-step" {
+			if p.Step < 0 || p.CostAfter <= 0 || p.CostAfter >= p.CostBefore {
+				t.Errorf("%s: structure %s step admission incoherent: step=%d cost %v -> %v",
+					name, p.Structure, p.Step, p.CostBefore, p.CostAfter)
+			}
+		}
+		if len(p.BenefitingQueries) == 0 {
+			t.Errorf("%s: structure %s has no benefiting queries", name, p.Structure)
+		}
+		for _, q := range p.BenefitingQueries {
+			if q.SQL == "" {
+				t.Errorf("%s: structure %s benefiting query #%d lost its SQL", name, p.Structure, q.Query)
+			}
+		}
+	}
+}
+
+// TestExplainTPCH is the paper-workload acceptance test: tune the demo
+// TPC-H database and reconstruct every recommended structure's provenance
+// from the journal alone.
+func TestExplainTPCH(t *testing.T) {
+	srv, w, err := demo.Build("tpch", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl := journal.New("tpch")
+	ctx := journal.WithContext(context.Background(), jnl)
+	rec, err := TuneContext(ctx, srv, w, Options{
+		StorageBudget: 3 * srv.Cat.Bytes(),
+		BaseConfig:    demo.ConstraintConfig("tpch", srv.Cat),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExplained(t, "tpch", rec, jnl)
+}
+
+// TestExplainSYNT1 repeats the acceptance test on the synthetic SYNT1
+// workload (the paper's §7 set-query database).
+func TestExplainSYNT1(t *testing.T) {
+	srv, w, err := demo.Build("synt1", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl := journal.New("synt1")
+	ctx := journal.WithContext(context.Background(), jnl)
+	rec, err := TuneContext(ctx, srv, w, Options{
+		StorageBudget: 3 * srv.Cat.Bytes(),
+		BaseConfig:    demo.ConstraintConfig("synt1", srv.Cat),
+		Derive:        testDeriveMode(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExplained(t, "synt1", rec, jnl)
+}
+
+// TestExplainAfterResume verifies the journal's derived-state contract:
+// the journal is not checkpointed, but a resumed session deterministically
+// replays its decisions, so explain output after resume matches an
+// uninterrupted run's.
+func TestExplainAfterResume(t *testing.T) {
+	w := lookupWorkload(10)
+
+	fullJnl := journal.New("full")
+	var first *Checkpoint
+	full, err := TuneContext(journal.WithContext(context.Background(), fullJnl),
+		testServer(t), w, Options{
+			NoCompression:   true,
+			CheckpointEvery: 25,
+			CheckpointSink: func(ck *Checkpoint) {
+				if first == nil {
+					first = ck
+				}
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+
+	// Round-trip the checkpoint as the service's state files do, then
+	// resume on a fresh server with a fresh journal.
+	data, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Checkpoint
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	resJnl := journal.New("resumed")
+	resumed, err := TuneContext(journal.WithContext(context.Background(), resJnl),
+		testServer(t), w, Options{NoCompression: true, Resume: &restored})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullExp, err := json.Marshal(explainForRec(full, fullJnl).Structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resExp, err := json.Marshal(explainForRec(resumed, resJnl).Structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fullExp) != string(resExp) {
+		t.Fatalf("explain diverged after resume:\n--- full ---\n%s\n--- resumed ---\n%s", fullExp, resExp)
+	}
+}
+
+// TestJournalBoundedUnderFlood checks per-session memory stays bounded:
+// with a tiny limit the journal never exceeds kinds x limit events even
+// though the pipeline emits far more.
+func TestJournalBoundedUnderFlood(t *testing.T) {
+	jnl := journal.New("bounded")
+	jnl.SetLimit(8)
+	ctx := journal.WithContext(context.Background(), jnl)
+	if _, err := TuneContext(ctx, testServer(t), parallelWorkload(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if max := 8 * len(journal.Kinds()); jnl.Len() > max {
+		t.Fatalf("journal holds %d events, limit admits at most %d", jnl.Len(), max)
+	}
+	if jnl.Dropped() == 0 {
+		t.Fatal("flood never overflowed the tiny rings; the bound was not exercised")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/catalog"
+	"repro/internal/journal"
 )
 
 // mergeCandidates implements the Merging step (paper §2.2): candidate
@@ -17,7 +18,11 @@ import (
 //     grouping columns, outputs and aggregates;
 //   - partitioned-structure merging [4]: two range partitionings of a table
 //     on the same column merge by unioning their boundary sets.
-func mergeCandidates(cat *catalog.Catalog, cands []catalog.Structure, benefit map[string]float64, opts Options, pool *workerPool) []catalog.Structure {
+func mergeCandidates(cat *catalog.Catalog, cands []catalog.Structure, benefit map[string]float64, opts Options, tr *tracker) []catalog.Structure {
+	var pool *workerPool
+	if tr != nil {
+		pool = tr.pool
+	}
 	// mergePair computes the merged structures one (a, b) candidate pair
 	// yields — pure CPU over the catalog, no shared state — so all pairs
 	// run on the worker pool.
@@ -71,6 +76,16 @@ func mergeCandidates(cat *catalog.Catalog, cands []catalog.Structure, benefit ma
 		a, b := cands[pairs[p].i], cands[pairs[p].j]
 		for _, s := range ms {
 			k := s.Key()
+			if tr.journaling() {
+				// Journal every merge attempt at the sequential fold — kept
+				// merges and duplicates alike — so explain can walk a
+				// recommended structure back to its pre-merging leaves.
+				ev := journal.Ev(journal.KindMerge)
+				ev.Structure = k
+				ev.Parents = []string{a.Key(), b.Key()}
+				ev.Accepted = !seen[k]
+				tr.record(ev)
+			}
 			if seen[k] {
 				continue
 			}

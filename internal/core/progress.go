@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -78,6 +79,15 @@ type Progress struct {
 	// created from a streamed trace).
 	IngestedEvents int64 `json:"ingestedEvents,omitempty"`
 	IngestedBytes  int64 `json:"ingestedBytes,omitempty"`
+	// DerivedEvals counts configuration costs answered algebraically by
+	// the derivation layer instead of a real optimizer call (zero with
+	// Options.Derive off). Streamed live so the calls-saved ratio is
+	// visible while the session runs, not only in the final Result.
+	DerivedEvals int64 `json:"derivedEvals,omitempty"`
+	// DeriveFallbacks breaks down, by reason (dml, atom, stats-epoch,
+	// eval-error, used-escape), the evaluations the derivation layer
+	// bailed out of and answered with a real optimizer call.
+	DeriveFallbacks map[string]int64 `json:"deriveFallbacks,omitempty"`
 }
 
 // String renders the snapshot as a one-line status.
@@ -165,6 +175,18 @@ type tracker struct {
 	ingestEvents int64
 	ingestBytes  int64
 
+	// jnl is the session's decision journal (nil = journaling off). It
+	// is picked up from the context like the trace, and emission happens
+	// only at sequential reduction points or through the journal's own
+	// lock, so journaling never perturbs the search: recommendations are
+	// byte-identical with it on or off.
+	jnl *journal.Journal
+
+	// deriveStats, when derivation is enabled, snapshots the engine's
+	// derived-eval count and per-reason fallback breakdown for Progress.
+	// Set once by evaluator.attach before tuning starts.
+	deriveStats func() (int64, map[string]int64)
+
 	// cbMu serializes Progress callback invocations: countCall emits
 	// periodic snapshots from pool workers, and callbacks (the service's
 	// session lock, the CLI's stderr writer) expect one caller at a time.
@@ -185,6 +207,7 @@ type tracker struct {
 
 func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
 	tr := &tracker{ctx: ctx, cb: opts.Progress, start: start, timeLimit: opts.TimeLimit, phase: PhaseBaseline, metrics: opts.Metrics}
+	tr.jnl = journal.FromContext(ctx)
 	if opts.Ingest != nil {
 		tr.ingestEvents = opts.Ingest.Events
 		tr.ingestBytes = opts.Ingest.Bytes
@@ -213,6 +236,20 @@ func newTracker(ctx context.Context, opts Options, start time.Time) *tracker {
 		}
 	}
 	return tr
+}
+
+// journaling reports whether the session has a decision journal attached,
+// so emit sites can skip building events entirely when it is off.
+func (tr *tracker) journaling() bool { return tr != nil && tr.jnl != nil }
+
+// record appends one decision event to the session's journal (no-op
+// without one). Callers construct events with journal.Ev so Query/Step
+// default to -1 rather than a misleading zero.
+func (tr *tracker) record(e journal.Event) {
+	if tr == nil {
+		return
+	}
+	tr.jnl.Append(e)
 }
 
 // retryPolicy returns the resolved per-call retry policy. Critical stages
@@ -251,8 +288,16 @@ func (tr *tracker) attemptDone(site string, err error) {
 		if c := tr.mRetryOK[site]; c != nil {
 			c.Inc()
 		}
-	} else if c := tr.mRetryErr[site]; c != nil {
-		c.Inc()
+	} else {
+		if c := tr.mRetryErr[site]; c != nil {
+			c.Inc()
+		}
+		if tr.journaling() {
+			ev := journal.Ev(journal.KindRetry)
+			ev.Site = site
+			ev.Err = err.Error()
+			tr.record(ev)
+		}
 	}
 	if !tr.critical() && tr.breaker.Tripped() {
 		tr.degrade()
@@ -290,6 +335,11 @@ func (tr *tracker) degrade() {
 		if tr.metrics != nil {
 			tr.metrics.Counter("dta_sessions_degraded_total",
 				"Tuning sessions that tripped their circuit breaker and returned a best-so-far (degraded) recommendation.").Inc()
+		}
+		if tr.journaling() {
+			ev := journal.Ev(journal.KindBreaker)
+			ev.Reason = "breaker-open"
+			tr.record(ev)
 		}
 		tr.emit()
 	}
@@ -424,6 +474,11 @@ func (tr *tracker) setPhase(p Phase) {
 	if p != PhaseDone {
 		tr.phaseAt = time.Now()
 	}
+	if tr.journaling() {
+		ev := journal.Ev(journal.KindPhase)
+		ev.Phase = string(p)
+		tr.record(ev)
+	}
 	tr.emit()
 }
 
@@ -471,6 +526,11 @@ func (tr *tracker) emit() {
 	if tr == nil || tr.cb == nil {
 		return
 	}
+	var derived int64
+	var fallbacks map[string]int64
+	if tr.deriveStats != nil {
+		derived, fallbacks = tr.deriveStats()
+	}
 	tr.cbMu.Lock()
 	defer tr.cbMu.Unlock()
 	tr.cb(Progress{
@@ -484,5 +544,7 @@ func (tr *tracker) emit() {
 		Degraded:        tr.degraded.Load(),
 		IngestedEvents:  tr.ingestEvents,
 		IngestedBytes:   tr.ingestBytes,
+		DerivedEvals:    derived,
+		DeriveFallbacks: fallbacks,
 	})
 }

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 )
@@ -174,11 +175,22 @@ type Engine struct {
 	atoms       atomic.Int64
 	derivations atomic.Int64
 	fallbacks   atomic.Int64
+	// byReason holds one per-reason fallback counter, fixed at New over
+	// the closed reason set so workers index it without locking.
+	byReason map[string]*atomic.Int64
+
+	// jnl, when set, receives one derive-fallback journal event per
+	// bailout (nil = journaling off). Set once before tuning starts.
+	jnl *journal.Journal
 
 	mAtoms, mDerivations              *obs.Counter
 	mFallback                         map[string]*obs.Counter
+	hWalkWidth                        *obs.Histogram
 	mVerifyOK, mVerifyBad, mVerifyErr *obs.Counter
 }
+
+// reasons is the closed fallback-reason set, in reporting order.
+var reasons = []string{ReasonDML, ReasonAtom, ReasonStale, ReasonError, ReasonEscape}
 
 // New returns an engine in the given mode (nil when the mode is Off, so
 // callers can gate on the pointer alone).
@@ -186,11 +198,16 @@ func New(mode Mode) *Engine {
 	if !mode.Enabled() {
 		return nil
 	}
-	return &Engine{
-		mode:    mode,
-		structs: map[string]catalog.Structure{},
-		facts:   map[factScope]map[string]*fact{},
+	e := &Engine{
+		mode:     mode,
+		structs:  map[string]catalog.Structure{},
+		facts:    map[factScope]map[string]*fact{},
+		byReason: map[string]*atomic.Int64{},
 	}
+	for _, r := range reasons {
+		e.byReason[r] = &atomic.Int64{}
+	}
+	return e
 }
 
 // Mode reports the engine's mode (Off for a nil engine).
@@ -213,9 +230,12 @@ func (e *Engine) AttachMetrics(reg *obs.Registry) {
 		"Cost evaluations answered by algebraic derivation instead of an optimizer call.")
 	const fbHelp = "Derivation fallbacks to a real what-if call, by reason."
 	e.mFallback = map[string]*obs.Counter{}
-	for _, r := range []string{ReasonDML, ReasonAtom, ReasonStale, ReasonError, ReasonEscape} {
+	for _, r := range reasons {
 		e.mFallback[r] = reg.Counter("dta_derive_fallbacks_total", fbHelp, "reason", r)
 	}
+	e.hWalkWidth = reg.Histogram("dta_derive_walk_width",
+		"Structure count of sandwich-walk lattice tops: the widest configurations costed for real when a resolution enters the walk (the derive-on bottleneck ROADMAP tracks).",
+		obs.CountBuckets)
 	const vHelp = "Verify-mode cross-checks of derived costs against real optimizer calls."
 	e.mVerifyOK = reg.Counter("dta_derive_verify_total", vHelp, "result", "match")
 	e.mVerifyBad = reg.Counter("dta_derive_verify_total", vHelp, "result", "mismatch")
@@ -319,10 +339,16 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 	e.mu.Unlock()
 
 	if len(top) == len(rel) {
-		e.fallback(ReasonAtom)
+		e.fallback(event, ReasonAtom)
 		return Result{}, false
 	}
 	sort.Strings(top)
+	if e.hWalkWidth != nil {
+		// One observation per resolution that reaches the lattice top: the
+		// top's width is the size of the configuration a walk may have to
+		// cost for real (the ROADMAP's derive-on bottleneck).
+		e.hWalkWidth.Observe(float64(len(top)))
+	}
 	scope := factScope{event: event, epoch: epoch, base: baseOf(rel)}
 
 	// Walk the lattice downward from the canonical top. Every node strictly
@@ -334,25 +360,25 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 		if len(node) == len(rel) {
 			// The walk stripped everything outside S without finding an
 			// applicable fact: S itself is the remaining atom.
-			e.fallback(ReasonAtom)
+			e.fallback(event, ReasonAtom)
 			return Result{}, false
 		}
 		f := e.lookup(scope, node)
 		if f == nil {
 			cfg, ok := e.buildConfig(node)
 			if !ok {
-				e.fallback(ReasonEscape)
+				e.fallback(event, ReasonEscape)
 				return Result{}, false
 			}
 			if _, _, err := eval(cfg); err != nil {
-				e.fallback(ReasonError)
+				e.fallback(event, ReasonError)
 				return Result{}, false
 			}
 			if f = e.lookup(scope, node); f == nil {
 				// The evaluation was served from a cache entry recorded
 				// under an older statistics epoch; its cost is not valid
 				// at the current epoch, so derivation stops here.
-				e.fallback(ReasonStale)
+				e.fallback(event, ReasonStale)
 				return Result{}, false
 			}
 		}
@@ -369,7 +395,7 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 			// A skeleton with no selectable alternative is impossible for a
 			// well-formed backend (a base access always exists); re-cost for
 			// real rather than guess.
-			e.fallback(ReasonEscape)
+			e.fallback(event, ReasonEscape)
 			return Result{}, false
 		}
 		var outside []string
@@ -387,12 +413,12 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 		}
 		next := subtract(node, outside)
 		if len(next) >= len(node) {
-			e.fallback(ReasonEscape)
+			e.fallback(event, ReasonEscape)
 			return Result{}, false
 		}
 		if len(next) < len(rel) {
 			// Impossible if used ⊆ node and base(S) ⊆ S, guarded anyway.
-			e.fallback(ReasonEscape)
+			e.fallback(event, ReasonEscape)
 			return Result{}, false
 		}
 		node = next
@@ -441,17 +467,62 @@ func (e *Engine) Fallbacks() int64 {
 	return e.fallbacks.Load()
 }
 
-// FallbackDML counts a DML evaluation that bypassed derivation. Safe on nil.
-func (e *Engine) FallbackDML() { e.fallback(ReasonDML) }
+// FallbacksByReason snapshots the per-reason fallback breakdown (only
+// reasons with non-zero counts; nil when none, and on a nil engine).
+func (e *Engine) FallbacksByReason() map[string]int64 {
+	if e == nil {
+		return nil
+	}
+	var out map[string]int64
+	for _, r := range reasons {
+		if n := e.byReason[r].Load(); n > 0 {
+			if out == nil {
+				out = map[string]int64{}
+			}
+			out[r] = n
+		}
+	}
+	return out
+}
 
-// fallback counts one fallback under the given reason.
-func (e *Engine) fallback(reason string) {
+// Stats snapshots the derivation counters for progress reporting: the
+// derived-eval count and the per-reason fallback breakdown. Safe on nil.
+func (e *Engine) Stats() (int64, map[string]int64) {
+	return e.Derivations(), e.FallbacksByReason()
+}
+
+// SetJournal attaches the session's decision journal, so every fallback
+// is recorded as a derive-fallback event with the event index and
+// reason. Call before tuning starts; safe on nil (either side).
+func (e *Engine) SetJournal(j *journal.Journal) {
+	if e == nil {
+		return
+	}
+	e.jnl = j
+}
+
+// FallbackDML counts a DML evaluation of the given workload event that
+// bypassed derivation. Safe on nil.
+func (e *Engine) FallbackDML(event int) { e.fallback(event, ReasonDML) }
+
+// fallback counts one fallback of the given workload event under the
+// given reason, and journals it when a journal is attached.
+func (e *Engine) fallback(event int, reason string) {
 	if e == nil {
 		return
 	}
 	e.fallbacks.Add(1)
+	if c := e.byReason[reason]; c != nil {
+		c.Add(1)
+	}
 	if e.mFallback != nil {
 		count(e.mFallback[reason])
+	}
+	if e.jnl != nil {
+		ev := journal.Ev(journal.KindDeriveFallback)
+		ev.Query = event
+		ev.Reason = reason
+		e.jnl.Append(ev)
 	}
 }
 

@@ -39,7 +39,7 @@ func TestNilEngineIsInert(t *testing.T) {
 	e.SetPool([]Keyed{ixKeyed("t", "x")})
 	e.BumpEpoch()
 	e.Record(0, nil, 1, nil, nil)
-	e.FallbackDML()
+	e.FallbackDML(0)
 	e.VerifyOutcome(true, nil)
 	e.AttachMetrics(nil)
 	if e.Mode() != Off || e.Atoms() != 0 || e.Derivations() != 0 || e.Fallbacks() != 0 {
@@ -150,7 +150,7 @@ func TestResolveFallbackReasons(t *testing.T) {
 	// DML accounting.
 	e = New(On)
 	before := e.Fallbacks()
-	e.FallbackDML()
+	e.FallbackDML(0)
 	if e.Fallbacks() != before+1 {
 		t.Fatal("FallbackDML must count")
 	}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +24,9 @@ type DeriveRow struct {
 	DerivedEvals int64
 	Improvement  float64
 	Fingerprint  string // chosen structures, order-sensitive
+	// Fallbacks breaks down, by reason, the evaluations the derivation
+	// layer declined and answered with a real optimizer call instead.
+	Fallbacks map[string]int64
 }
 
 // DeriveSweep tunes the same SYNT1 workload once per derivation mode
@@ -58,6 +63,7 @@ func DeriveSweep(cfg Config) ([]DeriveRow, error) {
 			DerivedEvals: rec.DerivedEvals,
 			Improvement:  rec.Improvement,
 			Fingerprint:  recFingerprint(rec),
+			Fallbacks:    rec.DeriveFallbacks,
 		})
 	}
 	for _, r := range rows[1:] {
@@ -91,10 +97,29 @@ func DeriveString(rows []DeriveRow) string {
 			fmt.Sprintf("%d", r.DerivedEvals),
 			fmt.Sprintf("%.1fx", deriveRatio(rows, r)),
 			fmt.Sprintf("%.1f%%", 100*r.Improvement),
+			fallbackString(r.Fallbacks),
 		})
 	}
 	return renderTable("Cost-derivation sweep (SYNT1, identical recommendations required)",
-		[]string{"Derive", "Wall", "WhatIfCalls", "Derived", "CallReduction", "Improvement"}, body)
+		[]string{"Derive", "Wall", "WhatIfCalls", "Derived", "CallReduction", "Improvement", "Fallbacks"}, body)
+}
+
+// fallbackString renders a per-reason fallback breakdown as
+// "atom:12 dml:3", reasons sorted, or "-" when the layer never declined.
+func fallbackString(m map[string]int64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // SummarizeDerive flattens the sweep for the -json artifact: one record per

@@ -1,0 +1,238 @@
+// Explain reconstructs per-recommended-structure provenance purely from
+// journal events: which enumeration greedy step (or the seed) admitted
+// the structure at what workload-cost delta, what it beat, which merge
+// parents it came from, and which queries' candidate selection wanted it
+// (with per-query before/after costs). Nothing here re-derives costs —
+// if the journal can't explain a structure (its admitting events were
+// overwritten, or index alignment renamed it after the search), the
+// provenance says so instead of guessing.
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// QueryBenefit is one query that selected a recommended structure (or a
+// merge ancestor of it) during candidate selection, with the query's
+// candidate-selection cost delta.
+type QueryBenefit struct {
+	// Query is the workload event index.
+	Query int `json:"query"`
+	// SQL is the query text.
+	SQL string `json:"sql,omitempty"`
+	// CostBefore is the query's cost under the mandatory-only base
+	// configuration.
+	CostBefore float64 `json:"costBefore"`
+	// CostAfter is the query's cost under its best candidate subset.
+	CostAfter float64 `json:"costAfter"`
+	// Gain is the weighted workload-cost gain the query contributed.
+	Gain float64 `json:"gain"`
+}
+
+// StructureProvenance explains one recommended structure.
+type StructureProvenance struct {
+	// Structure is the structure key being explained.
+	Structure string `json:"structure"`
+	// AdmittedBy is "greedy-seed" or "greedy-step" when the enumeration
+	// search's journal records admitting the structure, empty when the
+	// journal cannot explain it (events overwritten, or the aligned
+	// enumeration renamed structures after the search).
+	AdmittedBy string `json:"admittedBy,omitempty"`
+	// Step is the enumeration growth step that admitted the structure
+	// (-1 for the seed, and -1 when unexplained).
+	Step int `json:"step"`
+	// CostBefore is the workload cost before admission.
+	CostBefore float64 `json:"costBefore,omitempty"`
+	// CostAfter is the workload cost after admission.
+	CostAfter float64 `json:"costAfter,omitempty"`
+	// Alternatives counts the candidates evaluated in the admitting
+	// step's frontier.
+	Alternatives int `json:"alternatives,omitempty"`
+	// RunnerUp is the structure the admitting step would have taken
+	// otherwise.
+	RunnerUp string `json:"runnerUp,omitempty"`
+	// RunnerUpCost is the runner-up's workload cost.
+	RunnerUpCost float64 `json:"runnerUpCost,omitempty"`
+	// MergedFrom lists the leaf (pre-merging) candidate keys the
+	// structure was merged from, empty for unmerged candidates.
+	MergedFrom []string `json:"mergedFrom,omitempty"`
+	// BenefitingQueries lists the queries whose candidate selection
+	// chose the structure or one of its merge leaves, by query index.
+	BenefitingQueries []QueryBenefit `json:"benefitingQueries,omitempty"`
+}
+
+// Explanation is the explain layer's result: provenance for each
+// requested structure plus the journal-loss accounting a consumer needs
+// to judge completeness.
+type Explanation struct {
+	// Session is the session (or run) the journal belongs to.
+	Session string `json:"session,omitempty"`
+	// Structures holds one provenance per requested structure key, in
+	// the requested order.
+	Structures []StructureProvenance `json:"structures"`
+	// DroppedEvents reports journal ring overwrites by kind; non-zero
+	// values mean provenance may be incomplete.
+	DroppedEvents map[Kind]int64 `json:"droppedEvents,omitempty"`
+}
+
+// Explain builds provenance for the given recommended-structure keys
+// from a journal's events (as returned by Journal.Events).
+func Explain(events []Event, structures []string) *Explanation {
+	// Index the event stream once.
+	var (
+		queryEv  = map[int]Event{}    // query index → query summary event
+		candFor  = map[string][]int{} // structure key → query indexes that chose it
+		parents  = map[string][]string{}
+		admitted = map[string]Event{} // structure key → enumeration seed/step event
+	)
+	for _, e := range events {
+		switch e.Kind {
+		case KindQuery:
+			queryEv[e.Query] = e
+		case KindCandidate:
+			if e.Accepted {
+				candFor[e.Structure] = append(candFor[e.Structure], e.Query)
+			}
+		case KindMerge:
+			if e.Accepted {
+				parents[e.Structure] = append([]string{}, e.Parents...)
+			}
+		case KindSeed:
+			if e.Scope == "enumeration" {
+				for _, s := range e.Structures {
+					admitted[s] = e
+				}
+			}
+		case KindStep:
+			if e.Scope == "enumeration" && e.Accepted {
+				admitted[e.Structure] = e
+			}
+		}
+	}
+
+	exp := &Explanation{Structures: make([]StructureProvenance, 0, len(structures))}
+	for _, key := range structures {
+		p := StructureProvenance{Structure: key, Step: -1}
+		if e, ok := admitted[key]; ok {
+			p.AdmittedBy = string(e.Kind)
+			p.Step = e.Step
+			p.CostBefore, p.CostAfter = e.CostBefore, e.CostAfter
+			p.Alternatives = e.Alternatives
+			p.RunnerUp, p.RunnerUpCost = e.RunnerUp, e.RunnerUpCost
+		}
+		leaves := mergeLeaves(key, parents)
+		if len(leaves) > 1 || (len(leaves) == 1 && leaves[0] != key) {
+			p.MergedFrom = leaves
+		}
+		p.BenefitingQueries = benefitingQueries(leaves, candFor, queryEv)
+		exp.Structures = append(exp.Structures, p)
+	}
+	return exp
+}
+
+// mergeLeaves expands a structure key through recorded merge parentage
+// down to the pre-merging candidate leaves, cycle-safe and sorted. An
+// unmerged key is its own single leaf.
+func mergeLeaves(key string, parents map[string][]string) []string {
+	seen := map[string]bool{}
+	var leaves []string
+	var walk func(k string)
+	walk = func(k string) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		ps := parents[k]
+		if len(ps) == 0 {
+			leaves = append(leaves, k)
+			return
+		}
+		for _, p := range ps {
+			walk(p)
+		}
+	}
+	walk(key)
+	sort.Strings(leaves)
+	return leaves
+}
+
+// benefitingQueries unions the queries that selected any of the leaves
+// during candidate selection, with each query's recorded cost delta.
+func benefitingQueries(leaves []string, candFor map[string][]int, queryEv map[int]Event) []QueryBenefit {
+	qset := map[int]bool{}
+	for _, leaf := range leaves {
+		for _, q := range candFor[leaf] {
+			qset[q] = true
+		}
+	}
+	if len(qset) == 0 {
+		return nil
+	}
+	qs := make([]int, 0, len(qset))
+	for q := range qset {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	out := make([]QueryBenefit, 0, len(qs))
+	for _, q := range qs {
+		b := QueryBenefit{Query: q}
+		if e, ok := queryEv[q]; ok {
+			b.SQL = e.SQL
+			b.CostBefore, b.CostAfter, b.Gain = e.CostBefore, e.CostAfter, e.Gain
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// WriteText renders the explanation as the human-readable report
+// `dta -explain` prints.
+func (x *Explanation) WriteText(w io.Writer) error {
+	if len(x.Structures) == 0 {
+		_, err := fmt.Fprintln(w, "explain: no recommended structures")
+		return err
+	}
+	for _, p := range x.Structures {
+		if _, err := fmt.Fprintf(w, "structure %s\n", p.Structure); err != nil {
+			return err
+		}
+		switch {
+		case p.AdmittedBy == string(KindSeed):
+			fmt.Fprintf(w, "  admitted by the enumeration seed: workload cost %.2f -> %.2f\n",
+				p.CostBefore, p.CostAfter)
+		case p.AdmittedBy == string(KindStep):
+			fmt.Fprintf(w, "  admitted at enumeration greedy step %d: workload cost %.2f -> %.2f (%d alternatives evaluated)\n",
+				p.Step, p.CostBefore, p.CostAfter, p.Alternatives)
+			if p.RunnerUp != "" {
+				fmt.Fprintf(w, "  runner-up: %s (would reach %.2f)\n", p.RunnerUp, p.RunnerUpCost)
+			}
+		default:
+			fmt.Fprintf(w, "  admission not recorded in the journal (events overwritten, or structure renamed by aligned enumeration)\n")
+		}
+		if len(p.MergedFrom) > 0 {
+			fmt.Fprintf(w, "  merged from:\n")
+			for _, m := range p.MergedFrom {
+				fmt.Fprintf(w, "    %s\n", m)
+			}
+		}
+		if len(p.BenefitingQueries) > 0 {
+			fmt.Fprintf(w, "  benefiting queries:\n")
+			for _, q := range p.BenefitingQueries {
+				sql := q.SQL
+				if len(sql) > 60 {
+					sql = sql[:57] + "..."
+				}
+				fmt.Fprintf(w, "    #%d %s: %.2f -> %.2f (weighted gain %.2f)\n",
+					q.Query, sql, q.CostBefore, q.CostAfter, q.Gain)
+			}
+		}
+	}
+	if len(x.DroppedEvents) > 0 {
+		if _, err := fmt.Fprintf(w, "warning: journal dropped events (%v); provenance may be incomplete\n", x.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}

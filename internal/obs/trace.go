@@ -173,11 +173,29 @@ type chromeTrace struct {
 // chrome://tracing and Perfetto. All spans of a session run on one tuning
 // goroutine, so they share one pid/tid and the viewer reconstructs nesting
 // from time containment.
+//
+// Every span event carries a selfUs arg — its exclusive (self) time: the
+// span's duration minus the summed durations of its direct children, in
+// microseconds, clamped at zero. otherData.selfTimeUs aggregates self time
+// per "cat/name" call site, so "where did the time actually go" is computed
+// at export rather than eyeballed from the timeline. When children were
+// dropped over the span limit their time cannot be subtracted, so a parent's
+// self time is an overestimate in truncated traces (droppedSpans > 0 flags
+// this).
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	t.mu.Lock()
 	spans := append([]spanRecord(nil), t.spans...)
 	dropped := t.dropped
 	t.mu.Unlock()
+
+	// Sum direct-child time per parent id; self = dur − children, clamped.
+	childUs := make(map[int64]int64, len(spans))
+	for _, r := range spans {
+		if r.parent != 0 {
+			childUs[r.parent] += r.dur.Microseconds()
+		}
+	}
+	selfBySite := map[string]int64{}
 
 	out := chromeTrace{
 		DisplayTimeUnit: "ms",
@@ -192,21 +210,31 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		}},
 	}
 	for _, r := range spans {
-		e := chromeEvent{
+		durUs := r.dur.Microseconds()
+		selfUs := durUs - childUs[r.id]
+		if selfUs < 0 {
+			selfUs = 0 // clock skew between parent and child reads
+		}
+		selfBySite[r.cat+"/"+r.name] += selfUs
+		// Fresh args map per event: r.args is shared with the span record,
+		// and mutating it here would race with a concurrent export.
+		args := make(map[string]any, len(r.args)+2)
+		for k, v := range r.args {
+			args[k] = v
+		}
+		args["selfUs"] = selfUs
+		if r.parent != 0 {
+			args["parentSpan"] = r.parent
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: r.name, Cat: r.cat, Ph: "X",
 			Ts:  r.start.Sub(t.start).Microseconds(),
-			Dur: r.dur.Microseconds(),
+			Dur: durUs,
 			Pid: 1, Tid: 1, ID: r.id,
-			Args: r.args,
-		}
-		if r.parent != 0 {
-			if e.Args == nil {
-				e.Args = map[string]any{}
-			}
-			e.Args["parentSpan"] = r.parent
-		}
-		out.TraceEvents = append(out.TraceEvents, e)
+			Args: args,
+		})
 	}
+	out.OtherData["selfTimeUs"] = selfBySite
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/derive"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/workload"
 	"repro/internal/xmlio"
 )
@@ -136,6 +137,8 @@ func (c CreateOptions) toCore() (core.Options, error) {
 //	GET    /sessions/{id}        one session's snapshot
 //	GET    /sessions/{id}/events stream progress events (NDJSON)
 //	GET    /sessions/{id}/trace  session timeline as Chrome trace-event JSON
+//	GET    /sessions/{id}/journal decision journal as NDJSON (?kind= filters)
+//	GET    /sessions/{id}/explain per-structure provenance from the journal
 //	DELETE /sessions/{id}        cancel a session
 //	GET    /metrics              Prometheus text exposition (JSON with Accept: application/json)
 //	GET    /metrics.json         cumulative service metrics, JSON
@@ -149,6 +152,8 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}", m.handleGet)
 	mux.HandleFunc("GET /sessions/{id}/events", m.handleEvents)
 	mux.HandleFunc("GET /sessions/{id}/trace", m.handleTrace)
+	mux.HandleFunc("GET /sessions/{id}/journal", m.handleJournal)
+	mux.HandleFunc("GET /sessions/{id}/explain", m.handleExplain)
 	mux.HandleFunc("DELETE /sessions/{id}", m.handleCancel)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", m.handleMetricsJSON)
@@ -369,6 +374,60 @@ func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition", `attachment; filename="`+s.ID()+`-trace.json"`)
 	w.WriteHeader(http.StatusOK)
 	s.Trace().WriteChromeTrace(w)
+}
+
+// handleJournal serves the session's decision journal as NDJSON, one typed
+// event per line in sequence order. ?kind=candidate,greedy-step narrows the
+// stream to the listed event kinds; an unknown kind is a 400. A running
+// session's journal is served as-is — only events emitted so far appear.
+func (m *Manager) handleJournal(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	var filter map[journal.Kind]bool
+	if q := r.URL.Query().Get("kind"); q != "" {
+		f, err := journal.ParseKinds(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		filter = f
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	s.Journal().WriteNDJSON(w, filter)
+}
+
+// handleExplain reconstructs per-recommended-structure provenance — the
+// greedy decision that admitted each structure, the alternatives it beat,
+// and the queries it benefits — purely from the session's decision journal.
+// It requires a terminal session with a recommendation (409 otherwise).
+func (m *Manager) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	if !s.State().Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("session %s is %s; explain requires a terminal session", s.ID(), s.State()))
+		return
+	}
+	rec, err := s.Result()
+	if rec == nil {
+		if err == nil {
+			err = fmt.Errorf("session %s has no recommendation", s.ID())
+		}
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	keys := make([]string, 0, len(rec.NewStructures))
+	for _, st := range rec.NewStructures {
+		keys = append(keys, st.Key())
+	}
+	exp := journal.Explain(s.Journal().Events(), keys)
+	exp.Session = s.ID()
+	exp.DroppedEvents = s.Journal().DroppedByKind()
+	writeJSON(w, http.StatusOK, exp)
 }
 
 // handleMetrics serves the Prometheus text exposition format by default

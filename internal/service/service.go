@@ -23,6 +23,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/derive"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -89,6 +90,11 @@ type Session struct {
 	// greedy step → what-if call); exported as Chrome trace-event JSON at
 	// GET /sessions/{id}/trace.
 	trace *obs.Trace
+	// journal collects the session's decision events (candidate accept/
+	// reject, greedy seed/steps, merges, drops, derive fallbacks, retry/
+	// breaker transitions); streamed at GET /sessions/{id}/journal and
+	// reconstructed into provenance at GET /sessions/{id}/explain.
+	journal *journal.Journal
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -118,6 +124,12 @@ func (s *Session) Backend() string { return s.backend }
 // Trace returns the session's span timeline. It is live: a running session's
 // trace grows as spans complete, and exporting it at any time is safe.
 func (s *Session) Trace() *obs.Trace { return s.trace }
+
+// Journal returns the session's decision journal. Like the trace it is
+// live and bounded; exporting it at any time is safe. It is derived
+// state: a resumed session deterministically regenerates its decision
+// events rather than restoring them from the checkpoint.
+func (s *Session) Journal() *journal.Journal { return s.journal }
 
 // State returns the current lifecycle state.
 func (s *Session) State() State {
@@ -256,18 +268,21 @@ type Snapshot struct {
 
 // Result summarizes a terminal session's recommendation.
 type Result struct {
-	Improvement  float64  `json:"improvement"`
-	BaseCost     float64  `json:"baseCost"`
-	Cost         float64  `json:"cost"`
-	StorageMB    float64  `json:"storageMB"`
-	EventsTuned  int      `json:"eventsTuned"`
-	WhatIfCalls  int64    `json:"whatIfCalls"`
-	DerivedEvals int64    `json:"derivedEvals,omitempty"`
-	StatsCreated int      `json:"statsCreated"`
-	DurationMS   int64    `json:"durationMS"`
-	StopReason   string   `json:"stopReason,omitempty"`
-	Structures   []string `json:"structures,omitempty"`
-	Dropped      []string `json:"dropped,omitempty"`
+	Improvement  float64 `json:"improvement"`
+	BaseCost     float64 `json:"baseCost"`
+	Cost         float64 `json:"cost"`
+	StorageMB    float64 `json:"storageMB"`
+	EventsTuned  int     `json:"eventsTuned"`
+	WhatIfCalls  int64   `json:"whatIfCalls"`
+	DerivedEvals int64   `json:"derivedEvals,omitempty"`
+	// DeriveFallbacks breaks down, by reason, the evaluations the
+	// derivation layer answered with a real optimizer call instead.
+	DeriveFallbacks map[string]int64 `json:"deriveFallbacks,omitempty"`
+	StatsCreated    int              `json:"statsCreated"`
+	DurationMS      int64            `json:"durationMS"`
+	StopReason      string           `json:"stopReason,omitempty"`
+	Structures      []string         `json:"structures,omitempty"`
+	Dropped         []string         `json:"dropped,omitempty"`
 	// IngestedEvents is the raw-trace event count absorbed by streaming
 	// ingestion (zero for sessions not created from a streamed trace).
 	IngestedEvents int64 `json:"ingestedEvents,omitempty"`
@@ -297,17 +312,18 @@ func (s *Session) Snapshot() Snapshot {
 	}
 	if s.rec != nil {
 		r := &Result{
-			Improvement:  s.rec.Improvement,
-			BaseCost:     s.rec.BaseCost,
-			Cost:         s.rec.Cost,
-			StorageMB:    float64(s.rec.StorageBytes) / (1 << 20),
-			EventsTuned:  s.rec.EventsTuned,
-			WhatIfCalls:  s.rec.WhatIfCalls,
-			DerivedEvals: s.rec.DerivedEvals,
-			StatsCreated: s.rec.StatsCreated,
-			DurationMS:     s.rec.Duration.Milliseconds(),
-			StopReason:     s.rec.StopReason,
-			IngestedEvents: s.rec.IngestedEvents,
+			Improvement:     s.rec.Improvement,
+			BaseCost:        s.rec.BaseCost,
+			Cost:            s.rec.Cost,
+			StorageMB:       float64(s.rec.StorageBytes) / (1 << 20),
+			EventsTuned:     s.rec.EventsTuned,
+			WhatIfCalls:     s.rec.WhatIfCalls,
+			DerivedEvals:    s.rec.DerivedEvals,
+			DeriveFallbacks: s.rec.DeriveFallbacks,
+			StatsCreated:    s.rec.StatsCreated,
+			DurationMS:      s.rec.Duration.Milliseconds(),
+			StopReason:      s.rec.StopReason,
+			IngestedEvents:  s.rec.IngestedEvents,
 		}
 		for _, st := range s.rec.NewStructures {
 			r.Structures = append(r.Structures, "CREATE "+st.String())
@@ -640,6 +656,8 @@ func (m *Manager) addSession(id, backend string, cancel context.CancelFunc) (*Se
 		subs:    map[int]chan Event{},
 	}
 	s.trace = obs.NewTrace(s.id)
+	s.journal = journal.New(s.id)
+	s.journal.AttachMetrics(m.reg)
 	m.sessions[s.id] = s
 	m.order = append(m.order, s.id)
 	m.mu.Unlock()
@@ -654,6 +672,7 @@ func (m *Manager) addSession(id, backend string, cancel context.CancelFunc) (*Se
 // core.TuneContext opens (phase → query → greedy step → what-if call).
 func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.Workload, opts core.Options) {
 	ctx = obs.WithTrace(ctx, s.trace)
+	ctx = journal.WithContext(ctx, s.journal)
 	ctx, root := obs.StartSpan(ctx, "session", "session "+s.id)
 	root.SetArg("backend", b.Name).SetArg("events", w.Len())
 

@@ -1,0 +1,179 @@
+// Command benchdiff compares a dtabench -json result against a committed
+// baseline and fails on regression. It is the CI gate behind the committed
+// BENCH_*_quick.json files: the deterministic fields (what-if calls,
+// derived evaluations, ingest event counts) must match the baseline
+// exactly, quality fields (improvement, ratio) must match to float
+// round-off, and only the machine-dependent fields (wall clock, allocated
+// MB) get a tolerance factor.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff -baseline BENCH_parallel_quick.json -current bench_parallel_quick.json
+//
+// Records are matched by (experiment, case). A record present in one file
+// but not the other is a failure — silently gaining or losing a sweep case
+// is itself a regression. Exit status 1 lists every problem found.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
+		currentPath  = flag.String("current", "", "freshly produced dtabench -json output (required)")
+		wallTol      = flag.Float64("wall-tol", 20, "allowed wall-clock factor vs baseline (either direction); cases under -wall-min are skipped")
+		wallMin      = flag.Int64("wall-min", 100, "wall-clock floor in ms below which timing noise dominates and the factor check is skipped")
+		allocTol     = flag.Float64("alloc-tol", 4, "allowed allocated-MB factor vs baseline; cases under 1 MB are skipped")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	problems, err := Diff(*baselinePath, *currentPath, Tolerances{
+		WallFactor: *wallTol, WallMinMS: *wallMin, AllocFactor: *allocTol,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s vs %s: %d problem(s)\n", *currentPath, *baselinePath, len(problems))
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "  "+p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s matches %s\n", *currentPath, *baselinePath)
+}
+
+// Tolerances bounds the machine-dependent fields; everything else is
+// compared exactly (or to float round-off).
+type Tolerances struct {
+	// WallFactor is the allowed wall-clock ratio in either direction.
+	WallFactor float64
+	// WallMinMS skips the wall check when both sides are under it.
+	WallMinMS int64
+	// AllocFactor is the allowed allocated-MB ratio; sides under 1 MB skip.
+	AllocFactor float64
+}
+
+// Diff loads both files and returns one message per mismatch (empty on a
+// clean comparison).
+func Diff(baselinePath, currentPath string, tol Tolerances) ([]string, error) {
+	base, err := load(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return nil, err
+	}
+	return compare(base, cur, tol), nil
+}
+
+func load(path string) ([]experiments.BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []experiments.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func key(r experiments.BenchRecord) string { return r.Experiment + "/" + r.Case }
+
+func compare(base, cur []experiments.BenchRecord, tol Tolerances) []string {
+	var problems []string
+	baseBy := map[string]experiments.BenchRecord{}
+	for _, r := range base {
+		baseBy[key(r)] = r
+	}
+	curBy := map[string]experiments.BenchRecord{}
+	for _, r := range cur {
+		curBy[key(r)] = r
+	}
+	for _, b := range base {
+		if _, ok := curBy[key(b)]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from current run", key(b)))
+		}
+	}
+	for _, c := range cur {
+		b, ok := baseBy[key(c)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: not in baseline", key(c)))
+			continue
+		}
+		problems = append(problems, compareRecord(b, c, tol)...)
+	}
+	return problems
+}
+
+// relTol is the quality-field tolerance: the sweeps are deterministic, so
+// improvement and ratio may differ only by float round-off.
+const relTol = 1e-9
+
+func compareRecord(b, c experiments.BenchRecord, tol Tolerances) []string {
+	var problems []string
+	k := key(b)
+	if b.WhatIfCalls != c.WhatIfCalls {
+		problems = append(problems, fmt.Sprintf("%s: whatIfCalls %d, baseline %d (exact match required)", k, c.WhatIfCalls, b.WhatIfCalls))
+	}
+	if b.DerivedEvals != c.DerivedEvals {
+		problems = append(problems, fmt.Sprintf("%s: derivedEvals %d, baseline %d (exact match required)", k, c.DerivedEvals, b.DerivedEvals))
+	}
+	if b.Events != c.Events {
+		problems = append(problems, fmt.Sprintf("%s: events %d, baseline %d (exact match required)", k, c.Events, b.Events))
+	}
+	if !closeRel(b.ImprovementPct, c.ImprovementPct) {
+		problems = append(problems, fmt.Sprintf("%s: improvementPct %.9f, baseline %.9f", k, c.ImprovementPct, b.ImprovementPct))
+	}
+	if !closeRel(b.Ratio, c.Ratio) {
+		problems = append(problems, fmt.Sprintf("%s: ratio %.9f, baseline %.9f", k, c.Ratio, b.Ratio))
+	}
+	if b.WallMS >= tol.WallMinMS || c.WallMS >= tol.WallMinMS {
+		if f := factor(float64(b.WallMS), float64(c.WallMS)); f > tol.WallFactor {
+			problems = append(problems, fmt.Sprintf("%s: wallMS %d vs baseline %d (%.1fx > %.1fx tolerance)", k, c.WallMS, b.WallMS, f, tol.WallFactor))
+		}
+	}
+	if b.AllocMB >= 1 || c.AllocMB >= 1 {
+		if f := factor(b.AllocMB, c.AllocMB); f > tol.AllocFactor {
+			problems = append(problems, fmt.Sprintf("%s: allocMB %.1f vs baseline %.1f (%.1fx > %.1fx tolerance)", k, c.AllocMB, b.AllocMB, f, tol.AllocFactor))
+		}
+	}
+	return problems
+}
+
+// closeRel reports whether two quality values agree to float round-off.
+func closeRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= relTol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// factor is the larger-over-smaller ratio of two non-negative values; a
+// zero on one side with a meaningful other side is reported as +Inf.
+func factor(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	if lo <= 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}

@@ -9,7 +9,8 @@
 //
 // With no arguments it audits the packages the robustness PR put under
 // contract: internal/core, internal/whatif, internal/service, internal/obs,
-// internal/fault, internal/derive. Test files are skipped.
+// internal/fault, internal/derive, internal/journal. Test files are
+// skipped.
 package main
 
 import (
@@ -31,6 +32,7 @@ var defaultPackages = []string{
 	"internal/obs",
 	"internal/fault",
 	"internal/derive",
+	"internal/journal",
 }
 
 func main() {
