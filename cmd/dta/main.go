@@ -14,6 +14,8 @@
 //	dta -input session.xml -db tpch          # XML-scripted session (§6.1)
 //	dta -db synt1 -workload big.trc -stream  # bounded-memory streaming ingest
 //	dta -db tpch -explain                    # per-structure provenance report
+//	dta -db tpch -builtin -pool tpch.pool.json            # keep the costed pool
+//	dta -db tpch -revise tpch.pool.json -storage-mb 256   # replay a constraint change
 //
 // Workload files use the trace format: one statement per line with optional
 // leading weight and duration fields separated by tabs. With -stream the
@@ -23,11 +25,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/derive"
@@ -60,12 +65,24 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress live progress and the summary")
 		par        = flag.Int("parallelism", 0, "concurrent what-if evaluations (0 = GOMAXPROCS); the recommendation does not depend on it")
 		deriveMode = flag.String("derive", "off", "cost derivation: off | on (answer composite what-if calls from atomic plan facts) | verify (derive and cross-check every derived cost); the recommendation does not depend on it")
+		poolOut    = flag.String("pool", "", "write the session's costed pool here as JSON; feed it back with -revise to replay constraint changes without re-costing")
+		revisePath = flag.String("revise", "", "revise: replay the costed pool in this file (written by -pool) under the constraint flags (-storage-mb, -aligned, -pin, -veto, -reweight), re-running only the search layer")
+		pinKeys    = flag.String("pin", "", "with -revise: comma-separated structure keys the recommendation must include")
+		vetoKeys   = flag.String("veto", "", "with -revise: comma-separated structure keys the recommendation may not include")
+		reweight   = flag.String("reweight", "", `with -revise: comma-separated workload-slice reweightings "templateSignature=multiplier"`)
 	)
 	flag.Parse()
 
-	if err := run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
-		*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par, *deriveMode,
-		*explain, *jnlPath); err != nil {
+	var err error
+	if *revisePath != "" {
+		err = runRevise(*dbName, *sf, *revisePath, *outPath, *storageMB, *aligned,
+			*pinKeys, *vetoKeys, *reweight, *par, *quiet, *poolOut)
+	} else {
+		err = run(*dbName, *sf, *wlPath, *inputXML, *outPath, *features, *storageMB,
+			*aligned, *evaluate, *allowDrops, *timeLimit, *noCompress, *stream, *useTestSrv, *quiet, *tracePath, *par, *deriveMode,
+			*explain, *jnlPath, *poolOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dta:", err)
 		os.Exit(1)
 	}
@@ -74,7 +91,7 @@ func main() {
 func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 	storageMB int64, aligned, evaluate, allowDrops bool, timeLimit time.Duration,
 	noCompress, stream, useTestSrv, quiet bool, tracePath string, parallelism int,
-	deriveMode string, explain bool, jnlPath string) error {
+	deriveMode string, explain bool, jnlPath, poolOut string) error {
 
 	srv, builtin, err := demo.Build(dbName, sf)
 	if err != nil {
@@ -218,9 +235,24 @@ func run(dbName string, sf float64, wlPath, inputXML, outPath, features string,
 		ctx = journal.WithContext(ctx, jnl)
 	}
 
+	// With -pool, capture the sealed costed pool and write it out after the
+	// run; -revise replays it under changed constraints later.
+	var pool *core.CostedPool
+	if poolOut != "" {
+		opts.PoolSink = func(p *core.CostedPool) { pool = p }
+	}
+
 	rec, err := core.TuneContext(ctx, tuner, w, opts)
 	if err != nil {
 		return err
+	}
+
+	if poolOut != "" {
+		if pool == nil {
+			fmt.Fprintln(os.Stderr, "dta: session stopped early; no costed pool to write")
+		} else if err := writePool(poolOut, pool, quiet); err != nil {
+			return err
+		}
 	}
 
 	if trace != nil {
@@ -311,4 +343,176 @@ func readXML(path string) (*xmlio.DTAXML, error) {
 	}
 	defer f.Close()
 	return xmlio.Decode(f)
+}
+
+// writePool serializes a costed pool as JSON, the form -revise (and the
+// service's <id>.pool.json files) read back.
+func writePool(path string, p *core.CostedPool, quiet bool) error {
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wrote costed pool (%d candidates, %d query gains, fingerprint %s) to %s\n",
+			len(p.Candidates), len(p.Gains), p.Fingerprint[:12], path)
+	}
+	return nil
+}
+
+// runRevise is the -revise path: load a costed pool written by -pool (or by
+// the service as <id>.pool.json), build a Constraints value from the
+// command-line flags, and re-run only the search layer against the same
+// demonstration database. The revised recommendation is byte-identical to a
+// fresh full run under the same constraints, without re-deriving candidates
+// or re-costing atoms.
+func runRevise(dbName string, sf float64, revisePath, outPath string,
+	storageMB int64, aligned bool, pinKeys, vetoKeys, reweight string,
+	parallelism int, quiet bool, poolOut string) error {
+
+	srv, _, err := demo.Build(dbName, sf)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(revisePath)
+	if err != nil {
+		return err
+	}
+	var pool core.CostedPool
+	if err := json.Unmarshal(data, &pool); err != nil {
+		return fmt.Errorf("bad pool file %s: %w", revisePath, err)
+	}
+	if err := pool.Check(); err != nil {
+		return fmt.Errorf("pool file %s: %w", revisePath, err)
+	}
+
+	cons := core.Constraints{Aligned: aligned}
+	if storageMB > 0 {
+		cons.StorageBudget = storageMB << 20
+	} else {
+		cons.StorageBudget = 3 * srv.Cat.Bytes()
+	}
+	if vetoKeys != "" {
+		cons.Vetoed = splitKeys(vetoKeys)
+	}
+	if pinKeys != "" {
+		if cons.Pinned, err = resolvePins(&pool, splitKeys(pinKeys)); err != nil {
+			return err
+		}
+	}
+	if reweight != "" {
+		if cons.SliceWeights, err = parseReweight(reweight); err != nil {
+			return err
+		}
+	}
+
+	opts := core.Options{}
+	if parallelism > 0 {
+		opts.Parallelism = parallelism
+	}
+	if !quiet {
+		var lastPhase core.Phase
+		opts.Progress = func(p core.Progress) {
+			if p.Phase != lastPhase {
+				lastPhase = p.Phase
+				fmt.Fprintln(os.Stderr, "  "+p.String())
+			}
+		}
+	}
+	var revised *core.CostedPool
+	if poolOut != "" {
+		opts.PoolSink = func(p *core.CostedPool) { revised = p }
+	}
+
+	start := time.Now()
+	rec, err := core.Revise(context.Background(), srv, &pool, cons, opts)
+	if err != nil {
+		return err
+	}
+	if poolOut != "" && revised != nil {
+		if err := writePool(poolOut, revised, quiet); err != nil {
+			return err
+		}
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "revised %d events from pool %s: improvement %.1f%%, %d structures, %s, %d what-if calls (search layer only)\n",
+			rec.EventsTuned, pool.Fingerprint[:12], 100*rec.Improvement, len(rec.NewStructures),
+			time.Since(start).Round(time.Millisecond), rec.WhatIfCalls)
+		for _, s := range rec.NewStructures {
+			fmt.Fprintf(os.Stderr, "  CREATE %s\n", s)
+		}
+		for _, s := range rec.DroppedStructures {
+			fmt.Fprintf(os.Stderr, "  DROP %s\n", s)
+		}
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return xmlio.Encode(out, &xmlio.DTAXML{
+		Output: &xmlio.Output{Recommendation: xmlio.FromRecommendation(rec)},
+	})
+}
+
+// splitKeys parses a comma-separated structure-key list, trimming blanks.
+func splitKeys(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// resolvePins maps -pin structure keys to structures, looked up in the
+// pool's candidate set and its base configuration.
+func resolvePins(pool *core.CostedPool, keys []string) (*catalog.Configuration, error) {
+	byKey := map[string]catalog.Structure{}
+	for _, st := range pool.Candidates {
+		byKey[st.Key()] = st
+	}
+	if pool.Base != nil {
+		for _, st := range pool.Base.Structures() {
+			byKey[st.Key()] = st
+		}
+	}
+	pin := catalog.NewConfiguration()
+	for _, k := range keys {
+		st, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("-pin key %q matches no pool candidate or base structure", k)
+		}
+		st.ApplyTo(pin)
+	}
+	return pin, nil
+}
+
+// parseReweight parses -reweight "sig=mult,sig=mult" into slice weights.
+func parseReweight(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		sig, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf(`bad -reweight entry %q: want "templateSignature=multiplier"`, part)
+		}
+		var m float64
+		if _, err := fmt.Sscanf(val, "%g", &m); err != nil {
+			return nil, fmt.Errorf("bad -reweight multiplier %q: %w", val, err)
+		}
+		out[sig] = m
+	}
+	return out, nil
 }

@@ -17,6 +17,7 @@
 //	GET    /sessions/{id}/trace  session timeline (Chrome trace-event JSON)
 //	GET    /sessions/{id}/journal decision journal (NDJSON, ?kind= filters)
 //	GET    /sessions/{id}/explain per-structure provenance from the journal
+//	PATCH  /sessions/{id}        revise a completed session under changed constraints
 //	DELETE /sessions/{id}        cancel (keeps the best-so-far result)
 //	GET    /metrics              Prometheus metrics (JSON via Accept header)
 //	GET    /metrics.json         cumulative service metrics, JSON
@@ -59,6 +60,7 @@ func main() {
 		faultSpec  = flag.String("fault-spec", "", `server-wide fault injection spec, e.g. "seed=7;whatif:error:0.10" (sites: whatif, stats, import; kinds: error, latency, panic)`)
 		stateDir   = flag.String("state-dir", "", "directory for session checkpoints; killed sessions resume from here on restart")
 		deriveMode = flag.String("derive", "on", "cost-derivation default for sessions that do not set options.derive: off | on | verify; the recommendation does not depend on it")
+		poolTTL    = flag.Duration("pool-retention", 0, "how long completed sessions keep their costed pool for PATCH /sessions/{id} revision (0 = forever)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir, *deriveMode); err != nil {
+	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir, *deriveMode, *poolTTL); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -81,10 +83,11 @@ type FaultSetter interface {
 	SetFaults(*fault.Injector)
 }
 
-func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir, deriveMode string) error {
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir, deriveMode string, poolTTL time.Duration) error {
 	m := service.NewManager(workers)
 	m.SetLogger(logger)
 	m.SetParallelismCap(maxPar)
+	m.SetPoolRetention(poolTTL)
 	dmode, err := derive.ParseMode(deriveMode)
 	if err != nil {
 		return fmt.Errorf("bad -derive: %w", err)

@@ -237,6 +237,26 @@ type Options struct {
 	// backend, a resumed session produces the same recommendation as an
 	// uninterrupted one.
 	Resume *Checkpoint
+
+	// Vetoed lists structure keys the search may not recommend
+	// (Constraints.Vetoed): matching candidates are filtered out before
+	// merging and enumeration. A search-layer constraint — revisable
+	// against a costed pool without new optimizer calls.
+	Vetoed []string
+
+	// SliceWeights rescales workload slices in the search layer's cost
+	// folds: template signature → multiplier on every matching event's
+	// weight (Constraints.SliceWeights). Per-event costs are
+	// weight-independent, so reweighting never issues new optimizer calls.
+	SliceWeights map[string]float64
+
+	// PoolSink, when set, receives the session's sealed CostedPool after a
+	// successful, uninterrupted run: the serializable costing-layer state
+	// (candidates, costed atoms, derive facts, statistics log) that
+	// Revise re-searches under new Constraints without re-costing. Not
+	// invoked for EvaluateOnly or early-stopped sessions, whose costing
+	// state is incomplete.
+	PoolSink func(*CostedPool)
 }
 
 // IngestStats describes a workload compressed online while its trace was
@@ -383,6 +403,14 @@ func Tune(t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) 
 // found so far, with StopReason set to StopCancelled. Only cancellation
 // before the baseline workload costing completes returns an error (there is
 // no meaningful partial result yet).
+//
+// Internally the pipeline runs as two explicit layers: buildCostedState
+// (the costing layer — compression, baseline, column groups, candidate
+// selection, statistics; everything expensive and constraint-independent)
+// followed by runSearch (the search layer — drops, merging, enumeration
+// under a Constraints value; cheap and re-runnable). Revise re-enters
+// runSearch against a persisted CostedPool without re-running the first
+// layer.
 func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Options) (*Recommendation, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -393,23 +421,70 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	tr := newTracker(ctx, opts, start)
 	tr.attachSpans(ctx)
 
+	cons := opts.constraints().normalize()
+	if err := cons.validate(t.Catalog()); err != nil {
+		return nil, err
+	}
+
+	st, rec, err := buildCostedState(ctx, t, w, opts, tr, tuneSpan)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.EvaluateOnly {
+		mandatory := st.base.Clone()
+		mandatory.Merge(opts.UserConfig)
+		rec.Config = mandatory.Clone()
+		return finishRecommendation(t, st.ev, tr, rec, st.base, mandatory, opts, start)
+	}
+
+	rec, err = runSearch(t, st, tr, rec, cons, opts, start)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PoolSink != nil && rec.StopReason == "" {
+		opts.PoolSink(st.seal(opts))
+	}
+	return rec, nil
+}
+
+// costedState is the in-memory form of the costing layer's output — what a
+// CostedPool serializes. It is immutable under runSearch: the search layer
+// works on clones and local maps, so the same state can be searched any
+// number of times (fresh run, then revisions) with byte-identical results
+// per Constraints value.
+type costedState struct {
+	ev    *evaluator
+	tuned *workload.Workload
+	// base is the validated base configuration candidate selection ran
+	// against (before any drop analysis, which is a search-layer decision).
+	base         *catalog.Configuration
+	cands        []catalog.Structure
+	gains        []QueryGain
+	statBatches  []StatBatch
+	statsCreated int
+	compressed   bool
+	ingestEvents int64
+	ingestBytes  int64
+}
+
+// buildCostedState runs the costing layer: workload compression, baseline
+// costing, column-group restriction, and per-query candidate selection
+// (with statistics creation). Everything here is deliberately independent
+// of every Constraints field — storage budget, alignment, pins, vetoes,
+// slice weights — which is what makes the produced state reusable across
+// revisions: the search layer can be re-run under any constraints and
+// produce exactly what a fresh full run under those constraints would.
+// With opts.EvaluateOnly the candidate stages are skipped (the caller only
+// evaluates a fixed configuration).
+func buildCostedState(ctx context.Context, t Tuner, w *workload.Workload, opts Options, tr *tracker, tuneSpan *obs.Span) (*costedState, *Recommendation, error) {
 	base := opts.BaseConfig
 	if base == nil {
 		base = catalog.NewConfiguration()
 	}
 	if err := base.Validate(t.Catalog()); err != nil {
-		return nil, fmt.Errorf("core: base configuration invalid: %w", err)
+		return nil, nil, fmt.Errorf("core: base configuration invalid: %w", err)
 	}
-	if opts.UserConfig != nil {
-		if err := opts.UserConfig.Validate(t.Catalog()); err != nil {
-			return nil, fmt.Errorf("core: user-specified configuration invalid: %w", err)
-		}
-	}
-
-	// The mandatory part of every configuration: existing structures plus
-	// the user-specified partial design.
-	mandatory := base.Clone()
-	mandatory.Merge(opts.UserConfig)
 
 	// Workload compression (§5.1). A workload that arrived through the
 	// streaming-ingest path (Options.Ingest) is already the online
@@ -429,7 +504,7 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 
 	ev := newEvaluator(t, tuned)
 	if _, err := derive.ParseMode(string(opts.Derive)); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	if opts.Derive.Enabled() {
 		ev.enableDerive(opts.Derive)
@@ -442,14 +517,13 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	baseCost, err := ev.configCost(base)
 	if err != nil {
 		if stopping(err) {
-			return nil, fmt.Errorf("core: session cancelled before baseline costing completed: %w", ctx.Err())
+			return nil, nil, fmt.Errorf("core: session cancelled before baseline costing completed: %w", ctx.Err())
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	tr.baseCost = baseCost
 
 	rec := &Recommendation{
-		Config:      mandatory.Clone(),
 		BaseCost:    baseCost,
 		EventsTuned: tuned.Len(),
 		Compressed:  compressed,
@@ -462,47 +536,102 @@ func TuneContext(ctx context.Context, t Tuner, w *workload.Workload, opts Option
 	rec.SkippedEvents = ev.skippedEvents()
 	rec.EventsTuned -= rec.SkippedEvents
 
+	st := &costedState{ev: ev, tuned: tuned, base: base, compressed: compressed}
+	if opts.Ingest != nil {
+		st.ingestEvents = opts.Ingest.Events
+		st.ingestBytes = opts.Ingest.Bytes
+	}
 	if opts.EvaluateOnly {
-		return finishRecommendation(t, ev, tr, rec, base, mandatory, opts, start)
+		return st, rec, nil
 	}
 
+	if !tr.stopped() {
+		// Column-group restriction (§2.2).
+		tr.setPhase(PhaseColGroups)
+		groups, err := interestingColumnGroups(t, ev, tuned, opts)
+		if err != nil && !stopping(err) {
+			return nil, nil, err
+		}
+		if err == nil {
+			// Candidate selection (§2.2): per-query best configurations,
+			// measured against the base configuration only — pins, budgets,
+			// and weights are search-layer constraints and must not leak in.
+			tr.setPhase(PhaseCandidates)
+			st.cands, st.gains, st.statBatches, st.statsCreated, err = selectCandidates(t, ev, tr, tuned, base, groups, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec.StatsCreated = st.statsCreated
+		}
+	}
+	return st, rec, nil
+}
+
+// runSearch is the search layer: drop analysis, benefit computation,
+// merging, pool capping, and the enumeration Greedy(m,k), all under one
+// Constraints value. It consumes the costed state read-only and never
+// issues a what-if call the state's cache or derivation facts can't answer
+// — except for configurations the constraints make newly reachable, which
+// a fresh full run under the same constraints would also have to cost. The
+// fresh pipeline and Revise both funnel through this one function, which is
+// what makes revision equivalence hold by construction.
+func runSearch(t Tuner, st *costedState, tr *tracker, rec *Recommendation, cons Constraints, opts Options, start time.Time) (*Recommendation, error) {
+	// Graft the constraints onto the Options downstream consumers read, so
+	// enumerate/merge/finish observe exactly a fresh run's view.
+	opts.StorageBudget = cons.StorageBudget
+	opts.Aligned = cons.Aligned
+	opts.UserConfig = cons.Pinned
+
+	ev := st.ev
+	ev.applySliceWeights(cons.SliceWeights)
+
+	// Baseline under the effective weights. Every per-event cost is already
+	// cached, so this is a pure re-fold: without slice weights it
+	// reproduces the costing layer's baseline bit-for-bit, and a revision
+	// recomputes its own baseline without optimizer calls.
+	baseCost, err := ev.configCost(st.base)
+	if err != nil {
+		if stopping(err) {
+			return nil, fmt.Errorf("core: session cancelled before baseline costing completed: %w", tr.doCtx().Err())
+		}
+		return nil, err
+	}
+	tr.baseCost = baseCost
+	rec.BaseCost = baseCost
+
+	base := st.base
 	// Drop existing structures that cost more than they help (improvement
 	// is measured against the original base, so drops count as gains).
+	// Pinned structures are never dropped.
 	if opts.AllowDrops && !tr.stopped() {
 		tr.setPhase(PhaseDrops)
-		reduced, dropped, err := greedyDrop(ev, base)
+		reduced, dropped, err := greedyDrop(ev, base, cons.pinnedKeys())
 		switch {
 		case err != nil && !stopping(err):
 			return nil, err
 		case err == nil && len(dropped) > 0:
 			base = reduced
 			rec.DroppedStructures = dropped
-			mandatory = base.Clone()
-			mandatory.Merge(opts.UserConfig)
-			rec.Config = mandatory.Clone()
 		}
 	}
 
-	var cands []catalog.Structure
-	var benefit map[string]float64
-	if !tr.stopped() {
-		// Column-group restriction (§2.2).
-		tr.setPhase(PhaseColGroups)
-		groups, err := interestingColumnGroups(t, ev, tuned, opts)
-		if err != nil && !stopping(err) {
-			return nil, err
-		}
-		if err == nil {
-			// Candidate selection (§2.2): per-query best configurations.
-			tr.setPhase(PhaseCandidates)
-			var statsCreated int
-			cands, benefit, statsCreated, err = selectCandidates(t, ev, tr, tuned, mandatory, groups, opts)
-			if err != nil {
-				return nil, err
-			}
-			rec.StatsCreated = statsCreated
+	// The mandatory part of every configuration: surviving base structures
+	// plus the pinned partial design (paper §6.2).
+	mandatory := base.Clone()
+	mandatory.Merge(cons.Pinned)
+	rec.Config = mandatory.Clone()
+
+	// Per-structure benefits under the effective weights, recomputed from
+	// the pool's unweighted per-query gains — identical to what candidate
+	// selection accumulated when the weights are the workload's own.
+	benefit := map[string]float64{}
+	for _, g := range st.gains {
+		wg := (g.BaseCost - g.BestCost) * ev.eventWeight(g.Query, ev.events[g.Query])
+		for _, key := range g.Structures {
+			benefit[key] += wg
 		}
 	}
+	cands := cons.vetoFilter(st.cands)
 
 	// Merging (§2.2).
 	if !opts.NoMerging && !tr.stopped() {
@@ -597,15 +726,16 @@ func finishRecommendation(t Tuner, ev *evaluator, tr *tracker, rec *Recommendati
 	}
 	usage := map[string]*UsageReport{}
 	var totalAfter float64
+	pbase, pfinal := ev.prepareConfig(base), ev.prepareConfig(final)
 	for i, e := range ev.events {
 		if ev.analyzed(i) == nil {
 			continue // skipped statement: no report
 		}
-		before, _, err := ev.eventCostByIndex(i, base)
+		before, _, err := ev.eventCost(i, pbase)
 		if err != nil {
 			return nil, err
 		}
-		after, used, err := ev.eventCostByIndex(i, final)
+		after, used, err := ev.eventCost(i, pfinal)
 		if err != nil {
 			return nil, err
 		}

@@ -17,9 +17,17 @@ import (
 // relevant structures, creates the statistics needed to simulate them
 // (reduced per §5.2), and keeps the structures chosen by a per-query
 // Greedy(m,k) search as candidates for the whole workload. Alongside the
-// candidates it returns each structure's accumulated benefit (the weighted
-// per-query cost reduction of the configurations it appeared in), which the
-// enumeration step uses to bound its pool.
+// candidates it returns each query's unweighted selection outcome (the
+// QueryGains the search layer turns into per-structure benefits under its
+// effective weights) and the statistics-creation log (the StatBatches a
+// revision replays on a fresh backend).
+//
+// This is the heart of the costing layer, and it is deliberately
+// independent of every search-layer constraint: the per-query search runs
+// against the base configuration only (no pinned structures), with no
+// storage budget and the workload's own weights, so its output — and every
+// cost it caches — is reusable under any Constraints value a revision
+// chooses.
 //
 // Parallelism note: the per-query work is parallelized inside each query's
 // Greedy(m,k) — its frontiers fan out over the session's worker pool — but
@@ -32,9 +40,10 @@ import (
 // determinism guarantee (identical recommendations at every Parallelism
 // level) forbids. Within one query the statistics state is fixed, so its
 // frontier evaluations are safely concurrent.
-func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload, mandatory *catalog.Configuration, groups *columnGroups, opts Options) ([]catalog.Structure, map[string]float64, int, error) {
+func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload, base *catalog.Configuration, groups *columnGroups, opts Options) ([]catalog.Structure, []QueryGain, []StatBatch, int, error) {
 	pool := map[string]catalog.Structure{}
-	benefit := map[string]float64{}
+	var gains []QueryGain
+	var batches []StatBatch
 	var order []string
 	statsCreated := 0
 	perQueryK := opts.PerQueryK
@@ -63,10 +72,16 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			if len(cands) == 0 {
 				return 0, nil
 			}
-			// Statistics for what-if structures (§5.2).
-			created, err := ensureStatistics(t, tr, statRequests(cands), !opts.DisableStatReduction)
+			// Statistics for what-if structures (§5.2). The request batch is
+			// logged in issue order so a revision can replay the exact
+			// statistics state on a fresh backend.
+			reqs := statRequests(cands)
+			created, err := ensureStatistics(t, tr, reqs, !opts.DisableStatReduction)
 			if err != nil {
 				return 0, err
+			}
+			if len(reqs) > 0 {
+				batches = append(batches, StatBatch{Requests: reqs})
 			}
 			statsCreated += created
 			if created > 0 {
@@ -85,7 +100,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 				c, _, err := ev.eventCostByIndex(idx, cfg)
 				return c, err
 			}
-			baseCost, err := perQueryCost(mandatory)
+			baseCost, err := perQueryCost(base)
 			if err != nil {
 				return 0, err
 			}
@@ -116,14 +131,13 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 					tr.record(ce)
 				}
 			}
-			// The global storage budget applies per query too: a structure that
-			// alone exceeds the budget can never appear in the final design, and
-			// keeping it as a candidate would crowd out affordable non-redundant
-			// alternatives (clusterings, partitionings).
-			chosen, err := greedySearch(mandatory, cands, perQueryCost, greedyOptions{
+			// Deliberately unbudgeted: the storage bound is a search-layer
+			// constraint, and pruning candidates here would make the costed
+			// pool budget-specific — the enumeration greedy enforces the
+			// bound where it belongs.
+			chosen, err := greedySearch(base, cands, perQueryCost, greedyOptions{
 				m: opts.GreedyM, k: perQueryK, cat: t.Catalog(), tr: tr,
-				budget: opts.StorageBudget,
-				scope:  "query", query: i,
+				scope: journal.ScopeQuery, query: i,
 			})
 			if err != nil {
 				return 0, err
@@ -132,7 +146,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 				journalQuery(baseCost, 0, nil)
 				return 0, nil
 			}
-			bestCfg := mandatory.Clone()
+			bestCfg := base.Clone()
 			for _, s := range chosen {
 				s.ApplyTo(bestCfg)
 			}
@@ -142,14 +156,16 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			}
 			gain := (baseCost - bestCost) * w.Events[i].Weight
 			journalQuery(bestCost, gain, chosen)
+			g := QueryGain{Query: i, BaseCost: baseCost, BestCost: bestCost}
 			for _, s := range chosen {
 				key := s.Key()
 				if _, dup := pool[key]; !dup {
 					pool[key] = s
 					order = append(order, key)
 				}
-				benefit[key] += gain
+				g.Structures = append(g.Structures, key)
 			}
+			gains = append(gains, g)
 			return gain, nil
 		}()
 		qspan.SetArg("gain", gain)
@@ -158,7 +174,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 			if stopping(err) {
 				break // keep the candidates gathered so far
 			}
-			return nil, nil, statsCreated, err
+			return nil, nil, nil, statsCreated, err
 		}
 		tr.eventDone(gain)
 	}
@@ -166,7 +182,7 @@ func selectCandidates(t Tuner, ev *evaluator, tr *tracker, w *workload.Workload,
 	for _, k := range order {
 		out = append(out, pool[k])
 	}
-	return out, benefit, statsCreated, nil
+	return out, gains, batches, statsCreated, nil
 }
 
 // capCandidates keeps the limit highest-benefit candidates (merged

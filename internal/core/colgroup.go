@@ -47,12 +47,13 @@ func interestingColumnGroups(t Tuner, ev *evaluator, w *workload.Workload, opts 
 	}
 	var occs []occurrence
 	var totalCost float64
+	pbase := ev.prepareConfig(base)
 	for i, e := range w.Events {
 		q := ev.analyzed(i)
 		if q == nil {
 			continue
 		}
-		c, _, err := ev.eventCostByIndex(i, base)
+		c, _, err := ev.eventCost(i, pbase)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/derive"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// QueryGain is one workload event's candidate-selection outcome, kept in
+// the costed pool so the search layer can recompute per-structure benefits
+// under any workload-slice reweighting: the costs are unweighted (weights
+// are a search-layer input), so gain × effective-weight reproduces exactly
+// what a fresh run under the same weights would compute.
+type QueryGain struct {
+	// Query is the workload event index.
+	Query int `json:"query"`
+	// BaseCost is the event's unweighted cost under the base configuration.
+	BaseCost float64 `json:"baseCost"`
+	// BestCost is the event's unweighted cost under its best candidate
+	// subset.
+	BestCost float64 `json:"bestCost"`
+	// Structures lists the structure keys the event's Greedy(m,k) chose.
+	Structures []string `json:"structures,omitempty"`
+}
+
+// StatBatch is one statistics-creation call the costing layer issued, in
+// issue order. A revision replays the batches before any evaluation so a
+// fresh backend reaches the exact statistics state the pool's cached costs
+// were computed under (statistics creation is idempotent and monotone, so
+// replay on the original backend is a no-op).
+type StatBatch struct {
+	// Requests lists the statistics the batch requested.
+	Requests []stats.Request `json:"requests"`
+}
+
+// PoolKnobs pins the pipeline parameters a pool was costed under. They are
+// the non-revisable complement of Constraints: changing any of them changes
+// which candidates exist or how the search explores them, so a revision
+// inherits them from the pool verbatim rather than accepting overrides.
+type PoolKnobs struct {
+	// Features is the physical-design feature mask the pool was costed for.
+	Features FeatureMask `json:"features,omitempty"`
+	// GreedyM and GreedyK parameterize the enumeration Greedy(m,k).
+	GreedyM int `json:"greedyM,omitempty"`
+	// GreedyK bounds the enumeration configuration size.
+	GreedyK int `json:"greedyK,omitempty"`
+	// MaxKeyColumns caps index key width (merging reads it).
+	MaxKeyColumns int `json:"maxKeyColumns,omitempty"`
+	// CandidatePoolCap bounds the enumeration pool by benefit.
+	CandidatePoolCap int `json:"candidatePoolCap,omitempty"`
+	// NoMerging disables the merging step.
+	NoMerging bool `json:"noMerging,omitempty"`
+	// EagerAlignment materializes aligned variants up front (§4 ablation).
+	EagerAlignment bool `json:"eagerAlignment,omitempty"`
+	// AllowDrops lets the search recommend dropping base structures.
+	AllowDrops bool `json:"allowDrops,omitempty"`
+	// DisableStatReduction disables §5.2 statistics reduction; statistics
+	// replay must use the same setting the pool was costed under.
+	DisableStatReduction bool `json:"disableStatReduction,omitempty"`
+	// Derive is the cost-derivation mode the pool's facts were recorded
+	// under.
+	Derive derive.Mode `json:"derive,omitempty"`
+}
+
+// knobs captures the pool-pinned pipeline parameters from a full-run
+// Options (after withDefaults).
+func (o Options) knobs() PoolKnobs {
+	return PoolKnobs{
+		Features:             o.features(),
+		GreedyM:              o.GreedyM,
+		GreedyK:              o.GreedyK,
+		MaxKeyColumns:        o.MaxKeyColumns,
+		CandidatePoolCap:     o.CandidatePoolCap,
+		NoMerging:            o.NoMerging,
+		EagerAlignment:       o.EagerAlignment,
+		AllowDrops:           o.AllowDrops,
+		DisableStatReduction: o.DisableStatReduction,
+		Derive:               o.Derive,
+	}
+}
+
+// apply grafts the pool-pinned knobs back onto a revision's Options.
+func (k PoolKnobs) apply(o Options) Options {
+	o.Features = k.Features
+	o.GreedyM = k.GreedyM
+	o.GreedyK = k.GreedyK
+	o.MaxKeyColumns = k.MaxKeyColumns
+	o.CandidatePoolCap = k.CandidatePoolCap
+	o.NoMerging = k.NoMerging
+	o.EagerAlignment = k.EagerAlignment
+	o.AllowDrops = k.AllowDrops
+	o.DisableStatReduction = k.DisableStatReduction
+	o.Derive = k.Derive
+	return o
+}
+
+// CostedPool is the serializable boundary between the pipeline's two
+// layers: everything the costing layer produced — the compressed workload,
+// the base configuration, the candidate structures with their per-query
+// gains, the statistics-creation log, the cost cache's atoms, and the
+// derivation engine's plan facts — and nothing the search layer decides.
+// It is immutable once sealed and content-addressed by Fingerprint, like
+// cost-cache checkpoints; Revise consumes one together with a Constraints
+// value and re-runs only the search layer, never issuing a what-if call
+// the pool can't answer or derive (beyond configurations the new
+// constraints genuinely make reachable for the first time).
+type CostedPool struct {
+	// Statements is the tuned (post-compression) workload, with weights.
+	Statements []workload.Statement `json:"statements"`
+	// Base is the base configuration candidate selection ran against
+	// (Options.BaseConfig; drop analysis re-runs per revision).
+	Base *catalog.Configuration `json:"base,omitempty"`
+	// Candidates is the deduplicated candidate pool, in selection order.
+	Candidates []catalog.Structure `json:"candidates,omitempty"`
+	// Gains holds each event's candidate-selection outcome.
+	Gains []QueryGain `json:"gains,omitempty"`
+	// StatBatches logs the statistics-creation calls, in issue order.
+	StatBatches []StatBatch `json:"statBatches,omitempty"`
+	// Cache holds the cost cache's completed entries (the costed atoms),
+	// sorted by key — the same representation checkpoints persist.
+	Cache []CachedCost `json:"cache,omitempty"`
+	// Derive is the derivation engine's fact snapshot (nil with derive
+	// off).
+	Derive *derive.Snapshot `json:"derive,omitempty"`
+	// Knobs pins the pipeline parameters the pool was costed under.
+	Knobs PoolKnobs `json:"knobs"`
+	// StatsCreated is how many statistics the costing layer created.
+	StatsCreated int `json:"statsCreated,omitempty"`
+	// TemplatesTuned is the tuned workload's distinct template count.
+	TemplatesTuned int `json:"templatesTuned,omitempty"`
+	// Compressed records whether the workload was compressed (§5.1).
+	Compressed bool `json:"compressed,omitempty"`
+	// IngestedEvents and IngestedBytes carry streaming-ingest volume
+	// (Options.Ingest) into revised sessions' recommendations.
+	IngestedEvents int64 `json:"ingestedEvents,omitempty"`
+	// IngestedBytes is the raw trace volume consumed during ingest.
+	IngestedBytes int64 `json:"ingestedBytes,omitempty"`
+	// Fingerprint is the sha256 content address of the pool (computed over
+	// its canonical JSON with this field empty).
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// ComputeFingerprint returns the pool's content address: the sha256 of its
+// canonical JSON with the Fingerprint field blanked. Identical pools —
+// byte-identical costing-layer output — hash identically; Seal stamps it
+// and Check verifies it on load.
+func (p *CostedPool) ComputeFingerprint() string {
+	clone := *p
+	clone.Fingerprint = ""
+	b, err := json.Marshal(&clone)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Check verifies the pool's content address, guarding revisions against
+// truncated or hand-edited pool files.
+func (p *CostedPool) Check() error {
+	if p.Fingerprint == "" {
+		return fmt.Errorf("core: costed pool has no fingerprint")
+	}
+	if got := p.ComputeFingerprint(); got != p.Fingerprint {
+		return fmt.Errorf("core: costed pool fingerprint mismatch: stamped %s, computed %s", p.Fingerprint, got)
+	}
+	return nil
+}
+
+// seal freezes the costing layer's state into a serializable, fingerprinted
+// pool. Called after a successful, uninterrupted run, so the cache and
+// derive snapshots also carry the search phase's facts — a superset of what
+// the search started from, which can only turn a revision's real calls into
+// hits, never change a value.
+func (st *costedState) seal(opts Options) *CostedPool {
+	p := &CostedPool{
+		Base:           st.base.Clone(),
+		Candidates:     st.cands,
+		Gains:          st.gains,
+		StatBatches:    st.statBatches,
+		Cache:          st.ev.snapshotCache(),
+		Derive:         st.ev.drv.Snapshot(),
+		Knobs:          opts.knobs(),
+		StatsCreated:   st.statsCreated,
+		TemplatesTuned: len(st.tuned.Templates()),
+		Compressed:     st.compressed,
+	}
+	for _, e := range st.tuned.Events {
+		p.Statements = append(p.Statements, workload.Statement{SQL: e.SQL, Weight: e.Weight})
+	}
+	p.IngestedEvents = st.ingestEvents
+	p.IngestedBytes = st.ingestBytes
+	p.Fingerprint = p.ComputeFingerprint()
+	return p
+}
+
+// Revise re-runs only the search layer against a previously sealed costed
+// pool under new constraints (CoPhy-style interactive tuning): the costed
+// atoms, derive facts, and candidate gains are reused verbatim, so a
+// changed storage bound, alignment toggle, pinned/vetoed structure set, or
+// workload-slice reweighting yields a fresh recommendation in search time
+// — typically with zero new what-if optimizer calls. The result is
+// byte-identical to a fresh full TuneContext run under the same
+// constraints (and a revision to the pool's own constraints reproduces the
+// original recommendation exactly); only the call/derive accounting and
+// Duration differ, reflecting the work actually done.
+//
+// t must expose the same catalog (and data) the pool was costed against.
+// Pipeline knobs come from pool.Knobs; opts contributes only session-level
+// fields (Parallelism, Progress, Metrics, TimeLimit, Retry, Faults,
+// Breaker, SkipReports, PoolSink for chained revisions).
+func Revise(ctx context.Context, t Tuner, pool *CostedPool, cons Constraints, opts Options) (*Recommendation, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("core: nil costed pool")
+	}
+	opts = pool.Knobs.apply(opts).withDefaults()
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "pipeline", "revise")
+	defer span.End()
+	tr := newTracker(ctx, opts, start)
+	tr.revised = true
+	tr.attachSpans(ctx)
+
+	cons = cons.normalize()
+	if err := cons.validate(t.Catalog()); err != nil {
+		return nil, err
+	}
+	tr.setPhase(PhaseRevise)
+	if tr.journaling() {
+		e := journal.Ev(journal.KindRevise)
+		e.Reason = pool.Fingerprint
+		tr.record(e)
+	}
+
+	w, err := workload.FromStatements(pool.Statements)
+	if err != nil {
+		return nil, fmt.Errorf("core: costed pool workload invalid: %w", err)
+	}
+	base := pool.Base
+	if base == nil {
+		base = catalog.NewConfiguration()
+	} else {
+		base = base.Clone()
+		if base.TableParts == nil {
+			base.TableParts = map[string]*catalog.PartitionScheme{}
+		}
+	}
+	if err := base.Validate(t.Catalog()); err != nil {
+		return nil, fmt.Errorf("core: base configuration invalid: %w", err)
+	}
+
+	// Statistics replay: re-issue the costing layer's creation batches in
+	// order so a fresh backend reaches the statistics state the cached
+	// atoms were computed under. On the original backend every batch is a
+	// no-op (creation is idempotent), so StatsCreated counts only the work
+	// this revision actually did.
+	statsCreated := 0
+	for _, b := range pool.StatBatches {
+		created, err := ensureStatistics(t, tr, b.Requests, !pool.Knobs.DisableStatReduction)
+		if err != nil {
+			if stopping(err) {
+				return nil, fmt.Errorf("core: session cancelled during statistics replay: %w", tr.doCtx().Err())
+			}
+			return nil, err
+		}
+		statsCreated += created
+	}
+
+	ev := newEvaluator(t, w)
+	if opts.Derive.Enabled() {
+		ev.enableDerive(opts.Derive)
+		ev.drv.Restore(pool.Derive)
+	}
+	ev.warmStart(pool.Cache)
+	ev.attach(tr)
+	tr.eventsTotal = w.Len()
+	tr.eventsTuned = w.Len() - ev.skippedEvents()
+	span.SetArg("events", w.Len()).SetArg("pool", pool.Fingerprint)
+
+	rec := &Recommendation{
+		EventsTuned:    w.Len() - ev.skippedEvents(),
+		SkippedEvents:  ev.skippedEvents(),
+		TemplatesTuned: pool.TemplatesTuned,
+		StatsCreated:   statsCreated,
+		Compressed:     pool.Compressed,
+		IngestedEvents: pool.IngestedEvents,
+		IngestedBytes:  pool.IngestedBytes,
+	}
+	st := &costedState{
+		ev: ev, tuned: w, base: base,
+		cands: pool.Candidates, gains: pool.Gains, statBatches: pool.StatBatches,
+		statsCreated: pool.StatsCreated, compressed: pool.Compressed,
+		ingestEvents: pool.IngestedEvents, ingestBytes: pool.IngestedBytes,
+	}
+	rec, err = runSearch(t, st, tr, rec, cons, opts, start)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PoolSink != nil && rec.StopReason == "" {
+		opts.PoolSink(st.seal(opts))
+	}
+	return rec, nil
+}

@@ -10,14 +10,15 @@ import (
 // greedyDrop removes existing structures whose maintenance cost outweighs
 // their benefit for the workload: repeatedly drop the structure whose
 // removal lowers the workload cost most, until nothing improves. Constraint
-// structures are never considered. Returns the reduced configuration and
+// structures — and any structure whose key is pinned by the session's
+// Constraints — are never considered. Returns the reduced configuration and
 // the drops in order.
 //
 // Each round's removal frontier is enumerated in a fixed order — indexes,
 // views, then table partitionings by sorted table name (a map iteration
 // would make drop order, and with it the whole session, nondeterministic) —
 // costed in parallel, and reduced sequentially in that order.
-func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configuration, []catalog.Structure, error) {
+func greedyDrop(ev *evaluator, base *catalog.Configuration, pinned map[string]bool) (*catalog.Configuration, []catalog.Structure, error) {
 	cur := base.Clone()
 	curCost, err := ev.configCost(cur)
 	if err != nil {
@@ -33,7 +34,7 @@ func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configurat
 		}
 		var frontier []*removal
 		for i, ix := range cur.Indexes {
-			if ix.FromConstraint {
+			if ix.FromConstraint || pinned[ix.Key()] {
 				continue
 			}
 			cfg := cur.Clone()
@@ -41,6 +42,9 @@ func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configurat
 			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{Index: ix}})
 		}
 		for i, v := range cur.Views {
+			if pinned[v.Key()] {
+				continue
+			}
 			cfg := cur.Clone()
 			cfg.Views = append(cfg.Views[:i:i], cfg.Views[i+1:]...)
 			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{View: v}})
@@ -51,9 +55,13 @@ func greedyDrop(ev *evaluator, base *catalog.Configuration) (*catalog.Configurat
 		}
 		sort.Strings(tables)
 		for _, table := range tables {
+			s := catalog.Structure{PartTable: table, Part: cur.TableParts[table]}
+			if pinned[s.Key()] {
+				continue
+			}
 			cfg := cur.Clone()
 			cfg.SetTablePartitioning(table, nil)
-			frontier = append(frontier, &removal{cfg: cfg, s: catalog.Structure{PartTable: table, Part: cur.TableParts[table]}})
+			frontier = append(frontier, &removal{cfg: cfg, s: s})
 		}
 
 		ev.pool().each(len(frontier), func(i int) {

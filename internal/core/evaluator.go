@@ -53,6 +53,14 @@ type evaluator struct {
 	// optimizer, and every successful real call feeds it a plan fact.
 	drv *derive.Engine
 
+	// weights, when non-nil, overrides each event's workload weight in
+	// configCost's fold (Constraints.SliceWeights). Per-event costs — and
+	// therefore cache keys, derive facts, and call counts — never depend
+	// on it; only the sequential weighted sum does, which is what lets a
+	// revision reweight workload slices without a single new optimizer
+	// call. Written only between parallel sections.
+	weights []float64
+
 	// Cache-behaviour counters (attach caches the registry series once so
 	// the hot path never takes registry locks); all nil without metrics.
 	mHits, mMisses, mCoalesced, mDerived *obs.Counter
@@ -163,49 +171,106 @@ func (ev *evaluator) pool() *workerPool {
 // resolve against the catalog).
 func (ev *evaluator) analyzed(i int) *optimizer.QueryInfo { return ev.infos[i].q }
 
-// relevantStructures returns the cfg structures that can affect the event,
+// preparedStructure is one configuration structure with the per-
+// configuration half of the relevance computation done up front: the
+// canonical key (built once per configuration instead of once per event),
+// the "table.column" probe string the refCols test needs, and — for
+// partitionings — whether the table carries a clustered index.
+type preparedStructure struct {
+	keyed derive.Keyed
+	table string // owning table; "" for views
+	probe string // refCols probe: leading key column / partitioning column
+	ix    *catalog.Index
+	view  *catalog.MaterializedView
+	part  bool // partitioning record
+	// partClustered: the table has a clustered index in this configuration,
+	// so its partitioning affects any event touching the table.
+	partClustered bool
+}
+
+// preparedConfig is a configuration with its structures rendered into
+// pre-sorted preparedStructure records. The per-event relevance filter —
+// the innermost loop of every Greedy(m,k) frontier — then walks the records
+// without building a key string, concatenating a probe, or sorting: a
+// filtered subsequence of a key-sorted slice is itself key-sorted.
+// configCost prepares its configuration once and shares it, read-only,
+// across all events and worker goroutines.
+type preparedConfig struct {
+	cfg  *catalog.Configuration
+	recs []preparedStructure
+}
+
+func (ev *evaluator) prepareConfig(cfg *catalog.Configuration) *preparedConfig {
+	pc := &preparedConfig{cfg: cfg}
+	pc.recs = make([]preparedStructure, 0, len(cfg.Indexes)+len(cfg.TableParts)+len(cfg.Views))
+	for _, ix := range cfg.Indexes {
+		pc.recs = append(pc.recs, preparedStructure{
+			keyed: derive.Keyed{Key: ix.Key(), Structure: catalog.Structure{Index: ix}},
+			table: ix.Table,
+			probe: ix.Table + "." + ix.KeyColumns[0],
+			ix:    ix,
+		})
+	}
+	for table, p := range cfg.TableParts {
+		pc.recs = append(pc.recs, preparedStructure{
+			keyed:         derive.Keyed{Key: "tp:" + table + "=" + p.String(), Structure: catalog.Structure{PartTable: table, Part: p}},
+			table:         table,
+			probe:         table + "." + p.Column,
+			part:          true,
+			partClustered: cfg.ClusteredIndex(table) != nil,
+		})
+	}
+	for _, v := range cfg.Views {
+		pc.recs = append(pc.recs, preparedStructure{
+			keyed: derive.Keyed{Key: v.Key(), Structure: catalog.Structure{View: v}},
+			view:  v,
+		})
+	}
+	sort.Slice(pc.recs, func(a, b int) bool { return pc.recs[a].keyed.Key < pc.recs[b].keyed.Key })
+	return pc
+}
+
+// relevant returns the configuration structures that can affect the event,
 // sorted by key — the set behind both the cost-cache key and the derivation
 // engine's lattice nodes.
-func (ev *evaluator) relevantStructures(info *eventInfo, cfg *catalog.Configuration) []derive.Keyed {
+func (pc *preparedConfig) relevant(info *eventInfo) []derive.Keyed {
 	var out []derive.Keyed
-	for _, ix := range cfg.Indexes {
-		if !info.tables[ix.Table] {
-			continue
-		}
-		if !info.isDML {
+	for i := range pc.recs {
+		r := &pc.recs[i]
+		switch {
+		case r.ix != nil:
+			if !info.tables[r.table] {
+				continue
+			}
 			// A query plan can only change if the index is seekable on a
 			// referenced column, covers a scope, or is clustered (the
-			// clustered index is the table itself).
-			if !ix.Clustered && !info.refCols[ix.Table+"."+ix.KeyColumns[0]] && !info.coversAnyScope(ix) {
+			// clustered index is the table itself). DML statements feel
+			// every index on the target table through update overhead.
+			if !info.isDML && !r.ix.Clustered && !info.refCols[r.probe] && !info.coversAnyScope(r.ix) {
+				continue
+			}
+		case r.part:
+			if !info.tables[r.table] {
+				continue
+			}
+			// Partitioning affects query plans through elimination on a
+			// referenced column, or by destroying a clustered index's output
+			// order (the aligned clustered index is partitioned with the
+			// table).
+			if !info.refCols[r.probe] && !r.partClustered {
+				continue
+			}
+		default:
+			if info.isDML {
+				if !r.view.References(info.target) {
+					continue
+				}
+			} else if !info.viewRelevant(r.view) {
 				continue
 			}
 		}
-		out = append(out, derive.Keyed{Key: ix.Key(), Structure: catalog.Structure{Index: ix}})
+		out = append(out, r.keyed)
 	}
-	for table, p := range cfg.TableParts {
-		if !info.tables[table] {
-			continue
-		}
-		// Partitioning affects query plans through elimination on a
-		// referenced column, or by destroying a clustered index's output
-		// order (the aligned clustered index is partitioned with the table).
-		if !info.refCols[table+"."+p.Column] && cfg.ClusteredIndex(table) == nil {
-			continue
-		}
-		out = append(out, derive.Keyed{Key: "tp:" + table + "=" + p.String(), Structure: catalog.Structure{PartTable: table, Part: p}})
-	}
-	for _, v := range cfg.Views {
-		if info.isDML {
-			if v.References(info.target) {
-				out = append(out, derive.Keyed{Key: v.Key(), Structure: catalog.Structure{View: v}})
-			}
-			continue
-		}
-		if info.viewRelevant(v) {
-			out = append(out, derive.Keyed{Key: v.Key(), Structure: catalog.Structure{View: v}})
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out
 }
 
@@ -256,7 +321,14 @@ func (ev *evaluator) relevantKey(rel []derive.Keyed) string {
 	return b.String()
 }
 
+// eventCostByIndex evaluates one event under cfg, preparing the
+// configuration on the spot. Loops that evaluate many events under the same
+// configuration should prepare once and call eventCost directly.
 func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float64, []string, error) {
+	return ev.eventCost(i, ev.prepareConfig(cfg))
+}
+
+func (ev *evaluator) eventCost(i int, pc *preparedConfig) (float64, []string, error) {
 	info := ev.infos[i]
 	if info.q == nil {
 		// The statement does not resolve against the catalog (e.g. it
@@ -264,7 +336,8 @@ func (ev *evaluator) eventCostByIndex(i int, cfg *catalog.Configuration) (float6
 		// rather than failing the whole tuning session.
 		return 0, nil, nil
 	}
-	rel := ev.relevantStructures(info, cfg)
+	cfg := pc.cfg
+	rel := pc.relevant(info)
 	key := itoa(i) + "\x00" + ev.relevantKey(rel)
 	ev.mu.Lock()
 	if ce, ok := ev.cache[key]; ok {
@@ -462,20 +535,49 @@ func (ev *evaluator) skippedEvents() int {
 // is then folded sequentially in event order, because float addition is not
 // associative and the total must not depend on scheduling.
 func (ev *evaluator) configCost(cfg *catalog.Configuration) (float64, error) {
+	pc := ev.prepareConfig(cfg)
 	n := len(ev.events)
 	costs := make([]float64, n)
 	errs := make([]error, n)
 	ev.pool().each(n, func(i int) {
-		costs[i], _, errs[i] = ev.eventCostByIndex(i, cfg)
+		costs[i], _, errs[i] = ev.eventCost(i, pc)
 	})
 	var total float64
 	for i, e := range ev.events {
 		if errs[i] != nil {
 			return 0, errs[i]
 		}
-		total += e.Weight * costs[i]
+		total += ev.eventWeight(i, e) * costs[i]
 	}
 	return total, nil
+}
+
+// eventWeight returns event i's effective weight: its workload weight,
+// scaled by the session's slice multiplier when one is set.
+func (ev *evaluator) eventWeight(i int, e *workload.Event) float64 {
+	if ev.weights != nil {
+		return ev.weights[i]
+	}
+	return e.Weight
+}
+
+// applySliceWeights installs per-event effective weights from a
+// template-signature → multiplier map (Constraints.SliceWeights). A nil or
+// empty map clears the override. Must be called between parallel sections,
+// before the search phase that should observe the new weights.
+func (ev *evaluator) applySliceWeights(mult map[string]float64) {
+	if len(mult) == 0 {
+		ev.weights = nil
+		return
+	}
+	ev.weights = make([]float64, len(ev.events))
+	for i, e := range ev.events {
+		w := e.Weight
+		if m, ok := mult[e.Signature()]; ok {
+			w *= m
+		}
+		ev.weights[i] = w
+	}
 }
 
 func itoa(i int) string {

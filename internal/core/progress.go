@@ -25,7 +25,14 @@ const (
 	// sessions created from a streamed trace pass through it; snapshots in
 	// this phase carry IngestedEvents/IngestedBytes instead of search
 	// counters.
-	PhaseIngest      Phase = "ingest"
+	PhaseIngest Phase = "ingest"
+	// PhaseRevise is reported while a revision session rebuilds its
+	// evaluator state from a persisted CostedPool (workload re-parse,
+	// statistics replay, cache and derive-fact restore) before the
+	// search layer re-runs. Only sessions started by Revise pass
+	// through it; it replaces PhaseBaseline/PhaseColGroups/
+	// PhaseCandidates, whose work the pool already carries.
+	PhaseRevise      Phase = "revise"
 	PhaseBaseline    Phase = "baseline-costing"
 	PhaseDrops       Phase = "drop-analysis"
 	PhaseColGroups   Phase = "column-groups"
@@ -35,6 +42,15 @@ const (
 	PhaseReports     Phase = "reports"
 	PhaseDone        Phase = "done"
 )
+
+// Phases lists every pipeline phase in execution order — the one exported
+// constant set progress displays, obs spans, journal events, and the
+// service all share.
+func Phases() []Phase {
+	return []Phase{PhaseIngest, PhaseRevise, PhaseBaseline, PhaseDrops,
+		PhaseColGroups, PhaseCandidates, PhaseMerging, PhaseEnumeration,
+		PhaseReports, PhaseDone}
+}
 
 // Stop reasons recorded in Recommendation.StopReason when tuning ends before
 // the search space is exhausted. Either way the recommendation returned is
@@ -88,6 +104,10 @@ type Progress struct {
 	// eval-error, used-escape), the evaluations the derivation layer
 	// bailed out of and answered with a real optimizer call.
 	DeriveFallbacks map[string]int64 `json:"deriveFallbacks,omitempty"`
+	// Revised reports that this session is a search-only revision of a
+	// persisted costed pool: WhatIfCalls counts only the calls the search
+	// layer issued beyond what the pool could answer or derive.
+	Revised bool `json:"revised,omitempty"`
 }
 
 // String renders the snapshot as a one-line status.
@@ -174,6 +194,10 @@ type tracker struct {
 	// the session consumed. Written once at construction.
 	ingestEvents int64
 	ingestBytes  int64
+
+	// revised marks a search-only revision session (core.Revise); echoed
+	// into every Progress snapshot. Written once before tuning starts.
+	revised bool
 
 	// jnl is the session's decision journal (nil = journaling off). It
 	// is picked up from the context like the trace, and emission happens
@@ -320,7 +344,7 @@ func (tr *tracker) doCtx() context.Context {
 // these stages retries escalate instead of degrading: a permanent failure
 // there fails the session, so it is made astronomically unlikely first.
 func (tr *tracker) critical() bool {
-	return tr == nil || tr.finishing || tr.phase == PhaseBaseline
+	return tr == nil || tr.finishing || tr.phase == PhaseBaseline || tr.phase == PhaseRevise
 }
 
 // degrade trips the session into degraded mode: the search winds down at
@@ -546,5 +570,6 @@ func (tr *tracker) emit() {
 		IngestedBytes:   tr.ingestBytes,
 		DerivedEvals:    derived,
 		DeriveFallbacks: fallbacks,
+		Revised:         tr.revised,
 	})
 }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/derive"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// reviseServer builds a small two-table server (20k-row fact, 1k-row
+// dimension) with data attached. Each call builds an identical, independent
+// server, so fresh-run comparisons start from first-touch statistics state.
+func reviseServer(tb testing.TB) *whatif.Server {
+	tb.Helper()
+	cat := catalog.New()
+	db := catalog.NewDatabase("db")
+	db.AddTable(catalog.NewTable("db", "t", 0,
+		&catalog.Column{Name: "id", Type: catalog.TypeInt, Width: 8, Distinct: 20000, Min: 0, Max: 19999},
+		&catalog.Column{Name: "x", Type: catalog.TypeInt, Width: 8, Distinct: 2000, Min: 0, Max: 1999},
+		&catalog.Column{Name: "a", Type: catalog.TypeInt, Width: 8, Distinct: 50, Min: 0, Max: 49},
+		&catalog.Column{Name: "d_id", Type: catalog.TypeInt, Width: 8, Distinct: 1000, Min: 0, Max: 999},
+		&catalog.Column{Name: "amt", Type: catalog.TypeFloat, Width: 8, Distinct: 500, Min: 0, Max: 499},
+		&catalog.Column{Name: "pad", Type: catalog.TypeString, Width: 60, Distinct: 20000, Min: 0, Max: 19999},
+	))
+	db.AddTable(catalog.NewTable("db", "d", 0,
+		&catalog.Column{Name: "d_id", Type: catalog.TypeInt, Width: 8, Distinct: 1000, Min: 0, Max: 999},
+		&catalog.Column{Name: "grp", Type: catalog.TypeInt, Width: 8, Distinct: 10, Min: 0, Max: 9},
+	))
+	cat.AddDatabase(db)
+
+	data := engine.NewDatabase(cat)
+	const rows = 20000
+	trows := make([][]engine.Value, 0, rows)
+	for i := 0; i < rows; i++ {
+		trows = append(trows, []engine.Value{
+			engine.Num(float64(i)),
+			engine.Num(float64((i * 37) % 2000)),
+			engine.Num(float64(i % 50)),
+			engine.Num(float64(i % 1000)),
+			engine.Num(float64((i * 13) % 500)),
+			engine.Str(fmt.Sprintf("pad%05d", i)),
+		})
+	}
+	if err := data.Load("t", trows); err != nil {
+		tb.Fatal(err)
+	}
+	drows := make([][]engine.Value, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		drows = append(drows, []engine.Value{engine.Num(float64(i)), engine.Num(float64(i % 10))})
+	}
+	if err := data.Load("d", drows); err != nil {
+		tb.Fatal(err)
+	}
+	s := whatif.NewServer("db", cat, optimizer.DefaultHardware())
+	s.AttachData(data)
+	return s
+}
+
+func reviseWorkload(tb testing.TB) *workload.Workload {
+	tb.Helper()
+	return workload.MustNew(
+		"SELECT id FROM t WHERE x = 42",
+		"SELECT id FROM t WHERE x = 99",
+		"SELECT amt FROM t WHERE a = 7 AND x > 100",
+		"SELECT t.id FROM t, d WHERE t.d_id = d.d_id AND d.grp = 3",
+		"SELECT a, SUM(amt) FROM t GROUP BY a",
+		"SELECT id FROM t WHERE amt = 250",
+		"UPDATE t SET amt = 0 WHERE x = 5",
+	)
+}
+
+// normalizeRec serializes a recommendation with its run-accounting fields
+// (call counts, derive stats, stats created, duration) blanked: everything
+// else — configuration, costs, improvement, storage, reports, usage, drops
+// — must be byte-identical between a revision and a fresh run.
+func normalizeRec(tb testing.TB, r *Recommendation) string {
+	tb.Helper()
+	c := *r
+	c.WhatIfCalls = 0
+	c.DerivedEvals = 0
+	c.DeriveFallbacks = nil
+	c.StatsCreated = 0
+	c.Duration = 0
+	b, err := json.MarshalIndent(&c, "", " ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(b)
+}
+
+// reviseBase returns the existing physical design the equivalence matrix
+// runs against: one useful index and one useless one, so drop analysis has
+// a real decision to make per constraint set.
+func reviseBase() *catalog.Configuration {
+	base := catalog.NewConfiguration()
+	base.AddIndex(catalog.NewIndex("t", "a", "pad"))
+	base.AddIndex(catalog.NewIndex("d", "grp"))
+	return base
+}
+
+// TestReviseEquivalence is the revision-equivalence property test: for a
+// matrix of derive modes and parallelism levels, Revise(pool, C) must
+// produce a byte-identical recommendation to a fresh full TuneContext run
+// under constraints C (on an identically built fresh server), with
+// search-only what-if calls never exceeding the full run's — across
+// storage-bound changes, pinned and vetoed structures, and workload-slice
+// reweighting. A revision to the pool's own constraints must reproduce the
+// original recommendation exactly.
+func TestReviseEquivalence(t *testing.T) {
+	for _, mode := range []derive.Mode{derive.Off, derive.On, derive.Verify} {
+		for _, par := range []int{1, 4} {
+			if mode == derive.Verify && par != 1 {
+				continue // verify doubles backend load; one level covers it
+			}
+			t.Run(fmt.Sprintf("derive=%s/P=%d", mode, par), func(t *testing.T) {
+				w := reviseWorkload(t)
+				origOpts := Options{
+					Features:      FeatureIndexes | FeaturePartitioning,
+					BaseConfig:    reviseBase(),
+					AllowDrops:    true,
+					StorageBudget: 64 << 20,
+					Derive:        mode,
+					Parallelism:   par,
+					SkipReports:   false,
+				}
+
+				var pool *CostedPool
+				origOpts.PoolSink = func(p *CostedPool) { pool = p }
+				srv := reviseServer(t)
+				orig, err := TuneContext(context.Background(), srv, w, origOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pool == nil {
+					t.Fatal("PoolSink never received a costed pool")
+				}
+				if err := pool.Check(); err != nil {
+					t.Fatal(err)
+				}
+				// Serialize and reload: Revise must work from the persisted
+				// form, exactly as dta -revise and the service use it.
+				raw, err := json.Marshal(pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var loaded CostedPool
+				if err := json.Unmarshal(raw, &loaded); err != nil {
+					t.Fatal(err)
+				}
+				if err := loaded.Check(); err != nil {
+					t.Fatalf("pool fingerprint broken by JSON round trip: %v", err)
+				}
+
+				if len(orig.NewStructures) == 0 {
+					t.Fatal("original run recommended nothing; constraint variants need a structure to pin/veto")
+				}
+				pin := catalog.NewConfiguration()
+				orig.NewStructures[0].ApplyTo(pin)
+				vetoKey := orig.NewStructures[0].Key()
+				sig := w.Events[0].Signature()
+
+				variants := []struct {
+					name string
+					cons Constraints
+					// mutate builds the fresh-run Options for the same
+					// constraints from the original ones.
+					mutate func(o Options) Options
+				}{
+					{"same", Constraints{StorageBudget: origOpts.StorageBudget},
+						func(o Options) Options { return o }},
+					{"half-budget", Constraints{StorageBudget: origOpts.StorageBudget / 8},
+						func(o Options) Options { o.StorageBudget = origOpts.StorageBudget / 8; return o }},
+					{"pin", Constraints{StorageBudget: origOpts.StorageBudget, Pinned: pin},
+						func(o Options) Options { o.UserConfig = pin; return o }},
+					{"veto", Constraints{StorageBudget: origOpts.StorageBudget, Vetoed: []string{vetoKey}},
+						func(o Options) Options { o.Vetoed = []string{vetoKey}; return o }},
+					{"reweight", Constraints{StorageBudget: origOpts.StorageBudget, SliceWeights: map[string]float64{sig: 25}},
+						func(o Options) Options { o.SliceWeights = map[string]float64{sig: 25}; return o }},
+				}
+				for _, v := range variants {
+					t.Run(v.name, func(t *testing.T) {
+						revised, err := Revise(context.Background(), srv, &loaded, v.cons, Options{Parallelism: par})
+						if err != nil {
+							t.Fatal(err)
+						}
+						freshOpts := v.mutate(origOpts)
+						freshOpts.PoolSink = nil
+						fresh, err := TuneContext(context.Background(), reviseServer(t), w, freshOpts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got, want := normalizeRec(t, revised), normalizeRec(t, fresh); got != want {
+							t.Errorf("revised recommendation differs from fresh run under same constraints\nrevised: %s\nfresh: %s", got, want)
+						}
+						if revised.WhatIfCalls > fresh.WhatIfCalls {
+							t.Errorf("revision issued more what-if calls (%d) than the fresh run (%d)", revised.WhatIfCalls, fresh.WhatIfCalls)
+						}
+						if v.name == "same" {
+							if got, want := normalizeRec(t, revised), normalizeRec(t, orig); got != want {
+								t.Errorf("same-constraints revision differs from the original recommendation\nrevised: %s\noriginal: %s", got, want)
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestReviseZeroCallsOnSelectOnlyWorkload checks the CoPhy headline on a
+// SELECT-only workload with derivation on: a storage-bound revision against
+// the pool answers every evaluation from cached atoms or derived facts —
+// zero new what-if optimizer calls.
+func TestReviseZeroCallsOnSelectOnlyWorkload(t *testing.T) {
+	w := workload.MustNew(
+		"SELECT id FROM t WHERE x = 42",
+		"SELECT amt FROM t WHERE a = 7 AND x > 100",
+		"SELECT t.id FROM t, d WHERE t.d_id = d.d_id AND d.grp = 3",
+		"SELECT a, SUM(amt) FROM t GROUP BY a",
+		"SELECT id FROM t WHERE amt = 250",
+	)
+	var pool *CostedPool
+	srv := reviseServer(t)
+	_, err := TuneContext(context.Background(), srv, w, Options{
+		Features:      FeatureIndexes,
+		StorageBudget: 64 << 20,
+		Derive:        derive.On,
+		PoolSink:      func(p *CostedPool) { pool = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool == nil {
+		t.Fatal("no pool captured")
+	}
+	for _, budget := range []int64{8 << 20, 32 << 20, 128 << 20} {
+		rec, err := Revise(context.Background(), srv, pool, Constraints{StorageBudget: budget}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.WhatIfCalls != 0 {
+			t.Errorf("budget %d: revision issued %d what-if calls, want 0", budget, rec.WhatIfCalls)
+		}
+	}
+}
+
+// TestRevisePoolCheck ensures tampered pools are rejected.
+func TestRevisePoolCheck(t *testing.T) {
+	p := &CostedPool{Statements: []workload.Statement{{SQL: "SELECT 1", Weight: 1}}}
+	if err := p.Check(); err == nil {
+		t.Fatal("unstamped pool passed Check")
+	}
+	p.Fingerprint = p.ComputeFingerprint()
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	p.Statements[0].Weight = 2
+	if err := p.Check(); err == nil {
+		t.Fatal("tampered pool passed Check")
+	}
+}

@@ -425,6 +425,112 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 	}
 }
 
+// FactRecord is one serialized plan fact: the event it belongs to, the base
+// part of its scope, the node's canonical joined key set, and the recorded
+// optimizer answer (cost, used structures, and — when the backend produced
+// one — the plan skeleton). Facts serialize only for the current statistics
+// epoch, so a restored engine never mixes epochs.
+type FactRecord struct {
+	// Event is the workload event index the fact belongs to.
+	Event int `json:"event"`
+	// Base is the joined base-part key of the fact's scope.
+	Base string `json:"base,omitempty"`
+	// Node is the canonical joined key set of the fact's configuration.
+	Node string `json:"node"`
+	// Cost is the recorded optimizer cost.
+	Cost float64 `json:"cost"`
+	// Used holds the used-structure keys of the winning plan.
+	Used []string `json:"used,omitempty"`
+	// Alts is the plan skeleton, when the backend produced one.
+	Alts *optimizer.Alternatives `json:"alts,omitempty"`
+}
+
+// Snapshot is the engine's serializable state at one statistics epoch: the
+// structure registry and every fact recorded at the current epoch, both
+// sorted so identical states produce byte-identical JSON. It is the derive
+// half of a core.CostedPool: a restored engine answers exactly the
+// evaluations the original engine could answer at its final epoch.
+type Snapshot struct {
+	// Mode is the engine's derivation mode.
+	Mode Mode `json:"mode"`
+	// Structs is the structure registry, sorted by key.
+	Structs []Keyed `json:"structs,omitempty"`
+	// Facts holds the current-epoch facts, sorted by (event, base, node).
+	Facts []FactRecord `json:"facts,omitempty"`
+}
+
+// Snapshot captures the engine's current-epoch state for persistence. Facts
+// recorded under older statistics epochs are deliberately dropped: they can
+// never answer a resolution at the final epoch, and omitting them keeps the
+// snapshot's fingerprint a pure function of the reusable state. Safe on nil
+// (returns nil).
+func (e *Engine) Snapshot() *Snapshot {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &Snapshot{Mode: e.mode}
+	keys := make([]string, 0, len(e.structs))
+	for k := range e.structs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Structs = append(s.Structs, Keyed{Key: k, Structure: e.structs[k]})
+	}
+	for scope, byNode := range e.facts {
+		if scope.epoch != e.epoch {
+			continue
+		}
+		for node, f := range byNode {
+			s.Facts = append(s.Facts, FactRecord{
+				Event: scope.event, Base: scope.base, Node: node,
+				Cost: f.cost, Used: append([]string(nil), f.used...), Alts: f.alts,
+			})
+		}
+	}
+	sort.Slice(s.Facts, func(i, j int) bool {
+		a, b := s.Facts[i], s.Facts[j]
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		if a.Base != b.Base {
+			return a.Base < b.Base
+		}
+		return a.Node < b.Node
+	})
+	return s
+}
+
+// Restore loads a snapshot into the engine at epoch zero, replacing any
+// existing state. As long as no statistics are created afterwards (the
+// search layer never creates statistics), every restored fact stays valid
+// and resolutions behave exactly as they would have on the original engine
+// at its final epoch. Safe on nil (either side).
+func (e *Engine) Restore(s *Snapshot) {
+	if e == nil || s == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch = 0
+	e.structs = make(map[string]catalog.Structure, len(s.Structs))
+	for _, k := range s.Structs {
+		e.structs[k.Key] = k.Structure
+	}
+	e.facts = make(map[factScope]map[string]*fact, len(s.Facts))
+	for _, f := range s.Facts {
+		scope := factScope{event: f.Event, epoch: 0, base: f.Base}
+		byNode := e.facts[scope]
+		if byNode == nil {
+			byNode = map[string]*fact{}
+			e.facts[scope] = byNode
+		}
+		byNode[f.Node] = &fact{cost: f.Cost, used: append([]string(nil), f.Used...), alts: f.Alts}
+	}
+}
+
 // VerifyOutcome feeds one Verify-mode cross-check result into the engine's
 // accounting: match, mismatch, or backend error (err). Safe on nil.
 func (e *Engine) VerifyOutcome(match bool, err error) {

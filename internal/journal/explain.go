@@ -100,13 +100,13 @@ func Explain(events []Event, structures []string) *Explanation {
 				parents[e.Structure] = append([]string{}, e.Parents...)
 			}
 		case KindSeed:
-			if e.Scope == "enumeration" {
+			if e.Scope == ScopeEnumeration {
 				for _, s := range e.Structures {
 					admitted[s] = e
 				}
 			}
 		case KindStep:
-			if e.Scope == "enumeration" && e.Accepted {
+			if e.Scope == ScopeEnumeration && e.Accepted {
 				admitted[e.Structure] = e
 			}
 		}

@@ -71,6 +71,18 @@ const (
 	// KindStop records a non-empty stop reason (time-limit, cancelled,
 	// degraded) on the finished recommendation.
 	KindStop Kind = "stop"
+	// KindRevise records a session-revision start: a search-only re-run
+	// against a persisted costed pool under changed constraints.
+	KindRevise Kind = "revise"
+)
+
+// Scope values for seed/step events: the per-query candidate-selection
+// greedy versus the global enumeration greedy.
+const (
+	// ScopeQuery marks a per-query Greedy(m,k) candidate-selection event.
+	ScopeQuery = "query"
+	// ScopeEnumeration marks a global enumeration greedy event.
+	ScopeEnumeration = "enumeration"
 )
 
 // Kinds lists every event kind in its canonical order (the order
@@ -78,7 +90,8 @@ const (
 // order documentation and filters enumerate).
 func Kinds() []Kind {
 	return []Kind{KindPhase, KindQuery, KindCandidate, KindSeed, KindStep,
-		KindMerge, KindDrop, KindDeriveFallback, KindRetry, KindBreaker, KindStop}
+		KindMerge, KindDrop, KindDeriveFallback, KindRetry, KindBreaker, KindStop,
+		KindRevise}
 }
 
 // Event is one journal entry. Seq and T are stamped by Append; the rest

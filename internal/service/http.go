@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strings"
@@ -139,6 +140,7 @@ func (c CreateOptions) toCore() (core.Options, error) {
 //	GET    /sessions/{id}/trace  session timeline as Chrome trace-event JSON
 //	GET    /sessions/{id}/journal decision journal as NDJSON (?kind= filters)
 //	GET    /sessions/{id}/explain per-structure provenance from the journal
+//	PATCH  /sessions/{id}        revise a completed session under changed constraints
 //	DELETE /sessions/{id}        cancel a session
 //	GET    /metrics              Prometheus text exposition (JSON with Accept: application/json)
 //	GET    /metrics.json         cumulative service metrics, JSON
@@ -154,6 +156,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/trace", m.handleTrace)
 	mux.HandleFunc("GET /sessions/{id}/journal", m.handleJournal)
 	mux.HandleFunc("GET /sessions/{id}/explain", m.handleExplain)
+	mux.HandleFunc("PATCH /sessions/{id}", m.handleRevise)
 	mux.HandleFunc("DELETE /sessions/{id}", m.handleCancel)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", m.handleMetricsJSON)
@@ -346,6 +349,42 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleRevise is PATCH /sessions/{id}: create a child session that
+// replays the completed session's retained costed pool under the
+// constraint changes in the body (ReviseRequest; absent fields inherit the
+// parent's constraints). Only the search layer re-runs — the response is
+// the child's snapshot (201, Location header), whose lineage is in
+// revisedFrom. A session that is not done, or whose pool retention
+// expired, is a 409; an unresolvable pin key or malformed body is a 400.
+func (m *Manager) handleRevise(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	if st := s.State(); st != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("session %s is %s; revision requires a completed session", s.ID(), st))
+		return
+	}
+	if s.Pool() == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("session %s retains no costed pool (retention expired, or the session predates pool retention)", s.ID()))
+		return
+	}
+	var body ReviseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	child, err := m.Revise(s.ID(), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+child.ID())
+	writeJSON(w, http.StatusCreated, child.Snapshot())
 }
 
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -74,11 +74,12 @@ func (m *Manager) CreateStreaming(req Request, trace io.Reader) (*Session, error
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	s, err := m.addSession("", b.Name, cancel)
+	s, err := m.addSession("", b.Name, "", cancel)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
+	s.cons = opts.SearchConstraints()
 	m.log.Info("session created (streaming ingest)", "session", s.id, "backend", b.Name)
 
 	// The ingest span precedes the session root span run() opens; both land

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// ReviseRequest is the JSON body of PATCH /sessions/{id}: the constraint
+// changes to replay against the completed session's retained costed pool.
+// Absent (null) fields inherit the parent session's value; present fields
+// replace it wholesale — an empty non-null pin or veto list clears the
+// inherited one.
+type ReviseRequest struct {
+	// StorageMB replaces the recommendation's storage budget (0 = unbounded).
+	StorageMB *int64 `json:"storageMB,omitempty"`
+	// Aligned replaces the partition-alignment requirement.
+	Aligned *bool `json:"aligned,omitempty"`
+	// Pin replaces the pinned partial configuration with the structures
+	// named by these keys, resolved against the pool's candidate set, its
+	// base configuration, and the parent's own pinned structures. An
+	// unresolvable key fails the request.
+	Pin []string `json:"pin,omitempty"`
+	// Veto replaces the vetoed structure keys: matching candidates are
+	// excluded from merging and enumeration.
+	Veto []string `json:"veto,omitempty"`
+	// SliceWeights replaces the workload-slice weight multipliers
+	// (statement template signature → multiplier).
+	SliceWeights map[string]float64 `json:"sliceWeights,omitempty"`
+}
+
+// mergeConstraints applies a revision request on top of the parent
+// session's constraints. Pin keys resolve against the pool's candidates,
+// its base configuration, and the parent's pinned structures — the three
+// places a structure a DBA saw in a report can have come from.
+func mergeConstraints(cons core.Constraints, pool *core.CostedPool, req ReviseRequest) (core.Constraints, error) {
+	if req.StorageMB != nil {
+		cons.StorageBudget = *req.StorageMB << 20
+	}
+	if req.Aligned != nil {
+		cons.Aligned = *req.Aligned
+	}
+	if req.Veto != nil {
+		cons.Vetoed = req.Veto
+	}
+	if req.SliceWeights != nil {
+		cons.SliceWeights = req.SliceWeights
+	}
+	if req.Pin != nil {
+		if len(req.Pin) == 0 {
+			cons.Pinned = nil
+		} else {
+			byKey := map[string]catalog.Structure{}
+			for _, st := range pool.Candidates {
+				byKey[st.Key()] = st
+			}
+			if pool.Base != nil {
+				for _, st := range pool.Base.Structures() {
+					byKey[st.Key()] = st
+				}
+			}
+			if cons.Pinned != nil {
+				for _, st := range cons.Pinned.Structures() {
+					byKey[st.Key()] = st
+				}
+			}
+			pin := catalog.NewConfiguration()
+			for _, k := range req.Pin {
+				st, ok := byKey[k]
+				if !ok {
+					return cons, fmt.Errorf("service: pin key %q matches no pool candidate or base structure", k)
+				}
+				st.ApplyTo(pin)
+			}
+			cons.Pinned = pin
+		}
+	}
+	return cons, nil
+}
+
+// Revise creates a child session that replays the parent's retained costed
+// pool under changed constraints, re-running only the search layer — no
+// candidate regeneration, and no what-if call the pool can't answer or
+// derive. The child runs asynchronously like any session, queued behind the
+// worker limit; its snapshot carries the parent in RevisedFrom and the
+// parent's snapshot lists it under Revisions. The parent must be a
+// completed (done) session whose pool is still retained.
+func (m *Manager) Revise(parentID string, req ReviseRequest) (*Session, error) {
+	parent, ok := m.Get(parentID)
+	if !ok {
+		return nil, fmt.Errorf("service: no session %q", parentID)
+	}
+	parent.mu.Lock()
+	state := parent.state
+	pool := parent.pool
+	cons := parent.cons
+	parent.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("service: session %s is %s; revision requires a completed session", parentID, state)
+	}
+	if pool == nil {
+		return nil, fmt.Errorf("service: session %s retains no costed pool (retention expired, or the session predates pool retention)", parentID)
+	}
+	cons, err := mergeConstraints(cons, pool, req)
+	if err != nil {
+		return nil, err
+	}
+	b, err := m.backend(parent.backend)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := m.addSession("", parent.backend, parent.id, cancel)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.cons = cons
+	parent.mu.Lock()
+	parent.revisions = append(parent.revisions, s.id)
+	parent.mu.Unlock()
+	m.revised.Add(1)
+	m.cRevSessions.Inc()
+	m.log.Info("revision created", "session", s.id, "parent", parent.id,
+		"backend", parent.backend, "pool", pool.Fingerprint[:12])
+
+	go m.runRevise(ctx, s, b, pool, cons)
+	return s, nil
+}
+
+// runRevise executes one revision session: wait for a worker slot, replay
+// the search layer against the pool, finish. It mirrors run with
+// revision-specific accounting — the dta_revise_* series instead of the
+// ingest series, and the pool fingerprint on the root span. The revised
+// session retains its own pool, so revisions chain.
+func (m *Manager) runRevise(ctx context.Context, s *Session, b *Backend, pool *core.CostedPool, cons core.Constraints) {
+	ctx = obs.WithTrace(ctx, s.trace)
+	ctx = journal.WithContext(ctx, s.journal)
+	ctx, root := obs.StartSpan(ctx, "session", "session "+s.id)
+	root.SetArg("backend", b.Name).SetArg("revisedFrom", s.revisedFrom).
+		SetArg("pool", pool.Fingerprint)
+
+	_, queued := obs.StartSpan(ctx, "session", "queued")
+	select {
+	case m.sem <- struct{}{}:
+		queued.End()
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		queued.End()
+		root.SetArg("state", string(StateCancelled)).End()
+		m.cancelled.Add(1)
+		m.cFinished[StateCancelled].Inc()
+		m.log.Info("revision cancelled while queued", "session", s.id)
+		s.finish(StateCancelled, nil, nil)
+		return
+	}
+	s.setRunning()
+	m.log.Info("revision started", "session", s.id, "parent", s.revisedFrom)
+
+	opts := core.Options{
+		Parallelism: m.clampParallelism(0),
+		Metrics:     m.reg,
+		Progress: func(p core.Progress) {
+			if p.Degraded && s.degraded.CompareAndSwap(false, true) {
+				m.gBreaker.Add(1)
+				m.log.Warn("session degraded: circuit breaker open", "session", s.id)
+			}
+			s.onProgress(p)
+		},
+		PoolSink: func(p *core.CostedPool) { m.retainPool(s, p) },
+	}
+	start := time.Now()
+	rec, err := core.Revise(ctx, b.Tuner, pool, cons, opts)
+	elapsed := time.Since(start)
+
+	st := StateDone
+	switch {
+	case err != nil && ctx.Err() != nil:
+		st = StateCancelled
+		m.cancelled.Add(1)
+		s.finish(StateCancelled, nil, err)
+	case err != nil:
+		st = StateFailed
+		m.failed.Add(1)
+		s.finish(StateFailed, nil, err)
+	case rec.StopReason == core.StopCancelled:
+		st = StateCancelled
+		m.cancelled.Add(1)
+		m.whatIfCalls.Add(rec.WhatIfCalls)
+		s.finish(StateCancelled, rec, nil)
+	default:
+		m.completed.Add(1)
+		m.whatIfCalls.Add(rec.WhatIfCalls)
+		s.finish(StateDone, rec, nil)
+	}
+
+	if s.degraded.Load() {
+		m.gBreaker.Add(-1)
+	}
+	m.cFinished[st].Inc()
+	m.hDuration.Observe(elapsed.Seconds())
+	m.hRevDuration.Observe(elapsed.Seconds())
+	root.SetArg("state", string(st))
+	if rec != nil {
+		m.cCalls.Add(float64(rec.WhatIfCalls))
+		m.cRevCalls.Add(float64(rec.WhatIfCalls))
+		m.hCalls.Observe(float64(rec.WhatIfCalls))
+		m.hImprove.Observe(rec.Improvement)
+		root.SetArg("whatIfCalls", rec.WhatIfCalls).SetArg("improvement", rec.Improvement)
+		m.log.Info("revision finished", "session", s.id, "state", string(st),
+			"duration", elapsed, "whatIfCalls", rec.WhatIfCalls,
+			"improvement", rec.Improvement)
+	} else {
+		m.log.Info("revision finished", "session", s.id, "state", string(st),
+			"duration", elapsed, "error", err)
+	}
+	root.End()
+}

@@ -86,6 +86,10 @@ type Session struct {
 	id      string
 	backend string
 	created time.Time
+	// revisedFrom is the parent session ID for sessions created by
+	// PATCH /sessions/{id} (""= fresh session). Set before the session is
+	// published and immutable afterwards.
+	revisedFrom string
 	// trace collects the session's span timeline (session → phase → query →
 	// greedy step → what-if call); exported as Chrome trace-event JSON at
 	// GET /sessions/{id}/trace.
@@ -113,6 +117,17 @@ type Session struct {
 	finished time.Time
 	rec      *core.Recommendation
 	err      error
+	// cons is the search-layer constraint set the session ran under; a
+	// revision inherits it field-by-field unless the PATCH body overrides.
+	cons core.Constraints
+	// pool is the costed pool retained after a successful completion, the
+	// input of session revision; nil until then and again after the
+	// retention TTL expires. poolGen guards the expiry timer against
+	// clearing a pool retained later.
+	pool    *core.CostedPool
+	poolGen int
+	// revisions lists child sessions created by revising this one.
+	revisions []string
 }
 
 // ID returns the session identifier.
@@ -120,6 +135,19 @@ func (s *Session) ID() string { return s.id }
 
 // Backend returns the backend the session tunes.
 func (s *Session) Backend() string { return s.backend }
+
+// RevisedFrom returns the parent session ID for sessions created by
+// PATCH /sessions/{id} revision; "" for fresh sessions.
+func (s *Session) RevisedFrom() string { return s.revisedFrom }
+
+// Pool returns the session's retained costed pool: nil while the session
+// runs, set after a successful completion, nil again once the pool
+// retention TTL expires.
+func (s *Session) Pool() *core.CostedPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
 
 // Trace returns the session's span timeline. It is live: a running session's
 // trace grows as spans complete, and exporting it at any time is safe.
@@ -264,6 +292,13 @@ type Snapshot struct {
 	Progress core.Progress `json:"progress"`
 	Error    string        `json:"error,omitempty"`
 	Result   *Result       `json:"result,omitempty"`
+	// RevisedFrom is the parent session for revision sessions.
+	RevisedFrom string `json:"revisedFrom,omitempty"`
+	// Revisions lists child sessions created by revising this one.
+	Revisions []string `json:"revisions,omitempty"`
+	// PoolFingerprint is the content address of the session's retained
+	// costed pool; present exactly while the session is revisable.
+	PoolFingerprint string `json:"poolFingerprint,omitempty"`
 }
 
 // Result summarizes a terminal session's recommendation.
@@ -293,11 +328,16 @@ func (s *Session) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Snapshot{
-		ID:       s.id,
-		Backend:  s.backend,
-		State:    s.state,
-		Created:  s.created,
-		Progress: s.progress,
+		ID:          s.id,
+		Backend:     s.backend,
+		State:       s.state,
+		Created:     s.created,
+		Progress:    s.progress,
+		RevisedFrom: s.revisedFrom,
+		Revisions:   append([]string(nil), s.revisions...),
+	}
+	if s.pool != nil {
+		out.PoolFingerprint = s.pool.Fingerprint
 	}
 	if !s.started.IsZero() {
 		t := s.started
@@ -356,6 +396,10 @@ type Manager struct {
 	// request leaves options.derive empty (dtaserver -derive).
 	deriveDefault derive.Mode
 
+	// poolTTL bounds how long a completed session's costed pool is retained
+	// for revision (dtaserver -pool-retention; 0 = the life of the process).
+	poolTTL time.Duration
+
 	// reg is the observability registry shared by the service, every
 	// backend's what-if server, and every session's tuning pipeline; exposed
 	// as Prometheus text at GET /metrics.
@@ -378,6 +422,10 @@ type Manager struct {
 	failed    atomic.Int64
 	// whatIfCalls sums the session-exact call counts of finished sessions.
 	whatIfCalls atomic.Int64
+	// revised counts revision sessions created; poolsRetained tracks pools
+	// currently held for revision (mirrors the dta_pools_retained gauge).
+	revised       atomic.Int64
+	poolsRetained atomic.Int64
 
 	// Registry series mirroring the lifecycle counters above, cached at
 	// construction so the run loop never takes registry locks.
@@ -399,6 +447,13 @@ type Manager struct {
 	cIngestBytes  *obs.Counter
 	hTemplates    *obs.Histogram
 	hRatio        *obs.Histogram
+	// Revision series (see Revise): sessions created through
+	// PATCH /sessions/{id}, the search-only what-if calls they issued, their
+	// wall time, and the pools currently retained to serve them.
+	cRevSessions *obs.Counter
+	cRevCalls    *obs.Counter
+	hRevDuration *obs.Histogram
+	gPools       *obs.Gauge
 }
 
 // NewManager creates a manager running at most workers sessions at once
@@ -441,6 +496,14 @@ func NewManager(workers int) *Manager {
 			"Distinct statement templates observed per streamed trace.", obs.CountBuckets),
 		hRatio: reg.Histogram("dta_compress_ratio",
 			"Workload compression ratio (raw events per kept representative) per streamed trace.", obs.RatioBuckets),
+		cRevSessions: reg.Counter("dta_revise_sessions_total",
+			"Revision sessions created via PATCH /sessions/{id}."),
+		cRevCalls: reg.Counter("dta_revise_whatif_calls_total",
+			"What-if calls issued by finished revision sessions (search-layer pool misses only)."),
+		hRevDuration: reg.Histogram("dta_revise_duration_seconds",
+			"Wall time of finished revision sessions.", obs.LatencyBuckets),
+		gPools: reg.Gauge("dta_pools_retained",
+			"Costed pools currently retained in memory for session revision."),
 	}
 	return m
 }
@@ -470,6 +533,61 @@ func (m *Manager) SetDeriveDefault(mode derive.Mode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.deriveDefault = mode
+}
+
+// SetPoolRetention bounds how long a completed session keeps its costed
+// pool available for revision (dtaserver -pool-retention). Zero — the
+// default — retains pools for the life of the process. Call before
+// serving; the TTL applies to pools retained afterwards.
+func (m *Manager) SetPoolRetention(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	m.poolTTL = d
+}
+
+// retainPool keeps a completed session's costed pool for revision: in
+// memory on the session (bounded by the retention TTL) and, with a state
+// directory attached, as <id>.pool.json on disk — a file removeState never
+// touches, so pools survive session completion and server restarts.
+func (m *Manager) retainPool(s *Session, p *core.CostedPool) {
+	m.mu.Lock()
+	ttl := m.poolTTL
+	m.mu.Unlock()
+	s.mu.Lock()
+	had := s.pool != nil
+	s.pool = p
+	s.poolGen++
+	gen := s.poolGen
+	s.mu.Unlock()
+	if !had {
+		m.poolsRetained.Add(1)
+		m.gPools.Add(1)
+	}
+	m.writePool(s.id, p)
+	if ttl > 0 {
+		time.AfterFunc(ttl, func() { m.expirePool(s, gen) })
+	}
+}
+
+// expirePool drops a session's retained pool once its retention TTL runs
+// out; the generation check keeps a stale timer from clearing a pool
+// retained after it was armed.
+func (m *Manager) expirePool(s *Session, gen int) {
+	s.mu.Lock()
+	expired := s.pool != nil && s.poolGen == gen
+	if expired {
+		s.pool = nil
+	}
+	s.mu.Unlock()
+	if expired {
+		m.poolsRetained.Add(-1)
+		m.gPools.Add(-1)
+		m.removePool(s.id)
+		m.log.Info("pool retention expired", "session", s.id)
+	}
 }
 
 // SetLogger replaces the manager's logger (default: discard). Session
@@ -575,11 +693,12 @@ func (m *Manager) create(req Request, id string, resume *core.Checkpoint) (*Sess
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	s, err := m.addSession(id, b.Name, cancel)
+	s, err := m.addSession(id, b.Name, "", cancel)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
+	s.cons = opts.SearchConstraints()
 	m.log.Info("session created", "session", s.id, "backend", b.Name, "events", w.Len())
 
 	// Persist the manifest and hook up checkpointing when a state directory
@@ -630,8 +749,9 @@ func (m *Manager) clampParallelism(p int) int {
 // addSession allocates, registers, and counts a new pending session. An empty
 // id takes the next sequence number; a caller-supplied id (the resume path)
 // must not collide with a live session, and the sequence is kept ahead of it
-// so fresh sessions never collide either.
-func (m *Manager) addSession(id, backend string, cancel context.CancelFunc) (*Session, error) {
+// so fresh sessions never collide either. revisedFrom records revision
+// lineage ("" for fresh sessions).
+func (m *Manager) addSession(id, backend, revisedFrom string, cancel context.CancelFunc) (*Session, error) {
 	m.mu.Lock()
 	if id == "" {
 		m.seq++
@@ -647,13 +767,14 @@ func (m *Manager) addSession(id, backend string, cancel context.CancelFunc) (*Se
 		}
 	}
 	s := &Session{
-		id:      id,
-		backend: backend,
-		created: time.Now(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StatePending,
-		subs:    map[int]chan Event{},
+		id:          id,
+		backend:     backend,
+		created:     time.Now(),
+		revisedFrom: revisedFrom,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       StatePending,
+		subs:        map[int]chan Event{},
 	}
 	s.trace = obs.NewTrace(s.id)
 	s.journal = journal.New(s.id)
@@ -707,6 +828,13 @@ func (m *Manager) run(ctx context.Context, s *Session, b *Backend, w *workload.W
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = m.reg
+	}
+	userSink := opts.PoolSink
+	opts.PoolSink = func(p *core.CostedPool) {
+		m.retainPool(s, p)
+		if userSink != nil {
+			userSink(p)
+		}
 	}
 	start := time.Now()
 	rec, err := core.TuneContext(ctx, b.Tuner, w, opts)
@@ -799,6 +927,8 @@ type Metrics struct {
 	SessionsDone      int64            `json:"sessionsDone"`
 	SessionsCancelled int64            `json:"sessionsCancelled"`
 	SessionsFailed    int64            `json:"sessionsFailed"`
+	SessionsRevised   int64            `json:"sessionsRevised"`
+	PoolsRetained     int64            `json:"poolsRetained"`
 	WhatIfCalls       int64            `json:"whatIfCalls"`
 	Backends          []BackendMetrics `json:"backends"`
 }
@@ -813,6 +943,8 @@ func (m *Manager) Metrics() Metrics {
 		SessionsDone:      m.completed.Load(),
 		SessionsCancelled: m.cancelled.Load(),
 		SessionsFailed:    m.failed.Load(),
+		SessionsRevised:   m.revised.Load(),
+		PoolsRetained:     m.poolsRetained.Load(),
 		WhatIfCalls:       m.whatIfCalls.Load(),
 	}
 	m.mu.Lock()

@@ -85,11 +85,58 @@ func (m *Manager) writeState(st *sessionState) {
 }
 
 // removeState deletes a terminal session's state file: only sessions that
-// were still in flight when the process died remain on disk.
+// were still in flight when the process died remain on disk. A retained
+// pool's <id>.pool.json is deliberately NOT removed here — pools outlive
+// their session's terminal state so revisions (and dta -revise against the
+// file) keep working; only retention expiry deletes them.
 func (m *Manager) removeState(id string) {
 	if path := m.statePath(id); path != "" {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			m.log.Warn("session state remove", "session", id, "err", err)
+		}
+	}
+}
+
+// poolPath returns the session's retained-pool file path ("" with
+// persistence off). Pool files live beside the checkpoint state as
+// <id>.pool.json.
+func (m *Manager) poolPath(id string) string {
+	m.mu.Lock()
+	dir := m.stateDir
+	m.mu.Unlock()
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, id+".pool.json")
+}
+
+// writePool persists a completed session's costed pool atomically, in the
+// same JSON form cmd/dta -pool writes and -revise reads.
+func (m *Manager) writePool(id string, p *core.CostedPool) {
+	path := m.poolPath(id)
+	if path == "" {
+		return
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		m.log.Warn("pool marshal", "session", id, "err", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.log.Warn("pool write", "session", id, "err", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		m.log.Warn("pool rename", "session", id, "err", err)
+	}
+}
+
+// removePool deletes a session's retained-pool file (retention expiry).
+func (m *Manager) removePool(id string) {
+	if path := m.poolPath(id); path != "" {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			m.log.Warn("pool remove", "session", id, "err", err)
 		}
 	}
 }
@@ -114,7 +161,8 @@ func (m *Manager) ResumeSessions() ([]*Session, error) {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+		// <id>.pool.json files are retained pools, not resumable sessions.
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasSuffix(e.Name(), ".pool.json") {
 			names = append(names, e.Name())
 		}
 	}
@@ -172,7 +220,8 @@ func (st *sessionState) toRequest() (Request, error) {
 func wireOptions(o core.Options) (CreateOptions, bool) {
 	representable := o.UserConfig == nil && o.BaseConfig == nil &&
 		o.Progress == nil && o.Metrics == nil &&
-		o.CheckpointSink == nil && o.Resume == nil &&
+		o.CheckpointSink == nil && o.Resume == nil && o.PoolSink == nil &&
+		len(o.Vetoed) == 0 && len(o.SliceWeights) == 0 &&
 		!o.CompressWorkload && o.CompressThreshold == 0 && o.MaxPerTemplate == 0 &&
 		o.ColGroupFrac == 0 && !o.NoColGroupRestriction && o.MaxKeyColumns == 0 &&
 		o.PerQueryK == 0 && o.CandidatePoolCap == 0 &&
