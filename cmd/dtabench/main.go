@@ -41,7 +41,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel, ingest, derive, revise")
+	only := flag.String("only", "", "run a single experiment: table1, table2, sec72, figure3, table3, sec75, figure45, sec3, ablations, parallel, ingest, derive, revise, daemon")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file as JSON")
 	parLevels := flag.String("parallelism", "1,2,4", "comma-separated Options.Parallelism levels for the parallel sweep")
 	ingestSizes := flag.String("ingest-sizes", "10000,100000,1000000", "comma-separated trace sizes (events) for the streaming-ingestion sweep")
@@ -177,6 +177,14 @@ func main() {
 		}
 		fmt.Println(experiments.ReviseString(rows))
 		return experiments.SummarizeRevise(rows), nil
+	})
+	run("daemon", func() ([]experiments.BenchRecord, error) {
+		rows, err := experiments.DaemonSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(experiments.DaemonString(rows))
+		return experiments.SummarizeDaemon(rows), nil
 	})
 	run("ablations", func() ([]experiments.BenchRecord, error) {
 		var recs []experiments.BenchRecord

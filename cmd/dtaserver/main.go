@@ -19,6 +19,18 @@
 //	GET    /sessions/{id}/explain per-structure provenance from the journal
 //	PATCH  /sessions/{id}        revise a completed session under changed constraints
 //	DELETE /sessions/{id}        cancel (keeps the best-so-far result)
+//	POST   /daemons              create a continuous tuning daemon
+//	POST   /daemons/resume       restore persisted daemons from -state-dir
+//	GET    /daemons              list daemons
+//	GET    /daemons/{id}         daemon snapshot
+//	POST   /daemons/{id}/trace   ingest one trace chunk; re-tunes when drift crosses -drift-threshold
+//	GET    /daemons/{id}/delta   recommendation deltas (?since=N)
+//	POST   /daemons/{id}/feedback accept/veto structures, optionally forcing a re-tune
+//	GET    /daemons/{id}/events  daemon event stream (NDJSON)
+//	GET    /daemons/{id}/journal decision journal (NDJSON, ?kind= filters)
+//	GET    /daemons/{id}/explain why the latest delta was proposed
+//	GET    /daemons/{id}/timeline daemon timeline (Chrome trace-event JSON)
+//	DELETE /daemons/{id}         close a daemon
 //	GET    /metrics              Prometheus metrics (JSON via Accept header)
 //	GET    /metrics.json         cumulative service metrics, JSON
 //	GET    /backends             registered databases
@@ -61,6 +73,7 @@ func main() {
 		stateDir   = flag.String("state-dir", "", "directory for session checkpoints; killed sessions resume from here on restart")
 		deriveMode = flag.String("derive", "on", "cost-derivation default for sessions that do not set options.derive: off | on | verify; the recommendation does not depend on it")
 		poolTTL    = flag.Duration("pool-retention", 0, "how long completed sessions keep their costed pool for PATCH /sessions/{id} revision (0 = forever)")
+		driftThr   = flag.Float64("drift-threshold", service.DefaultDriftThreshold, "drift score at which a continuous tuning daemon re-tunes, for daemons that do not set drift.threshold")
 	)
 	flag.Parse()
 
@@ -71,7 +84,7 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir, *deriveMode, *poolTTL); err != nil {
+	if err := run(logger, *addr, *dbs, *sf, *workers, *maxPar, *useTestSrv, *withPprof, *faultSpec, *stateDir, *deriveMode, *poolTTL, *driftThr); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -83,11 +96,12 @@ type FaultSetter interface {
 	SetFaults(*fault.Injector)
 }
 
-func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir, deriveMode string, poolTTL time.Duration) error {
+func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int, useTestSrv, withPprof bool, faultSpec, stateDir, deriveMode string, poolTTL time.Duration, driftThr float64) error {
 	m := service.NewManager(workers)
 	m.SetLogger(logger)
 	m.SetParallelismCap(maxPar)
 	m.SetPoolRetention(poolTTL)
+	m.SetDriftThreshold(driftThr)
 	dmode, err := derive.ParseMode(deriveMode)
 	if err != nil {
 		return fmt.Errorf("bad -derive: %w", err)
@@ -149,7 +163,12 @@ func run(logger *slog.Logger, addr, dbs string, sf float64, workers, maxPar int,
 		if err != nil {
 			return err
 		}
-		logger.Info("session state enabled", "stateDir", stateDir, "resumed", len(resumed))
+		daemons, err := m.ResumeDaemons()
+		if err != nil {
+			return err
+		}
+		logger.Info("session state enabled", "stateDir", stateDir,
+			"resumed", len(resumed), "daemons", len(daemons))
 	}
 
 	mux := http.NewServeMux()

@@ -239,9 +239,11 @@ type Options struct {
 	Resume *Checkpoint
 
 	// Vetoed lists structure keys the search may not recommend
-	// (Constraints.Vetoed): matching candidates are filtered out before
-	// merging and enumeration. A search-layer constraint — revisable
-	// against a costed pool without new optimizer calls.
+	// (Constraints.Vetoed): matching candidates are filtered out of the
+	// enumeration pool both before and after merging, so a vetoed
+	// structure cannot re-enter as a merge of unvetoed parents. A
+	// search-layer constraint — revisable against a costed pool without
+	// new optimizer calls.
 	Vetoed []string
 
 	// SliceWeights rescales workload slices in the search layer's cost
@@ -633,11 +635,14 @@ func runSearch(t Tuner, st *costedState, tr *tracker, rec *Recommendation, cons 
 	}
 	cands := cons.vetoFilter(st.cands)
 
-	// Merging (§2.2).
+	// Merging (§2.2). The veto filter runs again on the merged pool:
+	// merging can synthesize a structure identical to a vetoed one from
+	// unvetoed parents, and "vetoed" means the search may not recommend
+	// that structure however it arises.
 	if !opts.NoMerging && !tr.stopped() {
 		tr.setPhase(PhaseMerging)
 		before := len(cands)
-		cands = mergeCandidates(t.Catalog(), cands, benefit, opts, tr)
+		cands = cons.vetoFilter(mergeCandidates(t.Catalog(), cands, benefit, opts, tr))
 		if opts.Metrics != nil {
 			opts.Metrics.Histogram("dta_merge_pool_size",
 				"Candidate pool size entering/leaving the merging step (§2.2).",

@@ -28,8 +28,9 @@ type Constraints struct {
 	// search, charged no storage, and never removed by drop analysis.
 	Pinned *catalog.Configuration `json:"pinned,omitempty"`
 	// Vetoed lists structure keys the search may not recommend: matching
-	// candidates are filtered out of the pool before merging and
-	// enumeration.
+	// candidates are filtered out of the enumeration pool both before
+	// and after merging, so a vetoed structure cannot re-enter as a
+	// merge of unvetoed parents.
 	Vetoed []string `json:"vetoed,omitempty"`
 	// SliceWeights rescales workload slices: template signature →
 	// multiplier applied to every matching event's weight in workload

@@ -214,6 +214,59 @@ func TestReviseEquivalence(t *testing.T) {
 	}
 }
 
+// TestVetoExcludesMergedStructures: a vetoed structure must not reappear
+// in a revision even when it is a *merged* structure — one synthesized by
+// candidate merging and therefore absent from the pool's sealed candidate
+// list. The veto filter used to run only before merging, so merging could
+// rebuild the vetoed structure from unvetoed parents and re-recommend it
+// (first seen live as a daemon re-proposing a vetoed index).
+func TestVetoExcludesMergedStructures(t *testing.T) {
+	w := reviseWorkload(t)
+	opts := Options{Features: FeatureIndexes, StorageBudget: 64 << 20, AllowDrops: true}
+	var pool *CostedPool
+	opts.PoolSink = func(p *CostedPool) { pool = p }
+	srv := reviseServer(t)
+	rec, err := TuneContext(context.Background(), srv, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := map[string]bool{}
+	for _, c := range pool.Candidates {
+		inPool[c.Key()] = true
+	}
+	var merged string
+	for _, s := range rec.NewStructures {
+		if !inPool[s.Key()] {
+			merged = s.Key()
+			break
+		}
+	}
+	if merged == "" {
+		t.Fatal("no recommended structure is a merged one; the harness no longer covers the post-merge veto path — adjust the workload")
+	}
+	cons := Constraints{StorageBudget: opts.StorageBudget, Vetoed: []string{merged}}
+	revised, err := Revise(context.Background(), srv, pool, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range revised.NewStructures {
+		if s.Key() == merged {
+			t.Fatalf("vetoed merged structure %q re-recommended by revision", merged)
+		}
+	}
+	// The revision must still match a fresh full run under the same veto.
+	freshOpts := opts
+	freshOpts.PoolSink = nil
+	freshOpts.Vetoed = []string{merged}
+	fresh, err := TuneContext(context.Background(), reviseServer(t), w, freshOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeRec(t, revised), normalizeRec(t, fresh); got != want {
+		t.Errorf("veto revision differs from fresh run under the same veto\nrevised: %s\nfresh: %s", got, want)
+	}
+}
+
 // TestReviseZeroCallsOnSelectOnlyWorkload checks the CoPhy headline on a
 // SELECT-only workload with derivation on: a storage-bound revision against
 // the pool answers every evaluation from cached atoms or derived facts —

@@ -1,0 +1,110 @@
+// Package drift scores workload drift between compressor epochs for the
+// continuous tuning daemon: how far the live trace's weighted
+// template distribution has moved since the last re-tune. The score is the
+// total-variation distance between the two normalized distributions —
+// 0 for identical template mixes, 1 for disjoint ones — computed over
+// sorted signatures so it is bit-deterministic regardless of map iteration
+// order, and symmetric in its arguments. Because a template's weight is the
+// sum of its events' weights, the score is also independent of the order
+// events arrived in.
+package drift
+
+import "sort"
+
+// Distribution is a weighted template distribution: statement template
+// signature → total folded weight. workload.Compressor.TemplateWeights
+// produces one from live compressor state.
+type Distribution map[string]float64
+
+// Total returns the summed weight, accumulated in sorted-signature order so
+// the float result is deterministic.
+func (d Distribution) Total() float64 {
+	var t float64
+	for _, sig := range sortedKeys(d, nil) {
+		t += d[sig]
+	}
+	return t
+}
+
+// Score returns the total-variation distance between the normalized forms
+// of a and b, in [0, 1]: half the sum over the signature union of
+// |a(sig)/aTotal − b(sig)/bTotal|. Two empty distributions score 0; an
+// empty distribution against a non-empty one scores 1 (maximal drift —
+// everything the workload now does is new). The sum runs over sorted
+// signatures, making the result deterministic and symmetric.
+func Score(a, b Distribution) float64 {
+	ta, tb := a.Total(), b.Total()
+	if ta <= 0 && tb <= 0 {
+		return 0
+	}
+	if ta <= 0 || tb <= 0 {
+		return 1
+	}
+	var sum float64
+	for _, sig := range sortedKeys(a, b) {
+		pa := a[sig] / ta
+		pb := b[sig] / tb
+		if pa >= pb {
+			sum += pa - pb
+		} else {
+			sum += pb - pa
+		}
+	}
+	// Accumulated rounding can land an ulp past the mathematical bound.
+	if sum > 2 {
+		sum = 2
+	}
+	return sum / 2
+}
+
+// Covers reports whether every signature carrying weight in cur is present
+// in base — the condition under which a costed pool built from base can
+// answer a re-tune of cur through the revise path (reweighting existing
+// templates never needs new costing; a new template does).
+func Covers(base, cur Distribution) bool {
+	for sig, w := range cur {
+		if w <= 0 {
+			continue
+		}
+		if base[sig] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Multipliers returns the per-signature slice-weight multipliers that
+// reweight a workload with distribution base to match cur: cur(sig) /
+// base(sig) for every base signature, 0 for templates that vanished.
+// Feeding the result to the search layer's SliceWeights makes a revision
+// against the old pool cost the workload as it is now shaped. Signatures in
+// cur but not base have no base events to reweight — callers must check
+// Covers first.
+func Multipliers(base, cur Distribution) map[string]float64 {
+	if len(base) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(base))
+	for sig, bw := range base {
+		if bw <= 0 {
+			continue
+		}
+		out[sig] = cur[sig] / bw
+	}
+	return out
+}
+
+// sortedKeys returns the sorted union of the two distributions' signatures.
+func sortedKeys(a, b Distribution) []string {
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, dup := a[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

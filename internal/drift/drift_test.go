@@ -1,0 +1,169 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestScoreEmptyEpochs(t *testing.T) {
+	if got := Score(nil, nil); got != 0 {
+		t.Fatalf("Score(nil, nil) = %g, want 0", got)
+	}
+	if got := Score(Distribution{}, Distribution{}); got != 0 {
+		t.Fatalf("Score of two empty distributions = %g, want 0", got)
+	}
+	full := Distribution{"a": 3, "b": 1}
+	if got := Score(nil, full); got != 1 {
+		t.Fatalf("Score(empty, non-empty) = %g, want 1", got)
+	}
+	if got := Score(full, nil); got != 1 {
+		t.Fatalf("Score(non-empty, empty) = %g, want 1", got)
+	}
+}
+
+func TestScoreSingleTemplate(t *testing.T) {
+	a := Distribution{"q": 5}
+	b := Distribution{"q": 500}
+	// One template is one template no matter its absolute weight: the
+	// normalized distributions are identical.
+	if got := Score(a, b); got != 0 {
+		t.Fatalf("single-template score = %g, want 0", got)
+	}
+	c := Distribution{"other": 1}
+	if got := Score(a, c); got != 1 {
+		t.Fatalf("single vs different single = %g, want 1", got)
+	}
+}
+
+func TestScoreIdenticalEpochs(t *testing.T) {
+	a := Distribution{"a": 2, "b": 6, "c": 0.5}
+	if got := Score(a, a); got != 0 {
+		t.Fatalf("Score(a, a) = %g, want 0", got)
+	}
+	// Uniform scaling leaves the normalized distribution untouched.
+	scaled := Distribution{}
+	for k, v := range a {
+		scaled[k] = v * 3
+	}
+	if got := Score(a, scaled); got != 0 {
+		t.Fatalf("Score(a, 3a) = %g, want 0", got)
+	}
+}
+
+func TestScoreDisjointEpochsIsMax(t *testing.T) {
+	a := Distribution{"a": 1, "b": 2}
+	b := Distribution{"c": 4, "d": 1, "e": 1}
+	if got := Score(a, b); got != 1 {
+		t.Fatalf("disjoint score = %g, want 1", got)
+	}
+}
+
+func TestScoreSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sigs := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 200; trial++ {
+		a, b := Distribution{}, Distribution{}
+		for _, s := range sigs {
+			if rng.Intn(2) == 0 {
+				a[s] = rng.Float64() * 10
+			}
+			if rng.Intn(2) == 0 {
+				b[s] = rng.Float64() * 10
+			}
+		}
+		ab, ba := Score(a, b), Score(b, a)
+		if ab != ba {
+			t.Fatalf("trial %d: Score not symmetric: %g vs %g", trial, ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("trial %d: Score %g outside [0,1]", trial, ab)
+		}
+	}
+}
+
+// TestScoreDeterministicUnderShuffledEvents feeds the same events to two
+// compressors in different orders: the template distributions — and hence
+// the drift score against any reference — must be bit-identical, because a
+// template's weight is the sum of its events' weights regardless of which
+// representative each folded into.
+func TestScoreDeterministicUnderShuffledEvents(t *testing.T) {
+	sqls := []string{
+		"SELECT a FROM t WHERE a = 1",
+		"SELECT a FROM t WHERE a = 2",
+		"SELECT a FROM t WHERE a = 900",
+		"SELECT b FROM t WHERE b = 5",
+		"SELECT b FROM t WHERE b = 6",
+		"SELECT a, b FROM t WHERE a = 3 AND b = 4",
+	}
+	var events []*workload.Event
+	w := &workload.Workload{}
+	for i, sql := range sqls {
+		if err := w.Add(sql, float64(1+i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events = w.Events
+
+	dist := func(order []int) Distribution {
+		comp := workload.NewCompressor(workload.CompressOptions{})
+		for _, i := range order {
+			if err := comp.Add(events[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return Distribution(comp.TemplateWeights())
+	}
+
+	base := dist([]int{0, 1, 2, 3, 4, 5})
+	ref := Distribution{"x": 1, "y": 2}
+	want := Score(base, ref)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		order := rng.Perm(len(events))
+		d := dist(order)
+		if got := Score(d, ref); got != want {
+			t.Fatalf("trial %d (order %v): score %v, want %v", trial, order, got, want)
+		}
+		if got := Score(base, d); got != 0 {
+			t.Fatalf("trial %d: shuffled distribution drifted from in-order one: %v", trial, got)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	base := Distribution{"a": 3, "b": 1}
+	if !Covers(base, Distribution{"a": 10}) {
+		t.Fatal("subset not covered")
+	}
+	if !Covers(base, base) {
+		t.Fatal("identical distribution not covered")
+	}
+	if Covers(base, Distribution{"a": 1, "c": 1}) {
+		t.Fatal("new template reported covered")
+	}
+	if !Covers(base, nil) {
+		t.Fatal("empty distribution should be covered")
+	}
+	if Covers(nil, Distribution{"a": 1}) {
+		t.Fatal("empty base covers nothing")
+	}
+}
+
+func TestMultipliers(t *testing.T) {
+	base := Distribution{"a": 2, "b": 4}
+	cur := Distribution{"a": 6, "b": 4}
+	m := Multipliers(base, cur)
+	if m["a"] != 3 || m["b"] != 1 {
+		t.Fatalf("multipliers = %v, want a:3 b:1", m)
+	}
+	// Vanished template → multiplier 0, so its events stop counting.
+	m = Multipliers(base, Distribution{"a": 2})
+	if m["b"] != 0 {
+		t.Fatalf("vanished template multiplier = %g, want 0", m["b"])
+	}
+	if Multipliers(nil, cur) != nil {
+		t.Fatal("empty base should yield nil multipliers")
+	}
+}

@@ -74,6 +74,19 @@ const (
 	// KindRevise records a session-revision start: a search-only re-run
 	// against a persisted costed pool under changed constraints.
 	KindRevise Kind = "revise"
+	// KindDrift records a continuous tuning daemon's drift evaluation at
+	// the end of a trace epoch: the score against the last-tuned template
+	// distribution (CostAfter), the threshold (CostBefore), and whether a
+	// re-tune was triggered (Accepted).
+	KindDrift Kind = "drift"
+	// KindDelta records one recommendation delta a daemon emitted: the
+	// create keys (Structures), the drop keys (Parents — reused, the only
+	// other key-set field), the trigger and path (Reason, "trigger/path"),
+	// and the delta's churn (Alternatives).
+	KindDelta Kind = "delta"
+	// KindFeedback records one DBA feedback decision applied to a daemon:
+	// the structure key and whether it was accepted (pinned) or vetoed.
+	KindFeedback Kind = "feedback"
 )
 
 // Scope values for seed/step events: the per-query candidate-selection
@@ -91,7 +104,7 @@ const (
 func Kinds() []Kind {
 	return []Kind{KindPhase, KindQuery, KindCandidate, KindSeed, KindStep,
 		KindMerge, KindDrop, KindDeriveFallback, KindRetry, KindBreaker, KindStop,
-		KindRevise}
+		KindRevise, KindDrift, KindDelta, KindFeedback}
 }
 
 // Event is one journal entry. Seq and T are stamped by Append; the rest

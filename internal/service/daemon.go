@@ -1,0 +1,965 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// DefaultDriftThreshold is the drift score at or above which a daemon
+// re-tunes when neither the daemon's options nor the server default
+// (dtaserver -drift-threshold) choose one. Total-variation distance 0.15
+// means 15% of the workload's weight has moved between templates since the
+// last re-tune — enough to shift which indexes pay for themselves, while
+// sampling noise on a stable workload stays well below it.
+const DefaultDriftThreshold = 0.15
+
+// Daemon triggers, in the order they can fire: the first trace epoch always
+// tunes, later epochs tune when drift crosses the threshold, and feedback
+// can force a re-tune under the updated pins/vetoes.
+const (
+	// TriggerInitial is the first re-tune: no accepted baseline exists yet.
+	TriggerInitial = "initial"
+	// TriggerDrift is a re-tune caused by the drift score crossing the
+	// daemon's threshold.
+	TriggerDrift = "drift"
+	// TriggerFeedback is a re-tune explicitly requested alongside
+	// accept/veto feedback.
+	TriggerFeedback = "feedback"
+)
+
+// Re-tune paths: how a triggered re-tune was answered.
+const (
+	// PathRevise replays the search layer against the retained costed pool,
+	// reweighted to the current template distribution — no costing work.
+	PathRevise = "revise"
+	// PathFresh runs the full costing pipeline over the current compressed
+	// workload (new templates appeared, or no pool is retained).
+	PathFresh = "fresh"
+)
+
+// DeltaEntry is one structure of a recommendation delta: its stable key
+// (what feedback refers to) and the DDL-shaped description.
+type DeltaEntry struct {
+	Key string `json:"key"`
+	DDL string `json:"ddl"`
+}
+
+// Delta is one recommendation delta a daemon emitted: the create/drop set
+// relative to the daemon's previous proposal and the accepted
+// configuration, plus the drift context that triggered it. Deltas carry no
+// wall-clock fields, so an identical trace stream and feedback sequence
+// yields a byte-identical delta sequence — across restarts and across
+// parallelism levels.
+type Delta struct {
+	// Seq numbers deltas per daemon from 1.
+	Seq int `json:"seq"`
+	// Trigger is why the re-tune ran: initial, drift, or feedback.
+	Trigger string `json:"trigger"`
+	// Path is how it ran: revise (against the retained pool) or fresh.
+	Path string `json:"path"`
+	// Score is the drift score at the re-tune (1 for the initial tune).
+	Score float64 `json:"score"`
+	// Epoch is the trace-chunk count at emission; Events the cumulative
+	// raw events absorbed.
+	Epoch  int   `json:"epoch"`
+	Events int64 `json:"events"`
+	// Create lists structures newly proposed; Drop structures the previous
+	// proposal contained but this one does not. Both sorted by key.
+	Create []DeltaEntry `json:"create,omitempty"`
+	Drop   []DeltaEntry `json:"drop,omitempty"`
+	// Churn is len(Create) + len(Drop) — what dta_delta_churn observes.
+	Churn int `json:"churn"`
+	// Improvement and WhatIfCalls summarize the re-tune that produced the
+	// delta; calls are search-layer only on the revise path.
+	Improvement float64 `json:"improvement"`
+	WhatIfCalls int64   `json:"whatIfCalls"`
+}
+
+// DaemonEvent is one entry of a daemon's NDJSON event stream.
+type DaemonEvent struct {
+	Seq int `json:"seq"`
+	// Kind is ingest, drift, delta, feedback, or closed.
+	Kind string `json:"kind"`
+	// Events/Bytes carry cumulative ingest volume on ingest events.
+	Events int64 `json:"events,omitempty"`
+	Bytes  int64 `json:"bytes,omitempty"`
+	// Score and Retuned carry a drift evaluation's outcome.
+	Score   float64 `json:"score,omitempty"`
+	Retuned bool    `json:"retuned,omitempty"`
+	// Trigger is set on delta events (initial, drift, feedback).
+	Trigger string `json:"trigger,omitempty"`
+	// Structure and Accepted carry one feedback decision.
+	Structure string `json:"structure,omitempty"`
+	Accepted  bool   `json:"accepted,omitempty"`
+	// Delta is the emitted delta on delta events.
+	Delta *Delta `json:"delta,omitempty"`
+}
+
+// maxDaemonEventHistory bounds the per-daemon event log replayed to late
+// subscribers, like maxEventHistory does for sessions.
+const maxDaemonEventHistory = 1024
+
+// Daemon is one continuous tuning loop: a long-lived per-database session
+// that ingests the live trace incrementally through a streaming compressor,
+// scores workload drift against the template distribution it last tuned,
+// re-tunes when the score crosses its threshold — through the retained
+// costed pool when the pool still covers every current template, through a
+// fresh costing pass otherwise — and emits recommendation deltas instead of
+// full configurations. Accept/veto feedback pins structures into the
+// partial configuration (paper §5) or excludes them from future
+// enumeration, and both survive re-tunes and server restarts through the
+// manager's state directory.
+type Daemon struct {
+	id      string
+	backend string
+	created time.Time
+	// journal records the daemon's decision history: every drift
+	// evaluation, every delta, every feedback decision, plus the tuning
+	// pipeline's own events for each re-tune — the substrate of
+	// GET /daemons/{id}/explain.
+	journal *journal.Journal
+	// trace is the daemon's span timeline across all its re-tunes.
+	trace *obs.Trace
+	// gScore mirrors the latest drift score into dta_drift_score{daemon=id}.
+	gScore *obs.Gauge
+
+	mu     sync.Mutex
+	closed bool
+	// opts is the re-tune option template (wire CreateOptions mapped to
+	// core.Options, callbacks stripped); wire is the persisted form.
+	opts core.Options
+	wire CreateOptions
+	// threshold is the drift score at which an epoch triggers a re-tune.
+	threshold float64
+	comp      *workload.Compressor
+	epochs    int
+	// lastTuned is the template distribution at the last re-tune (nil
+	// before the first); score is the latest drift evaluation against it.
+	lastTuned drift.Distribution
+	score     float64
+	// pool is the costed pool retained from the last re-tune; poolDist the
+	// template distribution of its statements, for the coverage check.
+	pool     *core.CostedPool
+	poolDist drift.Distribution
+	// accepted is the pinned partial configuration built from accept
+	// feedback (paper §6.2 user-specified configuration); vetoed the
+	// structure keys excluded from enumeration.
+	accepted *catalog.Configuration
+	vetoed   []string
+	// current maps the outstanding proposal's structure keys to the
+	// structures themselves; deltas diff successive proposals against it,
+	// and feedback resolves keys through it — the recommendation can
+	// contain merged structures that exist in no candidate pool.
+	current map[string]catalog.Structure
+	deltas  []Delta
+	retunes map[string]int64
+	// lastImprovement/lastCalls summarize the most recent re-tune.
+	lastImprovement float64
+	lastCalls       int64
+
+	seq     int
+	events  []DaemonEvent
+	subs    map[int]chan DaemonEvent
+	nextSub int
+}
+
+// ID returns the daemon identifier.
+func (d *Daemon) ID() string { return d.id }
+
+// Backend returns the backend the daemon tunes.
+func (d *Daemon) Backend() string { return d.backend }
+
+// Journal returns the daemon's decision journal (live and bounded).
+func (d *Daemon) Journal() *journal.Journal { return d.journal }
+
+// Trace returns the daemon's span timeline (live).
+func (d *Daemon) Trace() *obs.Trace { return d.trace }
+
+// Deltas returns the daemon's delta history from seq (exclusive); since 0
+// returns everything.
+func (d *Daemon) Deltas(since int) []Delta {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Delta, 0, len(d.deltas))
+	for _, dl := range d.deltas {
+		if dl.Seq > since {
+			out = append(out, dl)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a live event subscriber, mirroring Session.Subscribe:
+// history for replay, a live channel (closed when the daemon closes), and
+// an unsubscribe function. Slow subscribers drop events rather than
+// stalling ingestion.
+func (d *Daemon) Subscribe() ([]DaemonEvent, <-chan DaemonEvent, func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hist := append([]DaemonEvent(nil), d.events...)
+	if d.closed {
+		ch := make(chan DaemonEvent)
+		close(ch)
+		return hist, ch, func() {}
+	}
+	id := d.nextSub
+	d.nextSub++
+	ch := make(chan DaemonEvent, 64)
+	d.subs[id] = ch
+	return hist, ch, func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if _, ok := d.subs[id]; ok {
+			delete(d.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// publishLocked appends an event and fans it out; the caller holds d.mu.
+func (d *Daemon) publishLocked(e DaemonEvent) {
+	d.seq++
+	e.Seq = d.seq
+	d.events = append(d.events, e)
+	if len(d.events) > maxDaemonEventHistory {
+		d.events = append(d.events[:1:1], d.events[len(d.events)-maxDaemonEventHistory+1:]...)
+	}
+	for _, ch := range d.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// DaemonSnapshot is the JSON-friendly view of a daemon.
+type DaemonSnapshot struct {
+	ID        string    `json:"id"`
+	Backend   string    `json:"backend"`
+	Created   time.Time `json:"created"`
+	Closed    bool      `json:"closed,omitempty"`
+	Threshold float64   `json:"threshold"`
+	// Epochs is the trace-chunk count; Events/Templates/Representatives
+	// the compressor's cumulative state.
+	Epochs          int   `json:"epochs"`
+	Events          int64 `json:"events"`
+	Templates       int   `json:"templates"`
+	Representatives int   `json:"representatives"`
+	// DriftScore is the latest drift evaluation against the last-tuned
+	// template distribution.
+	DriftScore float64 `json:"driftScore"`
+	// Retunes counts re-tunes by trigger; Deltas the deltas emitted.
+	Retunes map[string]int64 `json:"retunes,omitempty"`
+	Deltas  int              `json:"deltas"`
+	// LastImprovement/LastWhatIfCalls summarize the most recent re-tune.
+	LastImprovement float64 `json:"lastImprovement,omitempty"`
+	LastWhatIfCalls int64   `json:"lastWhatIfCalls,omitempty"`
+	// Accepted and Vetoed are the feedback state (sorted keys); Proposed
+	// the outstanding proposal the next delta diffs against.
+	Accepted []string     `json:"accepted,omitempty"`
+	Vetoed   []string     `json:"vetoed,omitempty"`
+	Proposed []DeltaEntry `json:"proposed,omitempty"`
+	// PoolFingerprint is the retained pool's content address.
+	PoolFingerprint string `json:"poolFingerprint,omitempty"`
+}
+
+// Snapshot captures the daemon's current state for reporting.
+func (d *Daemon) Snapshot() DaemonSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := DaemonSnapshot{
+		ID:              d.id,
+		Backend:         d.backend,
+		Created:         d.created,
+		Closed:          d.closed,
+		Threshold:       d.threshold,
+		Epochs:          d.epochs,
+		Events:          d.comp.Events(),
+		Templates:       d.comp.Templates(),
+		Representatives: d.comp.Len(),
+		DriftScore:      d.score,
+		Deltas:          len(d.deltas),
+		LastImprovement: d.lastImprovement,
+		LastWhatIfCalls: d.lastCalls,
+		Vetoed:          append([]string(nil), d.vetoed...),
+		Proposed:        sortedEntries(describe(d.current), ""),
+	}
+	if len(d.retunes) > 0 {
+		out.Retunes = make(map[string]int64, len(d.retunes))
+		for k, v := range d.retunes {
+			out.Retunes[k] = v
+		}
+	}
+	out.Accepted = acceptedKeys(d.accepted)
+	if d.pool != nil {
+		out.PoolFingerprint = d.pool.Fingerprint
+	}
+	return out
+}
+
+// acceptedKeys returns the sorted structure keys of a pinned configuration.
+func acceptedKeys(cfg *catalog.Configuration) []string {
+	if cfg == nil {
+		return nil
+	}
+	var keys []string
+	for _, st := range cfg.Structures() {
+		keys = append(keys, st.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// describe renders a key→structure map as key→description.
+func describe(m map[string]catalog.Structure) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, st := range m {
+		out[k] = st.String()
+	}
+	return out
+}
+
+// sortedEntries renders a key→description map as DeltaEntry list sorted by
+// key, with an optional DDL verb prefix.
+func sortedEntries(m map[string]string, verb string) []DeltaEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]DeltaEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, DeltaEntry{Key: k, DDL: verb + m[k]})
+	}
+	return out
+}
+
+// DaemonDriftOptions tunes a daemon's drift detection.
+type DaemonDriftOptions struct {
+	// Threshold is the drift score at or above which an epoch triggers a
+	// re-tune; 0 defers to the server default (dtaserver -drift-threshold,
+	// DefaultDriftThreshold absent that). Negative is rejected.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// DaemonRequest is the JSON body of POST /daemons.
+type DaemonRequest struct {
+	// Database names the registered backend (may be empty when exactly one
+	// backend is registered).
+	Database string `json:"database,omitempty"`
+	// Options carries the re-tune tuning options, same wire form as
+	// sessions; reports are always skipped and compression is implicit (the
+	// daemon's workload only exists as compressor output).
+	Options CreateOptions `json:"options"`
+	// Drift tunes drift detection.
+	Drift DaemonDriftOptions `json:"drift"`
+}
+
+// SetDriftThreshold sets the server-default drift threshold for daemons
+// whose request does not choose one (dtaserver -drift-threshold). Call
+// before serving; applies to daemons created afterwards.
+func (m *Manager) SetDriftThreshold(t float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t <= 0 {
+		t = DefaultDriftThreshold
+	}
+	m.driftDefault = t
+}
+
+// CreateDaemon starts a continuous tuning daemon on the named backend. The
+// daemon is idle until its first trace chunk arrives.
+func (m *Manager) CreateDaemon(req DaemonRequest) (*Daemon, error) {
+	b, err := m.backend(req.Database)
+	if err != nil {
+		return nil, err
+	}
+	if req.Drift.Threshold < 0 {
+		return nil, fmt.Errorf("service: negative drift threshold %g", req.Drift.Threshold)
+	}
+	opts, err := req.Options.toCore()
+	if err != nil {
+		return nil, err
+	}
+	threshold := req.Drift.Threshold
+	m.mu.Lock()
+	if threshold == 0 {
+		threshold = m.driftDefault
+		if threshold == 0 {
+			threshold = DefaultDriftThreshold
+		}
+	}
+	if opts.Derive == "" {
+		opts.Derive = m.deriveDefault
+	}
+	m.mu.Unlock()
+	return m.addDaemon("", b.Name, req.Options, opts, threshold, nil)
+}
+
+// addDaemon allocates and registers a daemon; the resume path supplies a
+// fixed ID and a restored compressor (nil = fresh).
+func (m *Manager) addDaemon(id, backend string, wire CreateOptions, opts core.Options, threshold float64, comp *workload.Compressor) (*Daemon, error) {
+	opts.SkipReports = true
+	if comp == nil {
+		comp = workload.NewCompressor(workload.CompressOptions{MaxPerTemplate: opts.MaxPerTemplate})
+	}
+	m.mu.Lock()
+	if id == "" {
+		m.dseq++
+		id = fmt.Sprintf("d-%04d", m.dseq)
+	} else {
+		if _, dup := m.daemons[id]; dup {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("service: daemon %q already exists", id)
+		}
+		var n int
+		if _, err := fmt.Sscanf(id, "d-%d", &n); err == nil && n > m.dseq {
+			m.dseq = n
+		}
+	}
+	d := &Daemon{
+		id:        id,
+		backend:   backend,
+		created:   time.Now(),
+		opts:      opts,
+		wire:      wire,
+		threshold: threshold,
+		comp:      comp,
+		current:   map[string]catalog.Structure{},
+		retunes:   map[string]int64{},
+		subs:      map[int]chan DaemonEvent{},
+	}
+	d.trace = obs.NewTrace(d.id)
+	d.journal = journal.New(d.id)
+	d.journal.AttachMetrics(m.reg)
+	d.gScore = m.reg.Gauge("dta_drift_score",
+		"Latest workload-drift score per daemon (0 = template distribution unchanged since the last re-tune, 1 = disjoint).",
+		"daemon", d.id)
+	m.daemons[d.id] = d
+	m.dorder = append(m.dorder, d.id)
+	m.mu.Unlock()
+	m.daemonsCreated.Add(1)
+	m.cDaemons.Inc()
+	m.log.Info("daemon created", "daemon", d.id, "backend", backend, "threshold", threshold)
+	return d, nil
+}
+
+// GetDaemon returns the daemon by ID.
+func (m *Manager) GetDaemon(id string) (*Daemon, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.daemons[id]
+	return d, ok
+}
+
+// Daemons returns every daemon in creation order.
+func (m *Manager) Daemons() []*Daemon {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Daemon, 0, len(m.dorder))
+	for _, id := range m.dorder {
+		out = append(out, m.daemons[id])
+	}
+	return out
+}
+
+// CloseDaemon closes the daemon: it stops accepting trace and feedback,
+// its event stream terminates, and its persisted state and pool files are
+// removed. The daemon stays listed for inspection.
+func (m *Manager) CloseDaemon(id string) (*Daemon, error) {
+	d, ok := m.GetDaemon(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no daemon %q", id)
+	}
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		d.publishLocked(DaemonEvent{Kind: "closed"})
+		for sid, ch := range d.subs {
+			delete(d.subs, sid)
+			close(ch)
+		}
+	}
+	d.mu.Unlock()
+	m.removeDaemonState(id)
+	m.removePool(id)
+	m.log.Info("daemon closed", "daemon", id)
+	return d, nil
+}
+
+// EpochResult reports one trace chunk's outcome: the drift evaluation and,
+// when a re-tune was triggered, the delta it emitted.
+type EpochResult struct {
+	Daemon string `json:"daemon"`
+	Epoch  int    `json:"epoch"`
+	// Events is the cumulative raw-event count; ChunkEvents and ChunkBytes
+	// this chunk's volume.
+	Events      int64 `json:"events"`
+	ChunkEvents int64 `json:"chunkEvents"`
+	ChunkBytes  int64 `json:"chunkBytes"`
+	// Score is the drift score against the last-tuned distribution;
+	// Threshold the daemon's trigger level.
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+	// Retuned reports whether this epoch re-tuned; Trigger/Path/Delta
+	// describe the re-tune when it did.
+	Retuned bool   `json:"retuned"`
+	Trigger string `json:"trigger,omitempty"`
+	Path    string `json:"path,omitempty"`
+	Delta   *Delta `json:"delta,omitempty"`
+}
+
+// IngestTrace streams one trace chunk (the workload.ReadTrace line format)
+// into the daemon's compressor, evaluates drift at the chunk boundary, and
+// re-tunes synchronously when the score crosses the threshold — the first
+// chunk always tunes. The call returns when ingestion and any re-tune are
+// done; re-tunes wait for a manager worker slot like sessions do, so
+// daemons cannot oversubscribe the box. A malformed trace line aborts the
+// chunk with a line-numbered error; events before the bad line stay folded
+// in (the compressor is cumulative), and the daemon remains usable.
+func (m *Manager) IngestTrace(ctx context.Context, id string, trace io.Reader) (*EpochResult, error) {
+	d, ok := m.GetDaemon(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no daemon %q", id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("service: daemon %s is closed", d.id)
+	}
+	b, err := m.backend(d.backend)
+	if err != nil {
+		return nil, err
+	}
+
+	startEvents := d.comp.Events()
+	cr := &countingReader{r: trace}
+	_, sp := obs.StartSpan(obs.WithTrace(ctx, d.trace), "daemon", "ingest")
+	var last int64
+	flush := func() {
+		ev := d.comp.Events() - startEvents
+		m.cIngestEvents.Add(float64(ev - last))
+		last = ev
+	}
+	err = workload.StreamTrace(cr, func(e *workload.Event, _ int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if aerr := d.comp.Add(e); aerr != nil {
+			return aerr
+		}
+		if (d.comp.Events()-startEvents)%ingestFlushEvery == 0 {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	m.cIngestBytes.Add(float64(cr.n))
+	chunk := d.comp.Events() - startEvents
+	if err != nil {
+		sp.SetArg("error", err.Error()).End()
+		m.writeDaemonState(d)
+		return nil, fmt.Errorf("service: daemon %s trace ingest: %w", d.id, err)
+	}
+	if d.comp.Events() == 0 {
+		sp.End()
+		return nil, fmt.Errorf("service: daemon %s: trace contains no statements", d.id)
+	}
+	d.epochs++
+	sp.SetArg("events", chunk).SetArg("bytes", cr.n).End()
+	d.publishLocked(DaemonEvent{Kind: "ingest", Events: d.comp.Events(), Bytes: cr.n})
+
+	cur := drift.Distribution(d.comp.TemplateWeights())
+	score := drift.Score(d.lastTuned, cur)
+	d.score = score
+	d.gScore.Set(score)
+	trigger := ""
+	switch {
+	case d.lastTuned == nil:
+		trigger = TriggerInitial
+	case score >= d.threshold:
+		trigger = TriggerDrift
+	}
+	ev := journal.Ev(journal.KindDrift)
+	ev.CostBefore = d.threshold
+	ev.CostAfter = score
+	ev.Accepted = trigger != ""
+	ev.Reason = trigger
+	d.journal.Append(ev)
+	d.publishLocked(DaemonEvent{Kind: "drift", Score: score, Retuned: trigger != ""})
+	m.log.Info("daemon epoch", "daemon", d.id, "epoch", d.epochs,
+		"events", d.comp.Events(), "score", score, "trigger", trigger)
+
+	res := &EpochResult{
+		Daemon:      d.id,
+		Epoch:       d.epochs,
+		Events:      d.comp.Events(),
+		ChunkEvents: chunk,
+		ChunkBytes:  cr.n,
+		Score:       score,
+		Threshold:   d.threshold,
+	}
+	if trigger == "" {
+		m.writeDaemonState(d)
+		return res, nil
+	}
+	delta, path, err := m.retuneLocked(ctx, d, b, trigger, cur, score)
+	if err != nil {
+		m.writeDaemonState(d)
+		return res, err
+	}
+	res.Retuned = true
+	res.Trigger = trigger
+	res.Path = path
+	res.Delta = delta
+	m.writeDaemonState(d)
+	return res, nil
+}
+
+// retuneLocked runs one re-tune (the caller holds d.mu): through the
+// revise path when the retained pool's statements cover every template
+// currently carrying weight, through a fresh costing pass otherwise. It
+// waits for a manager worker slot, updates the daemon's pool, proposal,
+// and last-tuned distribution, and emits the resulting delta.
+func (m *Manager) retuneLocked(ctx context.Context, d *Daemon, b *Backend, trigger string, cur drift.Distribution, score float64) (*Delta, string, error) {
+	ctx = obs.WithTrace(ctx, d.trace)
+	ctx = journal.WithContext(ctx, d.journal)
+	ctx, root := obs.StartSpan(ctx, "daemon", "retune")
+	root.SetArg("trigger", trigger).SetArg("score", score)
+	defer root.End()
+
+	_, queued := obs.StartSpan(ctx, "daemon", "queued")
+	select {
+	case m.sem <- struct{}{}:
+		queued.End()
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		queued.End()
+		return nil, "", ctx.Err()
+	}
+
+	path := PathFresh
+	if d.pool != nil && drift.Covers(d.poolDist, cur) {
+		path = PathRevise
+	}
+	root.SetArg("path", path)
+
+	var pool *core.CostedPool
+	var rec *core.Recommendation
+	var err error
+	start := time.Now()
+	switch path {
+	case PathRevise:
+		cons := core.Constraints{
+			StorageBudget: d.opts.StorageBudget,
+			Aligned:       d.opts.Aligned,
+			Pinned:        d.accepted,
+			Vetoed:        append([]string(nil), d.vetoed...),
+			SliceWeights:  drift.Multipliers(d.poolDist, cur),
+		}
+		opts := core.Options{
+			Parallelism: m.clampParallelism(d.opts.Parallelism),
+			Metrics:     m.reg,
+			PoolSink:    func(p *core.CostedPool) { pool = p },
+		}
+		rec, err = core.Revise(ctx, b.Tuner, d.pool, cons, opts)
+	default:
+		// Snapshot the compressor's representatives: later chunks keep
+		// folding weight into them, and the tuned workload must not move
+		// under the pipeline.
+		cw := d.comp.Workload()
+		w := &workload.Workload{Events: make([]*workload.Event, 0, len(cw.Events))}
+		for _, e := range cw.Events {
+			cp := *e
+			w.Events = append(w.Events, &cp)
+		}
+		opts := d.opts
+		// The workload is already the compressor's representative set;
+		// batch-compressing it again would be a no-op pass over every event.
+		opts.NoCompression = true
+		opts.UserConfig = d.accepted
+		opts.Vetoed = append([]string(nil), d.vetoed...)
+		if opts.BaseConfig == nil {
+			opts.BaseConfig = b.BaseConfig
+		}
+		opts.Parallelism = m.clampParallelism(opts.Parallelism)
+		opts.Metrics = m.reg
+		opts.Ingest = &core.IngestStats{Events: d.comp.Events(), Templates: d.comp.Templates()}
+		opts.PoolSink = func(p *core.CostedPool) { pool = p }
+		rec, err = core.TuneContext(ctx, b.Tuner, w, opts)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		m.log.Warn("daemon re-tune failed", "daemon", d.id, "trigger", trigger, "path", path, "err", err)
+		return nil, path, fmt.Errorf("service: daemon %s re-tune (%s/%s): %w", d.id, trigger, path, err)
+	}
+	if pool != nil {
+		d.pool = pool
+		d.poolDist = statementDistribution(pool.Statements)
+		m.writePool(d.id, pool)
+	}
+
+	// Diff the new proposal against the previous one. Pinned (accepted)
+	// structures never appear in NewStructures — they ride in the base —
+	// but filter defensively so an accepted key can never churn.
+	acc := map[string]bool{}
+	for _, k := range acceptedKeys(d.accepted) {
+		acc[k] = true
+	}
+	proposal := map[string]catalog.Structure{}
+	for _, st := range rec.NewStructures {
+		if k := st.Key(); !acc[k] {
+			proposal[k] = st
+		}
+	}
+	creates := map[string]string{}
+	for k, st := range proposal {
+		if _, had := d.current[k]; !had {
+			creates[k] = st.String()
+		}
+	}
+	drops := map[string]string{}
+	for k, st := range d.current {
+		if _, has := proposal[k]; !has {
+			drops[k] = st.String()
+		}
+	}
+	delta := Delta{
+		Seq:         len(d.deltas) + 1,
+		Trigger:     trigger,
+		Path:        path,
+		Score:       score,
+		Epoch:       d.epochs,
+		Events:      d.comp.Events(),
+		Create:      sortedEntries(creates, "CREATE "),
+		Drop:        sortedEntries(drops, "DROP "),
+		Churn:       len(creates) + len(drops),
+		Improvement: rec.Improvement,
+		WhatIfCalls: rec.WhatIfCalls,
+	}
+	d.current = proposal
+	d.lastTuned = cur
+	d.score = drift.Score(d.lastTuned, cur) // 0 by construction
+	d.gScore.Set(d.score)
+	d.lastImprovement = rec.Improvement
+	d.lastCalls = rec.WhatIfCalls
+	d.deltas = append(d.deltas, delta)
+	d.retunes[trigger]++
+
+	ev := journal.Ev(journal.KindDelta)
+	ev.Reason = trigger + "/" + path
+	ev.Alternatives = delta.Churn
+	for _, e := range delta.Create {
+		ev.Structures = append(ev.Structures, e.Key)
+	}
+	for _, e := range delta.Drop {
+		ev.Parents = append(ev.Parents, e.Key)
+	}
+	ev.CostAfter = rec.Improvement
+	ev.Accepted = true
+	d.journal.Append(ev)
+
+	m.daemonRetunes.Add(1)
+	m.deltasEmitted.Add(1)
+	m.cRetunes[trigger].Inc()
+	m.hChurn.Observe(float64(delta.Churn))
+	m.hDuration.Observe(elapsed.Seconds())
+	root.SetArg("whatIfCalls", rec.WhatIfCalls).SetArg("improvement", rec.Improvement).
+		SetArg("churn", delta.Churn)
+	d.publishLocked(DaemonEvent{Kind: "delta", Trigger: trigger, Score: score, Delta: &delta})
+	m.log.Info("daemon re-tuned", "daemon", d.id, "trigger", trigger, "path", path,
+		"duration", elapsed, "whatIfCalls", rec.WhatIfCalls,
+		"improvement", rec.Improvement, "churn", delta.Churn)
+	return &delta, path, nil
+}
+
+// statementDistribution computes the template distribution of a pool's
+// statements, the base of the revise-path coverage check and multipliers.
+func statementDistribution(stmts []workload.Statement) drift.Distribution {
+	w, err := workload.FromStatements(stmts)
+	if err != nil {
+		return nil
+	}
+	out := drift.Distribution{}
+	for _, e := range w.Events {
+		out[e.Signature()] += e.Weight
+	}
+	return out
+}
+
+// FeedbackRequest is the JSON body of POST /daemons/{id}/feedback: the
+// DBA-in-the-loop decisions about proposed structures.
+type FeedbackRequest struct {
+	// Accept pins the named structures into the partial configuration:
+	// every future re-tune builds on them and never proposes or drops
+	// them. Accepting a vetoed key lifts the veto.
+	Accept []string `json:"accept,omitempty"`
+	// Veto excludes the named structures from future enumeration. Vetoing
+	// an accepted key unpins it, and the next delta proposes dropping it.
+	Veto []string `json:"veto,omitempty"`
+	// Retune forces an immediate re-tune under the updated feedback
+	// (trigger "feedback"), so a veto is answered with its replacement in
+	// the same call.
+	Retune bool `json:"retune,omitempty"`
+}
+
+// FeedbackResult reports applied feedback and the delta a forced re-tune
+// emitted.
+type FeedbackResult struct {
+	Daemon   string   `json:"daemon"`
+	Accepted []string `json:"accepted,omitempty"`
+	Vetoed   []string `json:"vetoed,omitempty"`
+	Delta    *Delta   `json:"delta,omitempty"`
+}
+
+// Feedback applies accept/veto decisions to the daemon. Accept keys must
+// resolve against the current proposal, the retained pool's candidates or
+// base, or the already-accepted set; veto keys against the same — an
+// unresolvable key fails the whole request before anything is applied.
+// Feedback is persisted immediately, so it survives server restarts.
+func (m *Manager) Feedback(ctx context.Context, id string, req FeedbackRequest) (*FeedbackResult, error) {
+	d, ok := m.GetDaemon(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no daemon %q", id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("service: daemon %s is closed", d.id)
+	}
+
+	byKey := map[string]catalog.Structure{}
+	for k, st := range d.current {
+		byKey[k] = st
+	}
+	if d.pool != nil {
+		for _, st := range d.pool.Candidates {
+			byKey[st.Key()] = st
+		}
+		if d.pool.Base != nil {
+			for _, st := range d.pool.Base.Structures() {
+				byKey[st.Key()] = st
+			}
+		}
+	}
+	if d.accepted != nil {
+		for _, st := range d.accepted.Structures() {
+			byKey[st.Key()] = st
+		}
+	}
+	resolve := func(k, verb string) (catalog.Structure, error) {
+		st, ok := byKey[k]
+		if !ok {
+			return catalog.Structure{}, fmt.Errorf("service: %s key %q matches no proposed, pooled, or accepted structure of daemon %s", verb, k, d.id)
+		}
+		return st, nil
+	}
+	type change struct {
+		key    string
+		st     catalog.Structure
+		accept bool
+	}
+	var changes []change
+	for _, k := range req.Accept {
+		st, err := resolve(k, "accept")
+		if err != nil {
+			return nil, err
+		}
+		changes = append(changes, change{k, st, true})
+	}
+	for _, k := range req.Veto {
+		st, err := resolve(k, "veto")
+		if err != nil {
+			return nil, err
+		}
+		changes = append(changes, change{k, st, false})
+	}
+
+	res := &FeedbackResult{Daemon: d.id}
+	vetoSet := map[string]bool{}
+	for _, k := range d.vetoed {
+		vetoSet[k] = true
+	}
+	accSet := map[string]catalog.Structure{}
+	if d.accepted != nil {
+		for _, st := range d.accepted.Structures() {
+			accSet[st.Key()] = st
+		}
+	}
+	for _, c := range changes {
+		if c.accept {
+			delete(vetoSet, c.key)
+			accSet[c.key] = c.st
+			// The structure is deployed now, not an outstanding proposal.
+			delete(d.current, c.key)
+			res.Accepted = append(res.Accepted, c.key)
+		} else {
+			vetoSet[c.key] = true
+			if _, was := accSet[c.key]; was {
+				delete(accSet, c.key)
+				// It was deployed: surface the drop in the next delta.
+				d.current[c.key] = c.st
+			}
+			res.Vetoed = append(res.Vetoed, c.key)
+		}
+		ev := journal.Ev(journal.KindFeedback)
+		ev.Structure = c.key
+		ev.Accepted = c.accept
+		d.journal.Append(ev)
+		d.publishLocked(DaemonEvent{Kind: "feedback", Structure: c.key, Accepted: c.accept})
+	}
+	d.vetoed = d.vetoed[:0]
+	for k := range vetoSet {
+		d.vetoed = append(d.vetoed, k)
+	}
+	sort.Strings(d.vetoed)
+	if len(accSet) == 0 {
+		d.accepted = nil
+	} else {
+		cfg := catalog.NewConfiguration()
+		keys := make([]string, 0, len(accSet))
+		for k := range accSet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			accSet[k].ApplyTo(cfg)
+		}
+		d.accepted = cfg
+	}
+	m.log.Info("daemon feedback", "daemon", d.id,
+		"accepted", res.Accepted, "vetoed", res.Vetoed, "retune", req.Retune)
+
+	if req.Retune {
+		b, err := m.backend(d.backend)
+		if err != nil {
+			return nil, err
+		}
+		cur := drift.Distribution(d.comp.TemplateWeights())
+		if cur.Total() <= 0 {
+			return nil, fmt.Errorf("service: daemon %s has ingested no trace to re-tune", d.id)
+		}
+		delta, _, err := m.retuneLocked(ctx, d, b, TriggerFeedback, cur, d.score)
+		if err != nil {
+			m.writeDaemonState(d)
+			return nil, err
+		}
+		res.Delta = delta
+	}
+	m.writeDaemonState(d)
+	return res, nil
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/workload"
+)
+
+// daemonState is the on-disk form of one continuous tuning daemon: the
+// manifest (backend, options, threshold), the full compressor snapshot, the
+// template distribution last tuned, the feedback state, the outstanding
+// proposal, and the delta history. One file per daemon lives under the
+// manager's state directory as <id>.daemon.json, rewritten after every
+// epoch and every feedback call; the retained pool rides beside it as
+// <id>.pool.json through the same writePool path sessions use. Restoring
+// the compressor snapshot — rather than replaying the trace — is what makes
+// a restarted daemon byte-identical to one that never stopped.
+type daemonState struct {
+	ID        string                    `json:"id"`
+	Backend   string                    `json:"backend,omitempty"`
+	Created   time.Time                 `json:"created"`
+	Options   CreateOptions             `json:"options"`
+	Threshold float64                   `json:"threshold"`
+	Epochs    int                       `json:"epochs"`
+	Score     float64                   `json:"score"`
+	Comp      *workload.CompressorState `json:"compressor,omitempty"`
+	LastTuned map[string]float64        `json:"lastTuned,omitempty"`
+	Accepted  *catalog.Configuration    `json:"accepted,omitempty"`
+	Vetoed    []string                  `json:"vetoed,omitempty"`
+	// Proposed is the outstanding proposal (key → structure) the next
+	// delta diffs against and feedback keys resolve through.
+	Proposed map[string]catalog.Structure `json:"proposed,omitempty"`
+	Deltas   []Delta           `json:"deltas,omitempty"`
+	Retunes  map[string]int64  `json:"retunes,omitempty"`
+	// LastImprovement/LastCalls summarize the most recent re-tune.
+	LastImprovement float64 `json:"lastImprovement,omitempty"`
+	LastCalls       int64   `json:"lastCalls,omitempty"`
+	// PoolFingerprint cross-checks the <id>.pool.json beside this file; a
+	// mismatched or missing pool degrades to the fresh path, never corrupts.
+	PoolFingerprint string `json:"poolFingerprint,omitempty"`
+}
+
+// daemonSuffix marks daemon state files in the shared state directory.
+const daemonSuffix = ".daemon.json"
+
+// daemonPath returns the daemon's state file path ("" with persistence off).
+func (m *Manager) daemonPath(id string) string {
+	m.mu.Lock()
+	dir := m.stateDir
+	m.mu.Unlock()
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, id+daemonSuffix)
+}
+
+// writeDaemonState persists the daemon atomically (temp file + rename); the
+// caller holds d.mu. A daemon whose options are not wire-representable
+// (programmatic callbacks etc.) cannot be persisted and is skipped — the
+// HTTP surface only produces representable ones.
+func (m *Manager) writeDaemonState(d *Daemon) {
+	path := m.daemonPath(d.id)
+	if path == "" {
+		return
+	}
+	st := &daemonState{
+		ID:              d.id,
+		Backend:         d.backend,
+		Created:         d.created,
+		Options:         d.wire,
+		Threshold:       d.threshold,
+		Epochs:          d.epochs,
+		Score:           d.score,
+		Comp:            d.comp.State(),
+		LastTuned:       d.lastTuned,
+		Accepted:        d.accepted,
+		Vetoed:          d.vetoed,
+		Proposed:        d.current,
+		Deltas:          d.deltas,
+		Retunes:         d.retunes,
+		LastImprovement: d.lastImprovement,
+		LastCalls:       d.lastCalls,
+	}
+	if d.pool != nil {
+		st.PoolFingerprint = d.pool.Fingerprint
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		m.log.Warn("daemon state marshal", "daemon", d.id, "err", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		m.log.Warn("daemon state write", "daemon", d.id, "err", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		m.log.Warn("daemon state rename", "daemon", d.id, "err", err)
+	}
+}
+
+// removeDaemonState deletes a closed daemon's state file.
+func (m *Manager) removeDaemonState(id string) {
+	if path := m.daemonPath(id); path != "" {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			m.log.Warn("daemon state remove", "daemon", id, "err", err)
+		}
+	}
+}
+
+// ResumeDaemons scans the state directory and restores every persisted
+// daemon that is not already live: compressor snapshot, feedback state,
+// proposal, delta history, and — when the fingerprint beside it still
+// matches — the retained costed pool, so the first post-restart re-tune can
+// take the revise path. Identical trace and feedback fed to a restored
+// daemon produce the identical delta sequence an uninterrupted daemon would
+// have emitted. Corrupt files are logged and skipped, never fatal.
+func (m *Manager) ResumeDaemons() ([]*Daemon, error) {
+	m.mu.Lock()
+	dir := m.stateDir
+	m.mu.Unlock()
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), daemonSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // creation order: IDs are zero-padded sequence numbers
+
+	var resumed []*Daemon
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			m.log.Warn("daemon state read", "file", name, "err", err)
+			continue
+		}
+		var st daemonState
+		if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+			m.log.Warn("daemon state corrupt", "file", name, "err", err)
+			continue
+		}
+		if _, live := m.GetDaemon(st.ID); live {
+			continue
+		}
+		d, err := m.resumeDaemon(&st)
+		if err != nil {
+			m.log.Warn("daemon resume failed", "daemon", st.ID, "err", err)
+			continue
+		}
+		m.log.Info("daemon resumed", "daemon", d.id, "backend", d.backend,
+			"epochs", st.Epochs, "deltas", len(st.Deltas))
+		resumed = append(resumed, d)
+	}
+	return resumed, nil
+}
+
+// resumeDaemon rebuilds one daemon from its persisted state.
+func (m *Manager) resumeDaemon(st *daemonState) (*Daemon, error) {
+	if _, err := m.backend(st.Backend); err != nil {
+		return nil, err
+	}
+	opts, err := st.Options.toCore()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if opts.Derive == "" {
+		opts.Derive = m.deriveDefault
+	}
+	m.mu.Unlock()
+	var comp *workload.Compressor
+	if st.Comp != nil {
+		comp, err = workload.RestoreCompressor(st.Comp)
+		if err != nil {
+			return nil, fmt.Errorf("compressor snapshot: %w", err)
+		}
+	}
+	threshold := st.Threshold
+	if threshold <= 0 {
+		threshold = DefaultDriftThreshold
+	}
+	d, err := m.addDaemon(st.ID, st.Backend, st.Options, opts, threshold, comp)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.created = st.Created
+	d.epochs = st.Epochs
+	d.score = st.Score
+	if st.LastTuned != nil {
+		d.lastTuned = drift.Distribution(st.LastTuned)
+	}
+	d.accepted = st.Accepted
+	d.vetoed = append([]string(nil), st.Vetoed...)
+	if st.Proposed != nil {
+		d.current = st.Proposed
+	}
+	d.deltas = append([]Delta(nil), st.Deltas...)
+	for k, v := range st.Retunes {
+		d.retunes[k] = v
+	}
+	d.lastImprovement = st.LastImprovement
+	d.lastCalls = st.LastCalls
+	d.gScore.Set(d.score)
+	if st.PoolFingerprint != "" {
+		if pool := m.readPool(d.id, st.PoolFingerprint); pool != nil {
+			d.pool = pool
+			d.poolDist = statementDistribution(pool.Statements)
+		}
+	}
+	d.mu.Unlock()
+	return d, nil
+}
+
+// readPool loads a daemon's retained pool file, validating its content
+// address against the fingerprint the daemon state recorded. Any mismatch
+// or read failure returns nil: the daemon comes back without a pool and
+// simply takes the fresh path at its next re-tune.
+func (m *Manager) readPool(id, fingerprint string) *core.CostedPool {
+	path := m.poolPath(id)
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			m.log.Warn("pool read", "daemon", id, "err", err)
+		}
+		return nil
+	}
+	var pool core.CostedPool
+	if err := json.Unmarshal(data, &pool); err != nil {
+		m.log.Warn("pool corrupt", "daemon", id, "err", err)
+		return nil
+	}
+	if pool.Fingerprint != fingerprint {
+		m.log.Warn("pool fingerprint mismatch", "daemon", id,
+			"want", fingerprint, "got", pool.Fingerprint)
+		return nil
+	}
+	return &pool
+}

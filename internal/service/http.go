@@ -142,6 +142,18 @@ func (c CreateOptions) toCore() (core.Options, error) {
 //	GET    /sessions/{id}/explain per-structure provenance from the journal
 //	PATCH  /sessions/{id}        revise a completed session under changed constraints
 //	DELETE /sessions/{id}        cancel a session
+//	POST   /daemons              create a continuous tuning daemon
+//	POST   /daemons/resume       restore persisted daemons from the state dir
+//	GET    /daemons              list daemons
+//	GET    /daemons/{id}         one daemon's snapshot
+//	POST   /daemons/{id}/trace   ingest one trace chunk (epoch); re-tunes on drift
+//	GET    /daemons/{id}/delta   recommendation deltas (?since=N for only new ones)
+//	POST   /daemons/{id}/feedback accept/veto structures; optional forced re-tune
+//	GET    /daemons/{id}/events  stream daemon events (NDJSON)
+//	GET    /daemons/{id}/journal decision journal as NDJSON (?kind= filters)
+//	GET    /daemons/{id}/explain why the latest delta was proposed
+//	GET    /daemons/{id}/timeline daemon timeline as Chrome trace-event JSON
+//	DELETE /daemons/{id}         close a daemon
 //	GET    /metrics              Prometheus text exposition (JSON with Accept: application/json)
 //	GET    /metrics.json         cumulative service metrics, JSON
 //	GET    /backends             registered databases
@@ -158,6 +170,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/explain", m.handleExplain)
 	mux.HandleFunc("PATCH /sessions/{id}", m.handleRevise)
 	mux.HandleFunc("DELETE /sessions/{id}", m.handleCancel)
+	m.daemonRoutes(mux)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", m.handleMetricsJSON)
 	mux.HandleFunc("GET /backends", m.handleBackends)

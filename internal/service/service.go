@@ -396,6 +396,11 @@ type Manager struct {
 	// request leaves options.derive empty (dtaserver -derive).
 	deriveDefault derive.Mode
 
+	// driftDefault is the drift threshold applied to daemons whose request
+	// leaves drift.threshold zero (dtaserver -drift-threshold; zero here
+	// falls back to DefaultDriftThreshold).
+	driftDefault float64
+
 	// poolTTL bounds how long a completed session's costed pool is retained
 	// for revision (dtaserver -pool-retention; 0 = the life of the process).
 	poolTTL time.Duration
@@ -411,6 +416,11 @@ type Manager struct {
 	sessions map[string]*Session
 	order    []string
 	seq      int
+	// daemons holds continuous tuning daemons (daemon.go) in creation
+	// order; dseq allocates their d-NNNN IDs.
+	daemons map[string]*Daemon
+	dorder  []string
+	dseq    int
 	// stateDir, when set via SetStateDir, holds one JSON state file per
 	// in-flight wire-representable session (manifest + last checkpoint);
 	// see state.go.
@@ -426,6 +436,11 @@ type Manager struct {
 	// currently held for revision (mirrors the dta_pools_retained gauge).
 	revised       atomic.Int64
 	poolsRetained atomic.Int64
+	// Daemon lifecycle counters (daemon.go): daemons created, re-tunes run
+	// across all triggers, and recommendation deltas emitted.
+	daemonsCreated atomic.Int64
+	daemonRetunes  atomic.Int64
+	deltasEmitted  atomic.Int64
 
 	// Registry series mirroring the lifecycle counters above, cached at
 	// construction so the run loop never takes registry locks.
@@ -454,6 +469,12 @@ type Manager struct {
 	cRevCalls    *obs.Counter
 	hRevDuration *obs.Histogram
 	gPools       *obs.Gauge
+	// Daemon series (daemon.go): daemons created, re-tunes by trigger, and
+	// the per-delta churn distribution. The per-daemon dta_drift_score
+	// gauge is registered when each daemon is created.
+	cDaemons *obs.Counter
+	cRetunes map[string]*obs.Counter
+	hChurn   *obs.Histogram
 }
 
 // NewManager creates a manager running at most workers sessions at once
@@ -504,6 +525,19 @@ func NewManager(workers int) *Manager {
 			"Wall time of finished revision sessions.", obs.LatencyBuckets),
 		gPools: reg.Gauge("dta_pools_retained",
 			"Costed pools currently retained in memory for session revision."),
+		cDaemons: reg.Counter("dta_daemons_created_total",
+			"Continuous tuning daemons created."),
+		cRetunes: map[string]*obs.Counter{
+			TriggerInitial: reg.Counter("dta_daemon_retunes_total",
+				"Daemon re-tunes, by trigger (initial, drift, feedback).", "trigger", TriggerInitial),
+			TriggerDrift: reg.Counter("dta_daemon_retunes_total",
+				"Daemon re-tunes, by trigger (initial, drift, feedback).", "trigger", TriggerDrift),
+			TriggerFeedback: reg.Counter("dta_daemon_retunes_total",
+				"Daemon re-tunes, by trigger (initial, drift, feedback).", "trigger", TriggerFeedback),
+		},
+		hChurn: reg.Histogram("dta_delta_churn",
+			"Structures created plus dropped per daemon recommendation delta.", obs.CountBuckets),
+		daemons: map[string]*Daemon{},
 	}
 	return m
 }
@@ -930,6 +964,9 @@ type Metrics struct {
 	SessionsRevised   int64            `json:"sessionsRevised"`
 	PoolsRetained     int64            `json:"poolsRetained"`
 	WhatIfCalls       int64            `json:"whatIfCalls"`
+	DaemonsCreated    int64            `json:"daemonsCreated"`
+	DaemonRetunes     int64            `json:"daemonRetunes"`
+	DeltasEmitted     int64            `json:"deltasEmitted"`
 	Backends          []BackendMetrics `json:"backends"`
 }
 
@@ -946,6 +983,9 @@ func (m *Manager) Metrics() Metrics {
 		SessionsRevised:   m.revised.Load(),
 		PoolsRetained:     m.poolsRetained.Load(),
 		WhatIfCalls:       m.whatIfCalls.Load(),
+		DaemonsCreated:    m.daemonsCreated.Load(),
+		DaemonRetunes:     m.daemonRetunes.Load(),
+		DeltasEmitted:     m.deltasEmitted.Load(),
 	}
 	m.mu.Lock()
 	sessions := make([]*Session, 0, len(m.sessions))

@@ -161,8 +161,11 @@ func (m *Manager) ResumeSessions() ([]*Session, error) {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		// <id>.pool.json files are retained pools, not resumable sessions.
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasSuffix(e.Name(), ".pool.json") {
+		// <id>.pool.json files are retained pools and <id>.daemon.json files
+		// are continuous tuning daemons (ResumeDaemons), not resumable
+		// sessions.
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") &&
+			!strings.HasSuffix(e.Name(), ".pool.json") && !strings.HasSuffix(e.Name(), daemonSuffix) {
 			names = append(names, e.Name())
 		}
 	}

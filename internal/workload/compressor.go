@@ -168,6 +168,25 @@ func (c *Compressor) Ratio() float64 {
 	return 1
 }
 
+// TemplateWeights returns the total folded weight per statement template
+// signature. Every event's weight lands in its template's total no matter
+// which representative absorbed it, so the result depends only on the
+// multiset of events streamed in, not their order (exactly so for the
+// integral weights profiler traces carry; fractional weights agree up to
+// float summation rounding) — the property the drift scorer's determinism
+// rests on.
+func (c *Compressor) TemplateWeights() map[string]float64 {
+	out := make(map[string]float64, len(c.bySig))
+	for sig, t := range c.bySig {
+		var w float64
+		for _, r := range t.reps {
+			w += r.Weight
+		}
+		out[sig] = w
+	}
+	return out
+}
+
 // Workload returns the compressed workload: the representatives in template
 // first-seen order, each carrying its cluster's folded weight and
 // weighted-mean duration. The returned events are the compressor's own;

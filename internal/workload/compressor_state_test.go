@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// stateEvents generates a deterministic event stream with several templates,
+// varying constants (so clusters split), and mixed weights/durations.
+func stateEvents(t *testing.T, n int, seed int64) []*Event {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		var sql string
+		switch i % 3 {
+		case 0:
+			sql = fmt.Sprintf("SELECT a FROM t WHERE a = %d", rng.Intn(1000))
+		case 1:
+			sql = fmt.Sprintf("SELECT b FROM t WHERE b BETWEEN %d AND %d", rng.Intn(100), 100+rng.Intn(100))
+		default:
+			sql = fmt.Sprintf("SELECT a, b FROM t WHERE a = %d AND b = %d", rng.Intn(50), rng.Intn(50))
+		}
+		if err := w.Add(sql, float64(1+rng.Intn(4))); err != nil {
+			t.Fatal(err)
+		}
+		w.Events[len(w.Events)-1].Duration = float64(rng.Intn(100))
+	}
+	return w.Events
+}
+
+// TestCompressorStateRoundTrip snapshots a compressor mid-stream, restores
+// it through a JSON round trip, streams the identical remaining events into
+// both, and requires identical representatives, weights, and template
+// distributions — the invariant daemon restart-resume depends on.
+func TestCompressorStateRoundTrip(t *testing.T) {
+	events := stateEvents(t, 400, 3)
+	split := 250
+
+	orig := NewCompressor(CompressOptions{})
+	for _, e := range events[:split] {
+		if err := orig.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := json.Marshal(orig.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CompressorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCompressor(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []*Compressor{orig, restored} {
+		for _, e := range events[split:] {
+			if err := c.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if orig.Events() != restored.Events() || orig.TotalWeight() != restored.TotalWeight() {
+		t.Fatalf("counters diverged: events %d vs %d, weight %v vs %v",
+			orig.Events(), restored.Events(), orig.TotalWeight(), restored.TotalWeight())
+	}
+	if orig.Len() != restored.Len() || orig.Templates() != restored.Templates() {
+		t.Fatalf("retained state diverged: %d/%d reps, %d/%d templates",
+			orig.Len(), restored.Len(), orig.Templates(), restored.Templates())
+	}
+	if !reflect.DeepEqual(orig.TemplateWeights(), restored.TemplateWeights()) {
+		t.Fatalf("template weights diverged:\n%v\nvs\n%v", orig.TemplateWeights(), restored.TemplateWeights())
+	}
+	ow, rw := orig.Workload(), restored.Workload()
+	for i := range ow.Events {
+		a, b := ow.Events[i], rw.Events[i]
+		if a.SQL != b.SQL || a.Weight != b.Weight || a.Duration != b.Duration {
+			t.Fatalf("representative %d diverged: %q w=%v d=%v vs %q w=%v d=%v",
+				i, a.SQL, a.Weight, a.Duration, b.SQL, b.Weight, b.Duration)
+		}
+	}
+	// And the snapshots of the two continued compressors agree too.
+	oState, _ := json.Marshal(orig.State())
+	rState, _ := json.Marshal(restored.State())
+	if string(oState) != string(rState) {
+		t.Fatalf("continued snapshots diverged:\n%s\nvs\n%s", oState, rState)
+	}
+}
+
+func TestRestoreCompressorRejectsBadState(t *testing.T) {
+	if _, err := RestoreCompressor(nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	bad := &CompressorState{Templates: []TemplateState{{}}}
+	if _, err := RestoreCompressor(bad); err == nil {
+		t.Fatal("template without representatives accepted")
+	}
+	bad = &CompressorState{Templates: []TemplateState{{
+		Reps: []RepState{{SQL: "not sql at all ((", Weight: 1}},
+	}}}
+	if _, err := RestoreCompressor(bad); err == nil {
+		t.Fatal("unparseable representative accepted")
+	}
+	bad = &CompressorState{Templates: []TemplateState{{
+		Reps: []RepState{{SQL: "SELECT a FROM t WHERE a = 1", Weight: 1}},
+		Lo:   []float64{0}, Hi: []float64{0, 1}, Seen: []bool{true},
+	}}}
+	if _, err := RestoreCompressor(bad); err == nil {
+		t.Fatal("inconsistent range arrays accepted")
+	}
+	bad = &CompressorState{Templates: []TemplateState{
+		{Reps: []RepState{{SQL: "SELECT a FROM t WHERE a = 1", Weight: 1}}, Lo: []float64{1}, Hi: []float64{1}, Seen: []bool{true}},
+		{Reps: []RepState{{SQL: "SELECT a FROM t WHERE a = 2", Weight: 1}}, Lo: []float64{2}, Hi: []float64{2}, Seen: []bool{true}},
+	}}
+	if _, err := RestoreCompressor(bad); err == nil {
+		t.Fatal("duplicate template signature accepted")
+	}
+}

@@ -1,8 +1,9 @@
 // Command linkcheck verifies the relative links in the repository's
 // markdown documentation: every [text](target) whose target is a local
-// path must point at a file that exists. External http(s) links and pure
-// fragment links are not fetched — the check is hermetic so CI stays
-// deterministic and offline.
+// path must point at a file that exists, and a #fragment — on a relative
+// link or standing alone — must name a real heading's anchor in the target
+// document (GitHub's slugification rules). External http(s) links are not
+// fetched — the check is hermetic so CI stays deterministic and offline.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRE matches inline markdown links; images share the syntax and are
@@ -55,7 +57,24 @@ func main() {
 		}
 	}
 
+	anchorSets := map[string]map[string]bool{} // md file path → heading anchors
+	anchors := func(path string) (map[string]bool, error) {
+		if set, ok := anchorSets[path]; ok {
+			return set, nil
+		}
+		set, err := headingAnchors(path)
+		if err != nil {
+			return nil, err
+		}
+		anchorSets[path] = set
+		return set, nil
+	}
+
 	broken := 0
+	report := func(f string, line int, link, detail string) {
+		fmt.Printf("%s:%d: broken link %q (%s)\n", f, line, link, detail)
+		broken++
+	}
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
@@ -68,14 +87,25 @@ func main() {
 				if skip(target) {
 					continue
 				}
-				target = strings.SplitN(target, "#", 2)[0]
-				if target == "" {
+				path, frag, _ := strings.Cut(target, "#")
+				resolved := f // pure-fragment links point into this document
+				if path != "" {
+					resolved = filepath.Join(filepath.Dir(f), path)
+					if _, err := os.Stat(resolved); err != nil {
+						report(f, i+1, m[1], resolved)
+						continue
+					}
+				}
+				if frag == "" || !strings.HasSuffix(resolved, ".md") {
 					continue
 				}
-				resolved := filepath.Join(filepath.Dir(f), target)
-				if _, err := os.Stat(resolved); err != nil {
-					fmt.Printf("%s:%d: broken link %q (%s)\n", f, i+1, m[1], resolved)
-					broken++
+				set, err := anchors(resolved)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "linkcheck:", err)
+					os.Exit(2)
+				}
+				if !set[frag] {
+					report(f, i+1, m[1], "no heading in "+resolved+" slugifies to #"+frag)
 				}
 			}
 		}
@@ -86,11 +116,67 @@ func main() {
 	}
 }
 
-// skip reports link targets outside the checker's scope: external URLs,
-// mail links, and pure in-page fragments.
+// skip reports link targets outside the checker's scope: external URLs and
+// mail links. In-page fragments are checked against this file's headings.
 func skip(target string) bool {
 	return strings.HasPrefix(target, "http://") ||
 		strings.HasPrefix(target, "https://") ||
-		strings.HasPrefix(target, "mailto:") ||
-		strings.HasPrefix(target, "#")
+		strings.HasPrefix(target, "mailto:")
+}
+
+// headingAnchors collects the GitHub anchor slug of every markdown heading
+// in the file. Fenced code blocks are skipped — a shell comment is not a
+// heading. Duplicate headings get the -1, -2, ... suffixes GitHub appends.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		level := 0
+		for level < len(line) && line[level] == '#' {
+			level++
+		}
+		if level > 6 || level == len(line) || line[level] != ' ' {
+			continue
+		}
+		slug := slugify(line[level+1:])
+		if n := counts[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		counts[slug]++
+	}
+	return set, nil
+}
+
+// slugify applies GitHub's heading-anchor rules: strip inline markdown
+// markers, lowercase, drop everything but letters, digits, spaces, hyphens,
+// and underscores, then turn each space into a hyphen (runs of spaces are
+// not collapsed — "a — b" anchors as "a--b").
+func slugify(heading string) string {
+	heading = strings.TrimSpace(heading)
+	heading = strings.NewReplacer("`", "", "*", "", "[", "", "]", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

@@ -1,19 +1,28 @@
-// Command lintdoc enforces the repository's documentation contract: every
-// exported identifier in the audited packages must carry a doc comment.
-// CI runs it on every push; a missing comment is a build failure, not a
-// review nit.
+// Command lintdoc enforces the repository's documentation contract:
+//
+//   - every exported identifier in the audited packages must carry a doc
+//     comment, and
+//   - every dta_* metric series registered in the sources must have a row
+//     in the docs/OPERATIONS.md metrics reference, and every row there
+//     must name a series that still exists (no waivers in either
+//     direction).
+//
+// CI runs it on every push; a violation is a build failure, not a review
+// nit.
 //
 // Usage:
 //
-//	go run ./scripts/lintdoc [packages...]
+//	go run ./scripts/lintdoc [-metrics-doc docs/OPERATIONS.md] [packages...]
 //
 // With no arguments it audits the packages the robustness PR put under
 // contract: internal/core, internal/whatif, internal/service, internal/obs,
 // internal/fault, internal/derive, internal/journal. Test files are
-// skipped.
+// skipped. The metrics cross-check always scans all of internal/ and cmd/;
+// -metrics-doc "" disables it (for trimmed checkouts without docs/).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -36,7 +45,9 @@ var defaultPackages = []string{
 }
 
 func main() {
-	dirs := os.Args[1:]
+	metricsDoc := flag.String("metrics-doc", "docs/OPERATIONS.md", "metrics reference to cross-check registered dta_* series against (\"\" disables)")
+	flag.Parse()
+	dirs := flag.Args()
 	if len(dirs) == 0 {
 		dirs = defaultPackages
 	}
@@ -50,11 +61,19 @@ func main() {
 		problems = append(problems, p...)
 	}
 	sort.Strings(problems)
+	if *metricsDoc != "" {
+		drift, err := metricsDrift([]string{"internal", "cmd"}, *metricsDoc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdoc:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, drift...)
+	}
 	for _, p := range problems {
 		fmt.Println(p)
 	}
 	if len(problems) > 0 {
-		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifiers without doc comments\n", len(problems))
+		fmt.Fprintf(os.Stderr, "lintdoc: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
 }

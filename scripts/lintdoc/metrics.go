@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricRowRE matches an OPERATIONS.md metrics-table row whose first cell
+// is a backticked series name: `| `dta_foo_total` | counter | ... |`.
+// Mentions elsewhere in prose or in later cells do not count as
+// documentation — only a dedicated row does.
+var metricRowRE = regexp.MustCompile("^\\|\\s*`(dta_[a-z0-9_]+)`\\s*\\|")
+
+// metricsDrift cross-checks the dta_* series registered in the Go sources
+// against the rows of the operations reference: every registered series
+// must have a table row, and every table row must correspond to a
+// registered series. Either direction of drift is a failure — stale docs
+// are as misleading as missing ones.
+func metricsDrift(srcRoots []string, docPath string) ([]string, error) {
+	registered, err := registeredSeries(srcRoots)
+	if err != nil {
+		return nil, err
+	}
+	documented, err := documentedSeries(docPath)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, name := range sortedKeys(registered) {
+		if _, ok := documented[name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: series %s (registered at %s) has no row in the metrics reference",
+				docPath, name, registered[name]))
+		}
+	}
+	for _, name := range sortedKeys(documented) {
+		if _, ok := registered[name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: series %s is documented but registered nowhere under %s",
+				documented[name], name, strings.Join(srcRoots, ", ")))
+		}
+	}
+	return problems, nil
+}
+
+// registeredSeries walks the source roots and collects every dta_* series
+// name passed to a Counter/Gauge/Histogram registration call in a non-test
+// file, mapped to the first file:line that registers it.
+func registeredSeries(roots []string) (map[string]string, error) {
+	out := map[string]string{}
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return err
+			}
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Counter", "Gauge", "Histogram":
+				default:
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.HasPrefix(name, "dta_") {
+					return true
+				}
+				if _, seen := out[name]; !seen {
+					p := fset.Position(lit.Pos())
+					out[name] = fmt.Sprintf("%s:%d", filepath.ToSlash(p.Filename), p.Line)
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// documentedSeries scans the operations reference for metrics-table rows,
+// mapped to their file:line.
+func documentedSeries(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if m := metricRowRE.FindStringSubmatch(sc.Text()); m != nil {
+			if _, seen := out[m[1]]; !seen {
+				out[m[1]] = fmt.Sprintf("%s:%d", path, line)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
