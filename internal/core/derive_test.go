@@ -86,9 +86,13 @@ func TestDeriveModeEquivalence(t *testing.T) {
 
 // TestDeriveMatchesRealCostsOnRandomConfigs is the equivalence property at
 // the evaluator level: over seeded-random configurations drawn from a pool
-// of indexes and a view, every derived (cost, used) pair equals the pair a
+// of indexes and views, every derived (cost, used) pair equals the pair a
 // derivation-free evaluator computes with real optimizer calls — exactly,
-// not within a tolerance.
+// not within a tolerance. The workload mixes single-scope statements with
+// multi-scope join templates (selective join, grouped join, ordered join)
+// so both flat replay and composed join-skeleton replay are exercised, and
+// the pool includes a grouped multi-table view that substitutes for the
+// grouped join.
 func TestDeriveMatchesRealCostsOnRandomConfigs(t *testing.T) {
 	s := testServer(t)
 	w := workload.MustNew(
@@ -97,6 +101,9 @@ func TestDeriveMatchesRealCostsOnRandomConfigs(t *testing.T) {
 		"SELECT SUM(amt) FROM t WHERE a = 7",
 		"SELECT id FROM t WHERE amt > 900 ORDER BY amt",
 		"SELECT t.id, d.grp FROM t, d WHERE t.d_id = d.d_id AND d.grp = 3",
+		"SELECT t.id, d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 42",
+		"SELECT d.grp, COUNT(*) FROM t, d WHERE t.d_id = d.d_id GROUP BY d.grp",
+		"SELECT t.id FROM t, d WHERE t.d_id = d.d_id AND d.grp = 5 ORDER BY t.amt",
 		"UPDATE t SET amt = 0 WHERE id = 17",
 	)
 	pool := []catalog.Structure{
@@ -106,11 +113,20 @@ func TestDeriveMatchesRealCostsOnRandomConfigs(t *testing.T) {
 		{Index: catalog.NewIndex("t", "amt").WithInclude("id")},
 		{Index: catalog.NewIndex("t", "d_id")},
 		{Index: catalog.NewIndex("d", "d_id").WithInclude("grp")},
+		{Index: catalog.NewIndex("d", "grp").WithInclude("d_id", "name")},
 		{View: catalog.NewMaterializedView(
 			[]string{"t"}, nil, nil,
 			[]catalog.ColRef{catalog.NewColRef("t", "a")},
 			[]catalog.Agg{{Func: "COUNT"}},
 			100,
+		)},
+		{View: catalog.NewMaterializedView(
+			[]string{"t", "d"},
+			[]catalog.JoinPred{{Left: catalog.NewColRef("t", "d_id"), Right: catalog.NewColRef("d", "d_id")}},
+			nil,
+			[]catalog.ColRef{catalog.NewColRef("d", "grp")},
+			[]catalog.Agg{{Func: "COUNT"}},
+			20,
 		)},
 	}
 
@@ -215,6 +231,44 @@ func TestDeriveVerifyCatchesBadSkeleton(t *testing.T) {
 	_, err := Tune(c, w, Options{Derive: derive.Verify})
 	if err == nil {
 		t.Fatal("verify mode must reject a skeleton that disagrees with the optimizer")
+	}
+	if !strings.Contains(err.Error(), "verify mismatch") {
+		t.Fatalf("expected a verify mismatch error, got: %v", err)
+	}
+}
+
+// corruptJoinTuner rescales every per-scope access-path cost inside the
+// composed join skeletons it returns, leaving single-scope skeletons intact
+// — the join analogue of corruptAltTuner.
+type corruptJoinTuner struct {
+	*whatif.Server
+}
+
+func (c *corruptJoinTuner) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
+	cost, used, alts, err := c.Server.WhatIfAlternativesCost(stmt, cfg)
+	if alts != nil && alts.Join != nil {
+		for i := range alts.Join.Scopes {
+			for k := range alts.Join.Scopes[i].Alts {
+				alts.Join.Scopes[i].Alts[k].Pre *= 2
+			}
+		}
+	}
+	return cost, used, alts, err
+}
+
+// TestDeriveVerifyCatchesBadJoinSkeleton: a corrupted join skeleton must be
+// caught the same way a corrupted flat skeleton is — replayed join-plan
+// arithmetic that disagrees with the real optimizer fails the session in
+// verify mode.
+func TestDeriveVerifyCatchesBadJoinSkeleton(t *testing.T) {
+	c := &corruptJoinTuner{Server: testServer(t)}
+	w := workload.MustNew(
+		"SELECT t.id, d.grp FROM t, d WHERE t.d_id = d.d_id AND d.grp = 3",
+		"SELECT d.grp, COUNT(*) FROM t, d WHERE t.d_id = d.d_id GROUP BY d.grp",
+	)
+	_, err := Tune(c, w, Options{Derive: derive.Verify})
+	if err == nil {
+		t.Fatal("verify mode must reject a join skeleton that disagrees with the optimizer")
 	}
 	if !strings.Contains(err.Error(), "verify mismatch") {
 		t.Fatalf("expected a verify mismatch error, got: %v", err)

@@ -374,7 +374,10 @@ func (ev *evaluator) eventCost(i int, pc *preparedConfig) (float64, []string, er
 			// Update overhead depends on the full index set — costs are not
 			// plan-set monotone — so DML always takes the real call.
 			ev.drv.FallbackDML(i)
-		} else if res, ok := ev.drv.Resolve(i, rel, info.additiveRelevant, func(node *catalog.Configuration) (float64, []string, error) {
+		} else if res, ok := ev.drv.Resolve(i, len(info.q.Scopes) > 1, rel, info.additiveRelevant, func(node *catalog.Configuration, fresh bool) (float64, []string, error) {
+			if fresh {
+				return ev.freshNodeCost(i, node)
+			}
 			return ev.eventCostByIndex(i, node)
 		}); ok {
 			if err := ev.verifyDerived(i, cfg, res); err != nil {
@@ -416,6 +419,49 @@ func (ev *evaluator) eventCost(i int, pc *preparedConfig) (float64, []string, er
 		// by selection replay.
 		ev.drv.Record(i, rel, c, used, alts)
 	}
+	ce.cost, ce.used = c, used
+	close(ce.ready)
+	return c, used, nil
+}
+
+// freshNodeCost issues a current-epoch real call for a walk node whose
+// normal cache entry predates the statistics epoch, without touching that
+// entry: a derive-off evaluator would keep serving the stale first-touch
+// cost for the node itself, and derivation must reproduce exactly that
+// behaviour, so the repair result is visible only to the derive fact
+// database. The call is single-flighted under a (event, epoch, node) key
+// disjoint from normal cache keys, keeping repair call counts independent
+// of parallelism.
+func (ev *evaluator) freshNodeCost(i int, cfg *catalog.Configuration) (float64, []string, error) {
+	pc := ev.prepareConfig(cfg)
+	info := ev.infos[i]
+	rel := pc.relevant(info)
+	key := "fresh\x00" + itoa(i) + "\x00" + itoa(int(ev.drv.Epoch())) + "\x00" + ev.relevantKey(rel)
+	ev.mu.Lock()
+	if ce, ok := ev.cache[key]; ok {
+		ev.mu.Unlock()
+		<-ce.ready
+		return ce.cost, ce.used, ce.err
+	}
+	ce := &cacheEntry{ready: make(chan struct{})}
+	ev.cache[key] = ce
+	ev.mu.Unlock()
+	fail := func(err error) (float64, []string, error) {
+		ce.err = err
+		ev.mu.Lock()
+		delete(ev.cache, key)
+		ev.mu.Unlock()
+		close(ce.ready)
+		return 0, nil, err
+	}
+	if ev.tr.ctxStopped() {
+		return fail(errStopped)
+	}
+	c, used, alts, err := ev.whatIfCall(i, pc.cfg, true)
+	if err != nil {
+		return fail(err)
+	}
+	ev.drv.Record(i, rel, c, used, alts)
 	ce.cost, ce.used = c, used
 	close(ce.ready)
 	return c, used, nil

@@ -19,22 +19,26 @@
 // derived cost is the number the optimizer itself would return.
 //
 // Resolution starts at the canonical *top* of S (S plus every additive pool
-// candidate relevant to the event) and costs it for real once. For
-// single-scope SELECTs that one call also returns the *plan skeleton*
-// (optimizer.Alternatives): every plan alternative costed end-to-end, each
-// gated by the single additive structure it needs. Any subset's cost then
-// follows by replaying the optimizer's selection arithmetic over the
-// alternatives the subset makes available — the INUM observation — so one
-// atomic call per (event, pool, epoch) answers every configuration the
-// search explores. Statements without a skeleton (joins) fall back to the
-// sandwich walk: while the top's plan uses structures outside S, strip
-// exactly those structures and cost the smaller node; each stripped node is
-// shared by every other subset resolution of the same event. Whenever
-// neither path can produce an applicable answer — DML events (maintenance
-// cost depends on the whole index set and is not plan-set monotone), an
-// empty pool, a fact recorded under an older statistics epoch, or S being
-// its own top — the engine reports a fallback and the caller issues the
-// ordinary real call.
+// candidate relevant to the event) and costs it for real once. For SELECTs
+// that one call also returns the *plan skeleton* (optimizer.Alternatives):
+// for a single-scope query, every plan alternative costed end-to-end, each
+// gated by the single additive structure it needs; for a join, per-scope
+// access and probe alternatives plus edge selectivities and the finish chain
+// (optimizer.JoinSkeleton), which replay composes through the optimizer's
+// own join cost function. Any subset's cost then follows by replaying the
+// optimizer's selection arithmetic over the alternatives the subset makes
+// available — the INUM observation — so one atomic call per (event, pool,
+// epoch) answers every configuration the search explores. The sandwich walk
+// is the residual fallback for facts without a skeleton: while the top's
+// plan uses structures outside S, strip exactly those structures and cost
+// the smaller node; each stripped node is shared by every other subset
+// resolution of the same event. A walk node served from a cache entry of an
+// older statistics epoch is repaired in place by one fresh-epoch real call
+// rather than demoting the event. Whenever no path can produce an
+// applicable answer — DML events (maintenance cost depends on the whole
+// index set and is not plan-set monotone), an empty pool, or S being its
+// own top — the engine reports a fallback (split single-scope vs join per
+// reason) and the caller issues the ordinary real call.
 package derive
 
 import (
@@ -88,7 +92,10 @@ func (m Mode) Enabled() bool { return m == On || m == Verify }
 // float formatting round-trips, not approximation error.
 const VerifyTolerance = 1e-9
 
-// Fallback reasons, the label values of dta_derive_fallbacks_total.
+// Fallback reasons. Each non-DML reason splits by event shape into a
+// single-scope key (the bare reason) and a join key (reason + "-join"), the
+// currency of FallbacksByReason; the metric series carries them as separate
+// reason/shape labels.
 const (
 	// ReasonDML marks INSERT/UPDATE/DELETE events: their update overhead
 	// grows with every index present, so costs are not plan-set monotone
@@ -99,7 +106,8 @@ const (
 	// atomic configuration.
 	ReasonAtom = "atom"
 	// ReasonStale marks a lattice walk that hit a node whose cached cost
-	// was computed under an older statistics epoch; deriving from it could
+	// was computed under an older statistics epoch and whose fresh-epoch
+	// repair call could not record a fact either; deriving from it could
 	// diverge from what a fresh optimizer call would return, so the caller
 	// re-costs for real.
 	ReasonStale = "stats-epoch"
@@ -112,7 +120,20 @@ const (
 	// no selectable alternative. It indicates a backend relevance-filter or
 	// skeleton bug, never normal operation.
 	ReasonEscape = "used-escape"
+
+	// joinSuffix distinguishes join-event fallbacks from single-scope ones
+	// in the per-reason accounting.
+	joinSuffix = "-join"
 )
+
+// reasonKey returns the accounting key of a fallback: the bare reason for
+// single-scope events, reason + joinSuffix for joins (DML has no join shape).
+func reasonKey(reason string, join bool) string {
+	if join && reason != ReasonDML {
+		return reason + joinSuffix
+	}
+	return reason
+}
 
 // Keyed pairs a structure with its canonical key, the currency the engine
 // and the evaluator exchange (the evaluator already has both on hand, and
@@ -134,10 +155,16 @@ type Result struct {
 }
 
 // Eval evaluates one atomic node configuration on behalf of a lattice walk.
-// The advisor routes it through its single-flight cost cache, so concurrent
-// walks over shared nodes coalesce onto one real call and node facts are
-// recorded exactly once per statistics epoch.
-type Eval func(cfg *catalog.Configuration) (float64, []string, error)
+// With fresh false the advisor routes it through its single-flight cost
+// cache, so concurrent walks over shared nodes coalesce onto one real call
+// and node facts are recorded exactly once per statistics epoch. With fresh
+// true the call must bypass the normal cache and issue a current-epoch real
+// call (still single-flighted per epoch, and still recorded as a fact) —
+// the engine uses it to repair a walk node whose cached cost predates the
+// current statistics epoch. A fresh call must not overwrite the normal
+// cache entry: the stale entry's first-touch semantics are exactly what a
+// derive-off evaluator would keep serving.
+type Eval func(cfg *catalog.Configuration, fresh bool) (float64, []string, error)
 
 // fact is one recorded real-call outcome: the configuration's relevant key
 // set (joined), its cost, the used-structure keys of the winning plan, and —
@@ -172,11 +199,12 @@ type Engine struct {
 	epoch   int64
 	facts   map[factScope]map[string]*fact
 
-	atoms       atomic.Int64
-	derivations atomic.Int64
-	fallbacks   atomic.Int64
+	atoms        atomic.Int64
+	derivations  atomic.Int64
+	fallbacks    atomic.Int64
+	staleRepairs atomic.Int64
 	// byReason holds one per-reason fallback counter, fixed at New over
-	// the closed reason set so workers index it without locking.
+	// the closed reason-key set so workers index it without locking.
 	byReason map[string]*atomic.Int64
 
 	// jnl, when set, receives one derive-fallback journal event per
@@ -185,12 +213,20 @@ type Engine struct {
 
 	mAtoms, mDerivations              *obs.Counter
 	mFallback                         map[string]*obs.Counter
+	mStaleRepairs                     *obs.Counter
 	hWalkWidth                        *obs.Histogram
 	mVerifyOK, mVerifyBad, mVerifyErr *obs.Counter
 }
 
-// reasons is the closed fallback-reason set, in reporting order.
-var reasons = []string{ReasonDML, ReasonAtom, ReasonStale, ReasonError, ReasonEscape}
+// reasons is the closed fallback-reason-key set, in reporting order: each
+// non-DML reason once per shape (single-scope, join).
+var reasons = []string{
+	ReasonDML,
+	ReasonAtom, ReasonAtom + joinSuffix,
+	ReasonStale, ReasonStale + joinSuffix,
+	ReasonError, ReasonError + joinSuffix,
+	ReasonEscape, ReasonEscape + joinSuffix,
+}
 
 // New returns an engine in the given mode (nil when the mode is Off, so
 // callers can gate on the pointer alone).
@@ -228,13 +264,19 @@ func (e *Engine) AttachMetrics(reg *obs.Registry) {
 		"Atomic plan facts recorded, one per successful real what-if call with derivation active.")
 	e.mDerivations = reg.Counter("dta_derive_derivations_total",
 		"Cost evaluations answered by algebraic derivation instead of an optimizer call.")
-	const fbHelp = "Derivation fallbacks to a real what-if call, by reason."
+	const fbHelp = "Derivation fallbacks to a real what-if call, by reason and event shape."
 	e.mFallback = map[string]*obs.Counter{}
 	for _, r := range reasons {
-		e.mFallback[r] = reg.Counter("dta_derive_fallbacks_total", fbHelp, "reason", r)
+		base, shape := r, "single"
+		if strings.HasSuffix(r, joinSuffix) {
+			base, shape = strings.TrimSuffix(r, joinSuffix), "join"
+		}
+		e.mFallback[r] = reg.Counter("dta_derive_fallbacks_total", fbHelp, "reason", base, "shape", shape)
 	}
+	e.mStaleRepairs = reg.Counter("dta_derive_stale_repairs_total",
+		"Sandwich-walk nodes whose stale-epoch cache entry was repaired by one fresh-epoch real call, keeping the resolution derivable.")
 	e.hWalkWidth = reg.Histogram("dta_derive_walk_width",
-		"Structure count of sandwich-walk lattice tops: the widest configurations costed for real when a resolution enters the walk (the derive-on bottleneck ROADMAP tracks).",
+		"Structure count of lattice nodes the sandwich walk actually costs for real; replay-answered resolutions never observe (the derive-on bottleneck ROADMAP tracked).",
 		obs.CountBuckets)
 	const vHelp = "Verify-mode cross-checks of derived costs against real optimizer calls."
 	e.mVerifyOK = reg.Counter("dta_derive_verify_total", vHelp, "result", "match")
@@ -306,12 +348,13 @@ func (e *Engine) Record(event int, rel []Keyed, cost float64, used []string, alt
 }
 
 // Resolve attempts to derive the cost of the configuration whose relevant
-// structure set is rel (sorted by key). additive reports whether a pool
-// structure is an additive plan alternative for this event; eval costs
-// atomic node configurations (through the caller's cache). The boolean
-// reports success; on false the caller issues its ordinary real call.
-// Safe on nil (always false).
-func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure) bool, eval Eval) (Result, bool) {
+// structure set is rel (sorted by key). join reports whether the event is a
+// multi-scope SELECT (per-reason fallback accounting splits by shape);
+// additive reports whether a pool structure is an additive plan alternative
+// for this event; eval costs atomic node configurations (through the
+// caller's cache). The boolean reports success; on false the caller issues
+// its ordinary real call. Safe on nil (always false).
+func (e *Engine) Resolve(event int, join bool, rel []Keyed, additive func(catalog.Structure) bool, eval Eval) (Result, bool) {
 	if e == nil {
 		return Result{}, false
 	}
@@ -339,16 +382,10 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 	e.mu.Unlock()
 
 	if len(top) == len(rel) {
-		e.fallback(event, ReasonAtom)
+		e.fallback(event, ReasonAtom, join)
 		return Result{}, false
 	}
 	sort.Strings(top)
-	if e.hWalkWidth != nil {
-		// One observation per resolution that reaches the lattice top: the
-		// top's width is the size of the configuration a walk may have to
-		// cost for real (the ROADMAP's derive-on bottleneck).
-		e.hWalkWidth.Observe(float64(len(top)))
-	}
 	scope := factScope{event: event, epoch: epoch, base: baseOf(rel)}
 
 	// Walk the lattice downward from the canonical top. Every node strictly
@@ -360,26 +397,43 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 		if len(node) == len(rel) {
 			// The walk stripped everything outside S without finding an
 			// applicable fact: S itself is the remaining atom.
-			e.fallback(event, ReasonAtom)
+			e.fallback(event, ReasonAtom, join)
 			return Result{}, false
 		}
 		f := e.lookup(scope, node)
 		if f == nil {
 			cfg, ok := e.buildConfig(node)
 			if !ok {
-				e.fallback(event, ReasonEscape)
+				e.fallback(event, ReasonEscape, join)
 				return Result{}, false
 			}
-			if _, _, err := eval(cfg); err != nil {
-				e.fallback(event, ReasonError)
+			if e.hWalkWidth != nil {
+				// One observation per node the walk costs for real — the
+				// in-process bottleneck of derive-on runs. Resolutions
+				// answered from existing facts or by skeleton replay never
+				// reach here and never observe.
+				e.hWalkWidth.Observe(float64(len(node)))
+			}
+			if _, _, err := eval(cfg, false); err != nil {
+				e.fallback(event, ReasonError, join)
 				return Result{}, false
 			}
 			if f = e.lookup(scope, node); f == nil {
 				// The evaluation was served from a cache entry recorded
-				// under an older statistics epoch; its cost is not valid
-				// at the current epoch, so derivation stops here.
-				e.fallback(event, ReasonStale)
-				return Result{}, false
+				// under an older statistics epoch; its cost is not valid at
+				// the current epoch. Repair the node with one fresh-epoch
+				// real call (bypassing the normal cache) so a single stale
+				// entry cannot demote a resolvable event to a real call.
+				if _, _, err := eval(cfg, true); err != nil {
+					e.fallback(event, ReasonError, join)
+					return Result{}, false
+				}
+				if f = e.lookup(scope, node); f == nil {
+					e.fallback(event, ReasonStale, join)
+					return Result{}, false
+				}
+				e.staleRepairs.Add(1)
+				count(e.mStaleRepairs)
 			}
 		}
 		if f.alts != nil {
@@ -395,7 +449,7 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 			// A skeleton with no selectable alternative is impossible for a
 			// well-formed backend (a base access always exists); re-cost for
 			// real rather than guess.
-			e.fallback(event, ReasonEscape)
+			e.fallback(event, ReasonEscape, join)
 			return Result{}, false
 		}
 		var outside []string
@@ -413,12 +467,12 @@ func (e *Engine) Resolve(event int, rel []Keyed, additive func(catalog.Structure
 		}
 		next := subtract(node, outside)
 		if len(next) >= len(node) {
-			e.fallback(event, ReasonEscape)
+			e.fallback(event, ReasonEscape, join)
 			return Result{}, false
 		}
 		if len(next) < len(rel) {
 			// Impossible if used ⊆ node and base(S) ⊆ S, guarded anyway.
-			e.fallback(event, ReasonEscape)
+			e.fallback(event, ReasonEscape, join)
 			return Result{}, false
 		}
 		node = next
@@ -573,6 +627,26 @@ func (e *Engine) Fallbacks() int64 {
 	return e.fallbacks.Load()
 }
 
+// StaleRepairs reports how many stale walk nodes were repaired by a
+// fresh-epoch call. Safe on nil.
+func (e *Engine) StaleRepairs() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.staleRepairs.Load()
+}
+
+// Epoch reports the current statistics epoch, the evaluator's key component
+// for single-flighting fresh repair calls. Safe on nil.
+func (e *Engine) Epoch() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
 // FallbacksByReason snapshots the per-reason fallback breakdown (only
 // reasons with non-zero counts; nil when none, and on a nil engine).
 func (e *Engine) FallbacksByReason() map[string]int64 {
@@ -609,25 +683,26 @@ func (e *Engine) SetJournal(j *journal.Journal) {
 
 // FallbackDML counts a DML evaluation of the given workload event that
 // bypassed derivation. Safe on nil.
-func (e *Engine) FallbackDML(event int) { e.fallback(event, ReasonDML) }
+func (e *Engine) FallbackDML(event int) { e.fallback(event, ReasonDML, false) }
 
-// fallback counts one fallback of the given workload event under the
-// given reason, and journals it when a journal is attached.
-func (e *Engine) fallback(event int, reason string) {
+// fallback counts one fallback of the given workload event under the given
+// reason and shape, and journals it when a journal is attached.
+func (e *Engine) fallback(event int, reason string, join bool) {
 	if e == nil {
 		return
 	}
+	key := reasonKey(reason, join)
 	e.fallbacks.Add(1)
-	if c := e.byReason[reason]; c != nil {
+	if c := e.byReason[key]; c != nil {
 		c.Add(1)
 	}
 	if e.mFallback != nil {
-		count(e.mFallback[reason])
+		count(e.mFallback[key])
 	}
 	if e.jnl != nil {
 		ev := journal.Ev(journal.KindDeriveFallback)
 		ev.Query = event
-		ev.Reason = reason
+		ev.Reason = key
 		e.jnl.Append(ev)
 	}
 }

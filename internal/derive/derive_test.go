@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 )
 
@@ -45,8 +46,11 @@ func TestNilEngineIsInert(t *testing.T) {
 	if e.Mode() != Off || e.Atoms() != 0 || e.Derivations() != 0 || e.Fallbacks() != 0 {
 		t.Fatal("nil engine must report zeros and Off")
 	}
-	if _, ok := e.Resolve(0, nil, nil, nil); ok {
+	if _, ok := e.Resolve(0, false, nil, nil, nil); ok {
 		t.Fatal("nil engine must never derive")
+	}
+	if e.StaleRepairs() != 0 || e.Epoch() != 0 {
+		t.Fatal("nil engine must report zero repairs and epoch")
 	}
 }
 
@@ -57,23 +61,32 @@ type evalRecorder struct {
 	event int
 	// used maps a node's joined key to the used set its "optimizer" returns.
 	used  map[string][]string
-	calls []string
+	calls []string // cached-path evals, by node key
+	fresh []string // fresh repair evals, by node key
 	fail  bool
-	skip  bool // do not record (simulates a stale cache hit)
+	skip  bool // cached-path evals do not record (simulates a stale cache hit)
+	// skipFresh makes fresh evals skip recording too (a broken repair);
+	// by default a fresh eval records like the real evaluator's repair call.
+	skipFresh bool
 }
 
-func (r *evalRecorder) eval(cfg *catalog.Configuration) (float64, []string, error) {
+func (r *evalRecorder) eval(cfg *catalog.Configuration, fresh bool) (float64, []string, error) {
 	var rel []Keyed
 	for _, ix := range cfg.Indexes {
 		rel = append(rel, keyed(catalog.Structure{Index: ix}))
 	}
 	node := joinKeys(rel)
-	r.calls = append(r.calls, node)
+	if fresh {
+		r.fresh = append(r.fresh, node)
+	} else {
+		r.calls = append(r.calls, node)
+	}
 	if r.fail {
 		return 0, nil, errors.New("backend down")
 	}
 	used := r.used[node]
-	if !r.skip {
+	record := !r.skip || (fresh && !r.skipFresh)
+	if record {
 		r.e.Record(r.event, rel, float64(100+len(node)), used, nil)
 	}
 	return float64(100 + len(node)), used, nil
@@ -92,7 +105,7 @@ func TestResolveSandwichWalk(t *testing.T) {
 
 	// S = {i1}: the top {i1,i2} is costed once; its plan uses only i1 ⊆ S,
 	// so the cost transfers without further calls.
-	res, ok := e.Resolve(7, []Keyed{i1}, additiveAll, rec.eval)
+	res, ok := e.Resolve(7, false, []Keyed{i1}, additiveAll, rec.eval)
 	if !ok {
 		t.Fatalf("expected derivation, calls: %v", rec.calls)
 	}
@@ -106,7 +119,7 @@ func TestResolveSandwichWalk(t *testing.T) {
 	// S = {i2}: the top fact's plan uses i1 ∉ S, so the walk strips i1 and
 	// costs {i2} — which is S itself, the remaining atom → fallback.
 	rec.calls = nil
-	if _, ok := e.Resolve(7, []Keyed{i2}, additiveAll, rec.eval); ok {
+	if _, ok := e.Resolve(7, false, []Keyed{i2}, additiveAll, rec.eval); ok {
 		t.Fatal("walk ending at S itself must fall back")
 	}
 	if e.Fallbacks() == 0 {
@@ -115,7 +128,7 @@ func TestResolveSandwichWalk(t *testing.T) {
 
 	// Different event: facts must not leak across events.
 	rec.calls = nil
-	e.Resolve(8, []Keyed{i1}, additiveAll, rec.eval)
+	e.Resolve(8, false, []Keyed{i1}, additiveAll, rec.eval)
 	if len(rec.calls) == 0 {
 		t.Fatal("another event must not reuse event 7's facts")
 	}
@@ -124,27 +137,47 @@ func TestResolveSandwichWalk(t *testing.T) {
 func TestResolveFallbackReasons(t *testing.T) {
 	i1, i2 := ixKeyed("t", "x"), ixKeyed("t", "a")
 
-	// Atom: S is its own top (empty pool).
+	// Atom: S is its own top (empty pool). Join events count under the
+	// shape-split key.
 	e := New(On)
-	if _, ok := e.Resolve(0, []Keyed{i1}, additiveAll, nil); ok {
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, nil); ok {
 		t.Fatal("empty pool: S is its own top, must fall back")
+	}
+	if _, ok := e.Resolve(0, true, []Keyed{i1}, additiveAll, nil); ok {
+		t.Fatal("join event: empty pool must fall back too")
+	}
+	by := e.FallbacksByReason()
+	if by[ReasonAtom] != 1 || by[ReasonAtom+joinSuffix] != 1 {
+		t.Fatalf("atom fallbacks must split by shape, got %v", by)
 	}
 
 	// Error: the top evaluation fails.
 	e = New(On)
 	e.SetPool([]Keyed{i1, i2})
 	rec := &evalRecorder{e: e, event: 0, fail: true}
-	if _, ok := e.Resolve(0, []Keyed{i1}, additiveAll, rec.eval); ok {
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval); ok {
 		t.Fatal("failed node evaluation must fall back")
 	}
+	if by := e.FallbacksByReason(); by[ReasonError] != 1 {
+		t.Fatalf("error fallback must be counted, got %v", by)
+	}
 
-	// Stale: the evaluation returns (cache hit from an older epoch) without
-	// recording a fresh fact.
+	// Stale: neither the cached-path evaluation nor the fresh repair call
+	// records a current-epoch fact.
 	e = New(On)
 	e.SetPool([]Keyed{i1, i2})
-	rec = &evalRecorder{e: e, event: 0, skip: true}
-	if _, ok := e.Resolve(0, []Keyed{i1}, additiveAll, rec.eval); ok {
+	rec = &evalRecorder{e: e, event: 0, skip: true, skipFresh: true}
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval); ok {
 		t.Fatal("evaluation without a current-epoch fact must fall back")
+	}
+	if len(rec.fresh) != 1 {
+		t.Fatalf("the stale path must attempt exactly one fresh repair call, got %v", rec.fresh)
+	}
+	if by := e.FallbacksByReason(); by[ReasonStale] != 1 {
+		t.Fatalf("stale fallback must be counted, got %v", by)
+	}
+	if e.StaleRepairs() != 0 {
+		t.Fatal("a failed repair must not count as a repair")
 	}
 
 	// DML accounting.
@@ -153,6 +186,9 @@ func TestResolveFallbackReasons(t *testing.T) {
 	e.FallbackDML(0)
 	if e.Fallbacks() != before+1 {
 		t.Fatal("FallbackDML must count")
+	}
+	if by := e.FallbacksByReason(); by[ReasonDML] != 1 {
+		t.Fatalf("dml fallback key must stay unsplit, got %v", by)
 	}
 }
 
@@ -164,13 +200,100 @@ func TestEpochInvalidatesFacts(t *testing.T) {
 		joinKeys([]Keyed{i2, i1}): {i1.Key}, // sorted: ix:t(a) < ix:t(x)
 	}}
 
-	if _, ok := e.Resolve(0, []Keyed{i1}, additiveAll, rec.eval); !ok {
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval); !ok {
 		t.Fatal("first resolve should derive")
 	}
 	e.BumpEpoch()
-	rec.skip = true // post-bump evaluations come from the stale cache
-	if _, ok := e.Resolve(0, []Keyed{i1}, additiveAll, rec.eval); ok {
+	rec.skip = true      // post-bump cached evaluations come from the stale cache
+	rec.skipFresh = true // and the repair path records nothing either
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval); ok {
 		t.Fatal("facts from the previous epoch must not derive")
+	}
+}
+
+// TestStaleRepair is the regression test for the stale-entry bug: one walk
+// node served from an older-epoch cache entry used to abandon the whole
+// derivation. The engine must instead force one fresh-epoch real call for
+// that node, record the repair, and finish deriving.
+func TestStaleRepair(t *testing.T) {
+	e := New(On)
+	i1, i2 := ixKeyed("t", "x"), ixKeyed("t", "a")
+	e.SetPool([]Keyed{i1, i2})
+	top := joinKeys([]Keyed{i2, i1}) // sorted: ix:t(a) < ix:t(x)
+	rec := &evalRecorder{e: e, event: 0, used: map[string][]string{top: {i1.Key}}}
+
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval); !ok {
+		t.Fatal("first resolve should derive")
+	}
+	e.BumpEpoch()
+	rec.skip = true // post-bump cached evaluations come from the stale cache
+	rec.calls, rec.fresh = nil, nil
+
+	res, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, rec.eval)
+	if !ok {
+		t.Fatalf("stale node must be repaired, not demoted (calls %v fresh %v)", rec.calls, rec.fresh)
+	}
+	if len(rec.fresh) != 1 || rec.fresh[0] != top {
+		t.Fatalf("want exactly one fresh repair call for the top, got %v", rec.fresh)
+	}
+	if e.StaleRepairs() != 1 {
+		t.Fatalf("StaleRepairs = %d, want 1", e.StaleRepairs())
+	}
+	if len(res.Used) != 1 || res.Used[0] != i1.Key {
+		t.Fatalf("repaired derivation used = %v, want [%s]", res.Used, i1.Key)
+	}
+	if e.Fallbacks() != 0 {
+		t.Fatalf("a successful repair must not count a fallback, got %d", e.Fallbacks())
+	}
+}
+
+// TestWalkWidthObservedOnlyOnRealWalk is the regression test for the
+// walk-width metric bug: the histogram used to observe once per resolution
+// that reached the lattice top, including resolutions answered by skeleton
+// replay or an existing fact with zero real calls. It must observe only
+// nodes the walk actually costs for real.
+func TestWalkWidthObservedOnlyOnRealWalk(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(On)
+	e.AttachMetrics(reg)
+	h := reg.Histogram("dta_derive_walk_width", "", obs.CountBuckets)
+
+	i1, i2 := ixKeyed("t", "x"), ixKeyed("t", "a")
+	e.SetPool([]Keyed{i1, i2})
+
+	// Replay-answered resolution: a skeleton fact for the top exists, so no
+	// node is ever costed and the histogram must stay empty.
+	alts := &optimizer.Alternatives{Components: []optimizer.AltComponent{
+		{Structure: "", Op: "HeapScan", Pre: 480, Final: 500},
+		{Structure: i1.Key, Op: "IndexSeek", Pre: 100, Final: 120, Used: []string{i1.Key}},
+	}}
+	e.Record(0, []Keyed{i2, i1}, 90, []string{i1.Key}, alts)
+	if _, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, nil); !ok {
+		t.Fatal("skeleton replay should answer")
+	}
+	if h.Count() != 0 {
+		t.Fatalf("replay-answered resolution must not observe walk width, count %d", h.Count())
+	}
+
+	// Walk resolution (no skeleton): the top is costed for real — exactly
+	// one observation.
+	rec := &evalRecorder{e: e, event: 1, used: map[string][]string{
+		joinKeys([]Keyed{i2, i1}): {i1.Key},
+	}}
+	if _, ok := e.Resolve(1, false, []Keyed{i1}, additiveAll, rec.eval); !ok {
+		t.Fatal("walk should derive")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("one real node evaluation must observe exactly once, count %d", h.Count())
+	}
+
+	// Re-resolving the same subset is answered from the recorded fact
+	// without costing any node: no new observation.
+	if _, ok := e.Resolve(1, false, []Keyed{i1}, additiveAll, rec.eval); !ok {
+		t.Fatal("transfer from the existing fact should derive")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("fact-answered resolution must not observe, count %d", h.Count())
 	}
 }
 
@@ -189,12 +312,12 @@ func TestSkeletonReplayAnswersWithoutWalking(t *testing.T) {
 	e.Record(0, []Keyed{i2, i1}, 90, []string{i2.Key}, alts) // sorted rel, as the evaluator passes it
 
 	evalCalled := false
-	failEval := func(*catalog.Configuration) (float64, []string, error) {
+	failEval := func(*catalog.Configuration, bool) (float64, []string, error) {
 		evalCalled = true
 		return 0, nil, errors.New("no eval expected")
 	}
 
-	res, ok := e.Resolve(0, []Keyed{i1}, additiveAll, failEval)
+	res, ok := e.Resolve(0, false, []Keyed{i1}, additiveAll, failEval)
 	if !ok || evalCalled {
 		t.Fatalf("skeleton must answer {i1} without eval (ok=%v called=%v)", ok, evalCalled)
 	}
@@ -202,7 +325,7 @@ func TestSkeletonReplayAnswersWithoutWalking(t *testing.T) {
 		t.Fatalf("replay for {i1}: got %+v", res)
 	}
 
-	res, ok = e.Resolve(0, nil, additiveAll, failEval)
+	res, ok = e.Resolve(0, false, nil, additiveAll, failEval)
 	if !ok || evalCalled {
 		t.Fatal("skeleton must answer the empty subset without eval")
 	}

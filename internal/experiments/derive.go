@@ -8,89 +8,130 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen/setquery"
+	"repro/internal/datagen/tpch"
 	"repro/internal/derive"
+	"repro/internal/whatif"
+	"repro/internal/workload"
 )
 
-// DeriveRow is one mode of the cost-derivation sweep: the full advisor run on
-// the SYNT1 workload with Options.Derive = Mode. Because derived costs are
+// DeriveRow is one (workload, mode) leg of the cost-derivation sweep: the
+// full advisor run with Options.Derive = Mode. Because derived costs are
 // exact (the derivation layer only answers when the plan-set argument
-// guarantees the optimizer would return the same number), every row must
-// report the same recommendation and improvement — only the what-if call
-// count and the wall clock may change.
+// guarantees the optimizer would return the same number), every mode of a
+// workload must report the same recommendation and improvement — only the
+// what-if call count and the wall clock may change.
 type DeriveRow struct {
+	Workload     string // "synt1" (single-table, indexes only) or "tpch" (joins, all features)
 	Mode         string
 	Wall         time.Duration
 	WhatIfCalls  int64
 	DerivedEvals int64
 	Improvement  float64
 	Fingerprint  string // chosen structures, order-sensitive
-	// Fallbacks breaks down, by reason, the evaluations the derivation
-	// layer declined and answered with a real optimizer call instead.
+	// Fallbacks breaks down, by reason (and query shape: "-join" suffixed
+	// keys are multi-scope events), the evaluations the derivation layer
+	// declined and answered with a real optimizer call instead.
 	Fallbacks map[string]int64
 }
 
-// DeriveSweep tunes the same SYNT1 workload once per derivation mode
-// (off, on, verify), each against a fresh server so statistics and cost
-// caches never carry over, and reports the exact optimizer call count and
-// recommendation per mode. It is the measurement behind the claim that cost
-// derivation is a pure call-count optimization: any drift in the
-// recommendation fingerprint or improvement relative to the derive=off run
-// is returned as an error, not a row. The verify leg additionally
-// cross-checks every derived cost against a real what-if call inside the
-// advisor, so a clean run is itself the equivalence proof.
+// DeriveSweep tunes two workloads once per derivation mode (off, on,
+// verify), each against a fresh server so statistics and cost caches never
+// carry over, and reports the exact optimizer call count and recommendation
+// per leg. SYNT1 exercises flat single-scope skeleton replay; TPC-H
+// exercises composed join-skeleton replay (with views and partitioning
+// enabled, matching the parallel sweep so call counts line up). It is the
+// measurement behind the claim that cost derivation is a pure call-count
+// optimization: any drift in the recommendation fingerprint or improvement
+// relative to the workload's derive=off run is returned as an error, not a
+// row. The verify legs additionally cross-check every derived cost against
+// a real what-if call inside the advisor, so a clean run is itself the
+// equivalence proof.
 func DeriveSweep(cfg Config) ([]DeriveRow, error) {
-	rows := make([]DeriveRow, 0, 3)
-	for _, mode := range []string{"off", "on", "verify"} {
-		srv, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cat := setquery.Catalog(cfg.SYNT1Rows)
-		w := setquery.Workload(cat, cfg.SYNT1Events, cfg.SYNT1Templ, cfg.Seed)
-		opts := cfg.tuneOpts(srv, core.FeatureIndexes)
-		opts.SkipReports = true
-		opts.CompressWorkload = true
-		opts.Derive = derive.Mode(mode)
-		start := time.Now()
-		rec, err := core.Tune(srv, w, opts)
-		if err != nil {
-			return nil, fmt.Errorf("derive=%s: %w", mode, err)
-		}
-		rows = append(rows, DeriveRow{
-			Mode:         mode,
-			Wall:         time.Since(start),
-			WhatIfCalls:  rec.WhatIfCalls,
-			DerivedEvals: rec.DerivedEvals,
-			Improvement:  rec.Improvement,
-			Fingerprint:  recFingerprint(rec),
-			Fallbacks:    rec.DeriveFallbacks,
-		})
+	legs := []struct {
+		workload string
+		setup    func() (*whatif.Server, *workload.Workload, core.Options, error)
+	}{
+		{"synt1", func() (*whatif.Server, *workload.Workload, core.Options, error) {
+			srv, err := newSYNT1Server(cfg.SYNT1Rows, cfg.Seed)
+			if err != nil {
+				return nil, nil, core.Options{}, err
+			}
+			cat := setquery.Catalog(cfg.SYNT1Rows)
+			w := setquery.Workload(cat, cfg.SYNT1Events, cfg.SYNT1Templ, cfg.Seed)
+			opts := cfg.tuneOpts(srv, core.FeatureIndexes)
+			opts.SkipReports = true
+			opts.CompressWorkload = true
+			return srv, w, opts, nil
+		}},
+		{"tpch", func() (*whatif.Server, *workload.Workload, core.Options, error) {
+			srv, _, err := newTPCHServer(cfg.TPCHSF, cfg.Seed)
+			if err != nil {
+				return nil, nil, core.Options{}, err
+			}
+			return srv, tpch.Workload(), cfg.tuneOpts(srv, core.FeatureAll), nil
+		}},
 	}
-	for _, r := range rows[1:] {
-		if r.Fingerprint != rows[0].Fingerprint || r.Improvement != rows[0].Improvement {
-			return rows, fmt.Errorf(
-				"derivation drift: derive=%s recommends differently than derive=off (improvement %.6f vs %.6f):\n%s\nvs\n%s",
-				r.Mode, r.Improvement, rows[0].Improvement, r.Fingerprint, rows[0].Fingerprint)
+
+	var rows []DeriveRow
+	for _, leg := range legs {
+		var off *DeriveRow
+		for _, mode := range []string{"off", "on", "verify"} {
+			srv, w, opts, err := leg.setup()
+			if err != nil {
+				return nil, err
+			}
+			opts.Derive = derive.Mode(mode)
+			start := time.Now()
+			rec, err := core.Tune(srv, w, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/derive=%s: %w", leg.workload, mode, err)
+			}
+			rows = append(rows, DeriveRow{
+				Workload:     leg.workload,
+				Mode:         mode,
+				Wall:         time.Since(start),
+				WhatIfCalls:  rec.WhatIfCalls,
+				DerivedEvals: rec.DerivedEvals,
+				Improvement:  rec.Improvement,
+				Fingerprint:  recFingerprint(rec),
+				Fallbacks:    rec.DeriveFallbacks,
+			})
+			r := &rows[len(rows)-1]
+			if mode == "off" {
+				off = r
+				continue
+			}
+			if r.Fingerprint != off.Fingerprint || r.Improvement != off.Improvement {
+				return rows, fmt.Errorf(
+					"derivation drift: %s/derive=%s recommends differently than derive=off (improvement %.6f vs %.6f):\n%s\nvs\n%s",
+					leg.workload, r.Mode, r.Improvement, off.Improvement, r.Fingerprint, off.Fingerprint)
+			}
 		}
 	}
 	return rows, nil
 }
 
-// deriveRatio is the what-if call reduction factor of one row over the
-// derive=off baseline row.
+// deriveRatio is the what-if call reduction factor of one row over its
+// workload's derive=off baseline row.
 func deriveRatio(rows []DeriveRow, r DeriveRow) float64 {
-	if len(rows) == 0 || r.WhatIfCalls <= 0 {
+	if r.WhatIfCalls <= 0 {
 		return 0
 	}
-	return float64(rows[0].WhatIfCalls) / float64(r.WhatIfCalls)
+	for _, b := range rows {
+		if b.Workload == r.Workload && b.Mode == "off" {
+			return float64(b.WhatIfCalls) / float64(r.WhatIfCalls)
+		}
+	}
+	return 0
 }
 
-// DeriveString renders the sweep with per-mode call reduction over the
-// derive=off baseline.
+// DeriveString renders the sweep with per-mode call reduction over each
+// workload's derive=off baseline.
 func DeriveString(rows []DeriveRow) string {
 	var body [][]string
 	for _, r := range rows {
 		body = append(body, []string{
+			r.Workload,
 			r.Mode,
 			r.Wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%d", r.WhatIfCalls),
@@ -100,8 +141,8 @@ func DeriveString(rows []DeriveRow) string {
 			fallbackString(r.Fallbacks),
 		})
 	}
-	return renderTable("Cost-derivation sweep (SYNT1, identical recommendations required)",
-		[]string{"Derive", "Wall", "WhatIfCalls", "Derived", "CallReduction", "Improvement", "Fallbacks"}, body)
+	return renderTable("Cost-derivation sweep (SYNT1 + TPC-H, identical recommendations required)",
+		[]string{"Workload", "Derive", "Wall", "WhatIfCalls", "Derived", "CallReduction", "Improvement", "Fallbacks"}, body)
 }
 
 // fallbackString renders a per-reason fallback breakdown as
@@ -123,13 +164,14 @@ func fallbackString(m map[string]int64) string {
 }
 
 // SummarizeDerive flattens the sweep for the -json artifact: one record per
-// mode, Case "derive=<mode>", Ratio carrying the call reduction factor.
+// leg, Case "<workload>/derive=<mode>", Ratio carrying the call reduction
+// factor over that workload's derive=off row.
 func SummarizeDerive(rows []DeriveRow) []BenchRecord {
 	var out []BenchRecord
 	for _, r := range rows {
 		out = append(out, BenchRecord{
 			Experiment:     "derive",
-			Case:           "derive=" + r.Mode,
+			Case:           r.Workload + "/derive=" + r.Mode,
 			WallMS:         ms(r.Wall),
 			WhatIfCalls:    r.WhatIfCalls,
 			DerivedEvals:   r.DerivedEvals,

@@ -219,28 +219,39 @@ func TestDeriveSweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
+	// Two workloads (synt1 flat replay, tpch join replay) × three modes.
+	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	// DeriveSweep itself enforces recommendation and improvement equality
-	// across modes; the shape left to assert is the call reduction.
-	on := rows[1]
-	if on.Mode != "on" {
-		t.Fatalf("row order: %+v", rows)
+	// across modes; the shape left to assert is the call reduction, per
+	// workload.
+	for _, base := range []int{0, 3} {
+		off, on, verify := rows[base], rows[base+1], rows[base+2]
+		if off.Mode != "off" || on.Mode != "on" || verify.Mode != "verify" ||
+			on.Workload != off.Workload || verify.Workload != off.Workload {
+			t.Fatalf("row order: %+v", rows)
+		}
+		if on.DerivedEvals == 0 {
+			t.Fatalf("%s: derivation never fired", on.Workload)
+		}
+		if ratio := deriveRatio(rows, on); ratio < 2 {
+			t.Errorf("%s: call reduction %.1fx (off %d → on %d), want ≥ 2x even at quick scale",
+				on.Workload, ratio, off.WhatIfCalls, on.WhatIfCalls)
+		}
+		// The verify leg re-checks every derived cost against the
+		// optimizer; its surviving without error is the point, but it must
+		// also have derived.
+		if verify.DerivedEvals == 0 {
+			t.Fatalf("%s: verify leg never derived", verify.Workload)
+		}
 	}
-	if on.DerivedEvals == 0 {
-		t.Fatal("derivation never fired")
+	// The join-heavy leg must report join-shaped fallbacks — the shape
+	// split is what localizes a future join-replay regression.
+	if rows[4].Fallbacks["atom-join"] == 0 {
+		t.Errorf("tpch derive=on: no atom-join fallbacks recorded: %v", rows[4].Fallbacks)
 	}
-	if ratio := deriveRatio(rows, on); ratio < 2 {
-		t.Errorf("call reduction %.1fx (off %d → on %d), want ≥ 2x even at quick scale",
-			ratio, rows[0].WhatIfCalls, on.WhatIfCalls)
-	}
-	// The verify leg re-checks every derived cost against the optimizer; its
-	// surviving without error is the point, but it must also have derived.
-	if rows[2].DerivedEvals == 0 {
-		t.Fatal("verify leg never derived")
-	}
-	if DeriveString(rows) == "" || len(SummarizeDerive(rows)) != 3 {
+	if DeriveString(rows) == "" || len(SummarizeDerive(rows)) != 6 {
 		t.Fatal("render/summary failed")
 	}
 	t.Log("\n" + DeriveString(rows))

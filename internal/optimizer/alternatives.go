@@ -53,26 +53,31 @@ func altLess(a, b *AltComponent) bool {
 	return a.Structure < b.Structure
 }
 
-// Alternatives is the plan skeleton of one single-scope SELECT under one
-// configuration: every access alternative costed end-to-end, such that the
-// statement's cost and used structures under any sub-configuration — same
-// base structures, any subset of the additive ones — follow from Select
-// without another optimizer call.
+// Alternatives is the plan skeleton of one SELECT under one configuration,
+// such that the statement's cost and used structures under any
+// sub-configuration — same base structures, any subset of the additive ones —
+// follow from Select without another optimizer call. Single-scope SELECTs
+// carry flat end-to-end components; multi-scope SELECTs carry a JoinSkeleton
+// whose per-scope alternatives compose through the join cost function.
 type Alternatives struct {
-	// Components lists the alternatives in the optimizer's own enumeration
-	// order (base accesses, then non-clustered indexes, then views).
+	// Components lists the single-scope alternatives in the optimizer's own
+	// enumeration order (base accesses, then non-clustered indexes, then
+	// views). Empty when Join is set.
 	Components []AltComponent
 	// HasOrder reports whether the query has an interesting order, enabling
 	// the ordered-alternative rule during Select.
 	HasOrder bool
+	// Join is the multi-scope skeleton (nil for single-scope SELECTs).
+	Join *JoinSkeleton
 }
 
-// OptimizeAlternatives is Optimize plus the plan skeleton: for a single-scope
-// SELECT the second result carries every plan alternative costed end-to-end;
-// for any other statement shape it is nil and the call behaves exactly like
-// Optimize. The Result is identical to Optimize's in either case, including
-// the RequiredStats set (the skeleton only repeats computations the direct
-// optimization performs, and stat requests dedup by key).
+// OptimizeAlternatives is Optimize plus the plan skeleton: for a SELECT the
+// second result carries the plan alternatives costed end-to-end — flat
+// components for a single scope, a composed JoinSkeleton for joins; for DML
+// it is nil and the call behaves exactly like Optimize. The Result is
+// identical to Optimize's in either case, including the RequiredStats set
+// (the skeleton only repeats computations the direct optimization performs,
+// and stat requests dedup by key).
 func (o *Optimizer) OptimizeAlternatives(stmt sqlparser.Statement, cfg *catalog.Configuration) (*Result, *Alternatives, error) {
 	sel, ok := stmt.(*sqlparser.Select)
 	if !ok {
@@ -88,8 +93,12 @@ func (o *Optimizer) OptimizeAlternatives(stmt sqlparser.Statement, cfg *catalog.
 		return nil, nil, err
 	}
 	var alts *Alternatives
-	if q, err := o.analyze(sel); err == nil && len(q.Scopes) == 1 {
-		alts = ctx.selectAlternatives(q)
+	if q, err := o.analyze(sel); err == nil {
+		if len(q.Scopes) == 1 {
+			alts = ctx.selectAlternatives(q)
+		} else if len(q.Scopes) > 1 {
+			alts = &Alternatives{Join: ctx.joinAlternatives(q)}
+		}
 	}
 	res := &Result{Cost: plan.Cost, Plan: plan}
 	for _, r := range ctx.wanted {
@@ -156,7 +165,11 @@ func (c *optContext) selectAlternatives(q *QueryInfo) *Alternatives {
 // exactly the choice a real optimization of that configuration would make.
 // ok is false only when no alternative is available, which cannot happen for
 // a skeleton built by selectAlternatives (a base scan always exists).
+// Multi-scope skeletons dispatch to the join replay.
 func (a *Alternatives) Select(has func(string) bool) (float64, []string, bool) {
+	if a.Join != nil {
+		return a.Join.selectJoin(has)
+	}
 	avail := func(c *AltComponent) bool {
 		return c.Structure == "" || has(c.Structure)
 	}

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -129,33 +130,256 @@ func TestAlternativesSelectMatchesDirectOptimize(t *testing.T) {
 	}
 }
 
-// TestAlternativesNilForJoinsAndDML: statements the skeleton cannot decompose
-// report no skeleton and identical Optimize results.
-func TestAlternativesNilForJoinsAndDML(t *testing.T) {
+// TestAlternativesNilForDML: DML statements report no skeleton and identical
+// Optimize results; join SELECTs now decompose into a JoinSkeleton.
+func TestAlternativesNilForDML(t *testing.T) {
 	cat := testCatalog()
 	o := newOpt(cat)
 	cfg := catalog.NewConfiguration()
 	cfg.AddIndex(catalog.NewIndex("t", "x"))
 	cfg.AddIndex(catalog.NewIndex("d", "d_id").WithInclude("name"))
 
-	for _, q := range []string{
+	stmt := sqlparser.MustParse("UPDATE t SET x = 1 WHERE id = 77")
+	res, alts, err := o.OptimizeAlternatives(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alts != nil {
+		t.Fatal("DML: expected no skeleton")
+	}
+	direct, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != direct.Cost || math.IsNaN(res.Cost) {
+		t.Fatalf("DML: cost %v != direct %v", res.Cost, direct.Cost)
+	}
+
+	join := sqlparser.MustParse("SELECT d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 17")
+	_, alts, err = o.OptimizeAlternatives(join, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alts == nil || alts.Join == nil {
+		t.Fatal("join SELECT: expected a join skeleton")
+	}
+}
+
+// joinFixture returns the additive structures the join-skeleton equivalence
+// test selects subsets from: probe and seek indexes on both sides of the
+// t⋈d edge (including a symmetric equal-cost pair), an SPJ join view and a
+// grouped join view.
+func joinFixture() []catalog.Structure {
+	jp := catalog.JoinPred{Left: catalog.NewColRef("t", "d_id"), Right: catalog.NewColRef("d", "d_id")}
+	spj := catalog.NewMaterializedView(
+		[]string{"t", "d"}, []catalog.JoinPred{jp},
+		[]catalog.ColRef{
+			catalog.NewColRef("t", "x"), catalog.NewColRef("t", "a"),
+			catalog.NewColRef("d", "name"), catalog.NewColRef("d", "region"),
+		},
+		nil, nil, 1_000_000,
+	)
+	grouped := catalog.NewMaterializedView(
+		[]string{"t", "d"}, []catalog.JoinPred{jp},
+		nil,
+		[]catalog.ColRef{catalog.NewColRef("t", "a"), catalog.NewColRef("d", "region")},
+		[]catalog.Agg{{Func: "COUNT"}},
+		500,
+	)
+	return []catalog.Structure{
+		{Index: catalog.NewIndex("t", "d_id")},
+		{Index: catalog.NewIndex("d", "d_id").WithInclude("name")},
+		{Index: catalog.NewIndex("t", "x", "d_id")},
+		// Symmetric pair: same key, equal-width includes — probe and seek
+		// costs tie exactly, exercising the structure-key tie-break inside a
+		// composed join.
+		{Index: catalog.NewIndex("t", "d_id").WithInclude("x")},
+		{Index: catalog.NewIndex("t", "d_id").WithInclude("a")},
+		{View: spj},
+		{View: grouped},
+	}
+}
+
+// TestJoinAlternativesSelectMatchesDirectOptimize is the multi-scope skeleton
+// soundness property: for join query shapes and every subset of additive
+// structures, replaying the skeleton taken at the full configuration returns
+// exactly the cost and used-structure set a direct optimization of the subset
+// returns.
+func TestJoinAlternativesSelectMatchesDirectOptimize(t *testing.T) {
+	cat := testCatalog()
+	o := newOpt(cat)
+	adds := joinFixture()
+
+	queries := []string{
 		"SELECT d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 17",
-		"UPDATE t SET x = 1 WHERE id = 77",
-	} {
+		"SELECT d.name, t.x FROM t, d WHERE t.d_id = d.d_id AND t.x < 500 ORDER BY t.x",
+		"SELECT t.a, COUNT(*) FROM t, d WHERE t.d_id = d.d_id GROUP BY t.a",
+		"SELECT d.region, COUNT(*) FROM t, d WHERE t.d_id = d.d_id AND t.a = 3 GROUP BY d.region",
+		"SELECT TOP 5 d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 9 ORDER BY d.name",
+	}
+
+	bases := map[string]*catalog.Configuration{
+		"heap": catalog.NewConfiguration(),
+	}
+	clustered := catalog.NewConfiguration()
+	cixT := catalog.NewIndex("t", "id")
+	cixT.Clustered = true
+	clustered.AddIndex(cixT)
+	cixD := catalog.NewIndex("d", "d_id")
+	cixD.Clustered = true
+	clustered.AddIndex(cixD)
+	bases["clustered"] = clustered
+	parted := catalog.NewConfiguration()
+	parted.SetTablePartitioning("t", catalog.NewPartitionScheme("x", 10, 100, 1000, 5000))
+	bases["partitioned"] = parted
+
+	for baseName, base := range bases {
+		for _, q := range queries {
+			stmt := sqlparser.MustParse(q)
+			full := applySubset(base, adds, (1<<len(adds))-1)
+			res, alts, err := o.OptimizeAlternatives(stmt, full)
+			if err != nil {
+				t.Fatalf("%s/%q: OptimizeAlternatives: %v", baseName, q, err)
+			}
+			direct, err := o.Optimize(stmt, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost != direct.Cost {
+				t.Fatalf("%s/%q: OptimizeAlternatives cost %v != Optimize cost %v", baseName, q, res.Cost, direct.Cost)
+			}
+			if alts == nil || alts.Join == nil {
+				t.Fatalf("%s/%q: join SELECT must produce a join skeleton", baseName, q)
+			}
+			for mask := 0; mask < 1<<len(adds); mask++ {
+				sub := applySubset(base, adds, mask)
+				has := func(key string) bool {
+					for i, s := range adds {
+						if mask&(1<<i) != 0 && s.Key() == key {
+							return true
+						}
+					}
+					return false
+				}
+				got, gotUsed, ok := alts.Select(has)
+				if !ok {
+					t.Fatalf("%s/%q mask %b: Select failed", baseName, q, mask)
+				}
+				want, err := o.Optimize(stmt, sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want.Cost {
+					t.Fatalf("%s/%q mask %b: replayed cost %v != direct cost %v", baseName, q, mask, got, want.Cost)
+				}
+				sort.Strings(gotUsed)
+				wantUsed := append([]string(nil), want.UsedStructures...)
+				sort.Strings(wantUsed)
+				if len(gotUsed) != len(wantUsed) {
+					t.Fatalf("%s/%q mask %b: replayed used %v != direct used %v", baseName, q, mask, gotUsed, wantUsed)
+				}
+				for i := range gotUsed {
+					if gotUsed[i] != wantUsed[i] {
+						t.Fatalf("%s/%q mask %b: replayed used %v != direct used %v", baseName, q, mask, gotUsed, wantUsed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinTieBreakRandomizedOrders is the satellite property test for
+// equal-cost ties under composed join skeletons: indexes on t(d_id) with
+// equal-width includes cost exactly the same as probe and seek alternatives,
+// so every subset of them ties. For random subsets applied in random orders,
+// a fresh optimization must pick the same winner (same cost, same used set)
+// as the insertion-order-reversed configuration AND as the skeleton replay —
+// i.e. the choice depends only on the structure set, never on enumeration
+// order.
+func TestJoinTieBreakRandomizedOrders(t *testing.T) {
+	cat := testCatalog()
+	o := newOpt(cat)
+	tied := []catalog.Structure{
+		{Index: catalog.NewIndex("t", "d_id").WithInclude("x")},
+		{Index: catalog.NewIndex("t", "d_id").WithInclude("a")},
+		{Index: catalog.NewIndex("t", "d_id").WithInclude("id")},
+		{Index: catalog.NewIndex("d", "d_id").WithInclude("region")},
+		{Index: catalog.NewIndex("d", "d_id").WithInclude("d_id")},
+	}
+	queries := []string{
+		"SELECT d.name FROM t, d WHERE t.d_id = d.d_id AND t.x = 17",
+		"SELECT t.a, COUNT(*) FROM t, d WHERE t.d_id = d.d_id GROUP BY t.a",
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 100; trial++ {
+		mask := rng.Intn(1 << len(tied))
+		var subset []catalog.Structure
+		for i, s := range tied {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, s)
+			}
+		}
+		perm := rng.Perm(len(subset))
+		fwd := catalog.NewConfiguration()
+		for _, i := range perm {
+			subset[i].ApplyTo(fwd)
+		}
+		rev := catalog.NewConfiguration()
+		for k := len(perm) - 1; k >= 0; k-- {
+			subset[perm[k]].ApplyTo(rev)
+		}
+		q := queries[trial%len(queries)]
 		stmt := sqlparser.MustParse(q)
-		res, alts, err := o.OptimizeAlternatives(stmt, cfg)
-		if err != nil {
-			t.Fatalf("%q: %v", q, err)
-		}
-		if alts != nil {
-			t.Fatalf("%q: expected no skeleton", q)
-		}
-		direct, err := o.Optimize(stmt, cfg)
+		rf, err := o.Optimize(stmt, fwd)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Cost != direct.Cost || math.IsNaN(res.Cost) {
-			t.Fatalf("%q: cost %v != direct %v", q, res.Cost, direct.Cost)
+		rr, err := o.Optimize(stmt, rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.Cost != rr.Cost {
+			t.Fatalf("trial %d %q: order-dependent cost %v vs %v", trial, q, rf.Cost, rr.Cost)
+		}
+		if len(rf.UsedStructures) != len(rr.UsedStructures) {
+			t.Fatalf("trial %d %q: order-dependent used %v vs %v", trial, q, rf.UsedStructures, rr.UsedStructures)
+		}
+		for i := range rf.UsedStructures {
+			if rf.UsedStructures[i] != rr.UsedStructures[i] {
+				t.Fatalf("trial %d %q: order-dependent used %v vs %v", trial, q, rf.UsedStructures, rr.UsedStructures)
+			}
+		}
+		// The skeleton taken at the full tied set must replay the same winner
+		// for this subset.
+		fullCfg := catalog.NewConfiguration()
+		for _, s := range tied {
+			s.ApplyTo(fullCfg)
+		}
+		_, alts, err := o.OptimizeAlternatives(stmt, fullCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotUsed, ok := alts.Select(func(key string) bool {
+			for i, s := range tied {
+				if mask&(1<<i) != 0 && s.Key() == key {
+					return true
+				}
+			}
+			return false
+		})
+		if !ok || got != rf.Cost {
+			t.Fatalf("trial %d %q: replay cost %v != direct %v", trial, q, got, rf.Cost)
+		}
+		sort.Strings(gotUsed)
+		wantUsed := append([]string(nil), rf.UsedStructures...)
+		sort.Strings(wantUsed)
+		if len(gotUsed) != len(wantUsed) {
+			t.Fatalf("trial %d %q: replay used %v != direct %v", trial, q, gotUsed, wantUsed)
+		}
+		for i := range gotUsed {
+			if gotUsed[i] != wantUsed[i] {
+				t.Fatalf("trial %d %q: replay used %v != direct %v", trial, q, gotUsed, wantUsed)
+			}
 		}
 	}
 }

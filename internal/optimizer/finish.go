@@ -1,0 +1,131 @@
+package optimizer
+
+import "math"
+
+// FinishSpec captures everything the post-join finish chain (residual
+// filters, aggregation, HAVING, DISTINCT, ORDER BY, TOP) needs about a query,
+// with no reference back to the catalog or configuration. All fields are
+// configuration-independent, so a plan skeleton can serialize the spec once
+// and re-run the finish arithmetic — through the same code path the live
+// optimizer uses — for any structure subset, reproducing costs bit-for-bit.
+type FinishSpec struct {
+	// PostSels holds the clamped selectivity of each post-join residual
+	// filter, in query order.
+	PostSels []float64
+	// HasGroup/HasAggs mirror len(GroupBy) > 0 and len(Aggs) > 0.
+	HasGroup bool
+	HasAggs  bool
+	// GroupDistinct is the raw (uncapped) distinct-group estimate; the finish
+	// caps it by the input cardinality.
+	GroupDistinct float64
+	// Want is the interesting order the aggregate checks the input against.
+	Want []string
+	// HasHaving applies the 0.3-selectivity HAVING filter.
+	HasHaving bool
+	// Distinct applies the hash-distinct step.
+	Distinct bool
+	// HasOrderBy applies the ordering step, with OrderWant the wanted column
+	// order; OrderOK is false when some ORDER BY column could not be resolved
+	// to a scope (the sort is then unconditional and OrderWant is partial).
+	HasOrderBy bool
+	OrderWant  []string
+	OrderOK    bool
+	// Top is the TOP row limit (0 = none).
+	Top int
+	// HW is the hardware model the hash/sort operators price against.
+	HW Hardware
+}
+
+// finishSpec captures the finish chain of the query.
+func (c *optContext) finishSpec(q *QueryInfo) FinishSpec {
+	s := FinishSpec{
+		HasGroup:      len(q.GroupBy) > 0,
+		HasAggs:       len(q.Aggs) > 0,
+		GroupDistinct: 1,
+		HasHaving:     q.HasHaving,
+		Distinct:      q.Distinct,
+		HasOrderBy:    len(q.OrderBy) > 0,
+		OrderOK:       true,
+		Top:           q.Top,
+		HW:            c.hw(),
+	}
+	for _, f := range q.PostFilters {
+		s.PostSels = append(s.PostSels, clampSel(f.Sel))
+	}
+	if s.HasGroup || s.HasAggs {
+		if s.HasGroup {
+			s.GroupDistinct = c.groupDistinct(q)
+		}
+		s.Want = c.interestingOrder(q)
+	}
+	if s.HasOrderBy {
+		for _, o := range q.OrderBy {
+			if o.Scope < 0 {
+				s.OrderOK = false
+				break
+			}
+			s.OrderWant = append(s.OrderWant, q.Scopes[o.Scope].Table.Name+"."+o.Column)
+		}
+	}
+	return s
+}
+
+// finish appends the captured chain on top of the input plan. This is THE
+// finish implementation: the live optimizer's finishSelect and the skeleton
+// replay both run it, so a replayed cost is the same float sequence the
+// optimizer would compute.
+func (s *FinishSpec) finish(plan *Plan, rows float64, width int) *Plan {
+	// Post-join residual filters.
+	for _, sel := range s.PostSels {
+		rows *= sel
+	}
+	if rows < 1 {
+		rows = 1
+	}
+
+	// Grouping / aggregation.
+	if s.HasGroup || s.HasAggs {
+		groups := 1.0
+		if s.HasGroup {
+			groups = capGroups(s.GroupDistinct, rows)
+		}
+		if s.HasGroup && orderedPrefix(plan.Ordered, s.Want) {
+			cost := plan.Cost + rows*cpuPerRow
+			plan = &Plan{Op: "StreamAggregate", Cost: cost, Rows: groups,
+				Pages: pagesF(groups, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+		} else {
+			cost := plan.Cost + hashCostHW(s.HW, groups, pagesF(groups, width), rows)
+			plan = &Plan{Op: "HashAggregate", Cost: cost, Rows: groups,
+				Pages: pagesF(groups, width), Children: []*Plan{plan}}
+		}
+		rows = groups
+	}
+
+	if s.HasHaving {
+		rows = math.Max(1, rows*0.3)
+		plan = &Plan{Op: "Filter", Detail: "HAVING", Cost: plan.Cost + rows*cpuPerRow,
+			Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+	}
+
+	if s.Distinct {
+		d := math.Max(1, rows/2)
+		plan = &Plan{Op: "HashDistinct", Cost: plan.Cost + hashCostHW(s.HW, d, pagesF(d, width), rows),
+			Rows: d, Pages: pagesF(d, width), Children: []*Plan{plan}}
+		rows = d
+	}
+
+	// Ordering.
+	if s.HasOrderBy {
+		if !s.OrderOK || !orderedPrefix(plan.Ordered, s.OrderWant) {
+			plan = &Plan{Op: "Sort", Cost: plan.Cost + sortCostHW(s.HW, rows, pagesF(rows, width)),
+				Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: s.OrderWant}
+		}
+	}
+
+	if s.Top > 0 && float64(s.Top) < rows {
+		rows = float64(s.Top)
+		plan = &Plan{Op: "Top", Cost: plan.Cost + startupCost, Rows: rows,
+			Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
+	}
+	return plan
+}

@@ -14,30 +14,72 @@ type joined struct {
 
 func (j joined) pages() float64 { return pagesF(j.rows, j.width) }
 
+// joinSrc supplies the per-scope and per-edge inputs the join composition
+// consumes: access paths, join-edge selectivities, index-nested-loop probe
+// candidates, and the hardware model. The live optimizer backs it with the
+// configuration and catalog (liveJoinSrc); a replayed plan skeleton backs it
+// with captured alternatives restricted to a structure subset (replayJoinSrc).
+// Every quantity a joinSrc returns is independent of which *additive*
+// structures the configuration holds beyond availability — the property that
+// lets composeJoin run the bit-identical arithmetic on both sides.
+type joinSrc interface {
+	// scopeCount is the number of scopes joined.
+	scopeCount() int
+	// access returns the cheapest access path of scope i (pathLess minimum
+	// over the available paths) with the scope's output rows and width.
+	access(i int) joined
+	// binding is the scope's display label for plan details.
+	binding(i int) string
+	// edges lists the query's join edges (scope indices and columns).
+	edges() []JoinEdge
+	// edgeSel is the selectivity of edge k (symmetric: the classic
+	// 1/max(distinct) rule does not depend on join direction).
+	edgeSel(k int) float64
+	// probe returns the cheapest index-nested-loop probe plan into scope i on
+	// the join column for the given outer cardinality, or nil when no index
+	// with that leading key is available.
+	probe(i int, col string, outerRows float64) *Plan
+	// hardware is the cost-model hardware the composition prices against.
+	hardware() Hardware
+}
+
 // joinScopes computes the best left-deep join over all scopes of the query
 // using dynamic programming over connected subsets (greedy fallback above
 // dpMaxTables tables).
 func (c *optContext) joinScopes(q *QueryInfo) joined {
-	n := len(q.Scopes)
-	if n == 1 {
-		best, _ := c.bestAccess(q.Scopes[0], nil)
-		return joined{plan: best.plan, rows: best.rows, width: q.Scopes[0].Table.ColumnWidth(q.Scopes[0].Required)}
-	}
-	if n <= dpMaxTables {
-		return c.joinDP(q)
-	}
-	return c.joinGreedy(q)
+	return composeJoin(liveJoinSrc{c: c, q: q})
 }
 
 const dpMaxTables = 10
 
-func (c *optContext) joinDP(q *QueryInfo) joined {
-	n := len(q.Scopes)
+// composeJoin runs the join-order search over a source: DP over connected
+// subsets up to dpMaxTables scopes, greedy beyond that or when the join graph
+// is disconnected. Both the search order and every tie-break are
+// deterministic, so two sources supplying bit-identical inputs produce
+// bit-identical plans — the contract the derivation layer's skeleton replay
+// rests on.
+func composeJoin(src joinSrc) joined {
+	n := src.scopeCount()
+	if n == 1 {
+		return src.access(0)
+	}
+	if n <= dpMaxTables {
+		if res, ok := composeDP(src); ok {
+			return res
+		}
+	}
+	return composeGreedy(src)
+}
+
+// composeDP is the dynamic program over connected subsets; ok is false for a
+// disconnected join graph (no complete plan reachable through connected
+// extensions).
+func composeDP(src joinSrc) (joined, bool) {
+	n := src.scopeCount()
 	best := make(map[uint64]joined, 1<<n)
 	// Singletons.
 	for i := 0; i < n; i++ {
-		ap, _ := c.bestAccess(q.Scopes[i], nil)
-		best[1<<i] = joined{plan: ap.plan, rows: ap.rows, width: q.Scopes[i].Table.ColumnWidth(q.Scopes[i].Required)}
+		best[1<<i] = src.access(i)
 	}
 	full := uint64(1)<<n - 1
 	// Grow subsets by size.
@@ -60,11 +102,11 @@ func (c *optContext) joinDP(q *QueryInfo) joined {
 				}
 				// Require connectivity unless the subset has no internal
 				// joins at all (cross join fallback).
-				connected := c.connects(q, rest, j)
-				if !connected && c.hasAnyJoin(q, rest, j) {
+				connected := connects(src.edges(), rest, j)
+				if !connected && len(src.edges()) > 0 {
 					continue
 				}
-				cand := c.joinWith(q, left, rest, j)
+				cand := composeWith(src, left, rest, j)
 				if !found || cand.plan.Cost < cur.plan.Cost {
 					cur, found = cand, true
 				}
@@ -74,16 +116,13 @@ func (c *optContext) joinDP(q *QueryInfo) joined {
 			}
 		}
 	}
-	if res, ok := best[full]; ok {
-		return res
-	}
-	// Disconnected join graph: fall back to greedy, which always completes.
-	return c.joinGreedy(q)
+	res, ok := best[full]
+	return res, ok
 }
 
 // connects reports whether scope j has a join edge into the subset.
-func (c *optContext) connects(q *QueryInfo, subset uint64, j int) bool {
-	for _, e := range q.Joins {
+func connects(edges []JoinEdge, subset uint64, j int) bool {
+	for _, e := range edges {
 		if e.L == j && subset&(1<<e.R) != 0 {
 			return true
 		}
@@ -94,34 +133,25 @@ func (c *optContext) connects(q *QueryInfo, subset uint64, j int) bool {
 	return false
 }
 
-// hasAnyJoin reports whether any join edge exists between the subset ∪ {j}
-// and anything — used to permit cartesian products only for genuinely
-// join-free queries.
-func (c *optContext) hasAnyJoin(q *QueryInfo, subset uint64, j int) bool {
-	return len(q.Joins) > 0
-}
-
-// joinWith extends the left intermediate with scope j, choosing the cheapest
-// of hash join and index nested loops.
-func (c *optContext) joinWith(q *QueryInfo, left joined, leftSet uint64, j int) joined {
-	right := q.Scopes[j]
-	rightBest, _ := c.bestAccess(right, nil)
+// composeWith extends the left intermediate with scope j, choosing the
+// cheapest of hash join and index nested loops.
+func composeWith(src joinSrc, left joined, leftSet uint64, j int) joined {
+	rightBest := src.access(j)
 
 	// Combined cardinality: apply every edge between leftSet and j.
 	sel := 1.0
 	var joinCols []string // join columns on the right side, for INL
-	for _, e := range q.Joins {
+	for k, e := range src.edges() {
 		var rcol string
 		switch {
 		case e.L == j && leftSet&(1<<e.R) != 0:
 			rcol = e.LCol
-			sel *= c.joinSelectivity(q.Scopes[e.R], e.RCol, right, e.LCol)
 		case e.R == j && leftSet&(1<<e.L) != 0:
 			rcol = e.RCol
-			sel *= c.joinSelectivity(q.Scopes[e.L], e.LCol, right, e.RCol)
 		default:
 			continue
 		}
+		sel *= src.edgeSel(k)
 		joinCols = append(joinCols, rcol)
 	}
 	outRows := left.rows * rightBest.rows * sel
@@ -131,30 +161,30 @@ func (c *optContext) joinWith(q *QueryInfo, left joined, leftSet uint64, j int) 
 	if outRows < 1 {
 		outRows = 1
 	}
-	width := left.width + right.Table.ColumnWidth(right.Required)
+	width := left.width + rightBest.width
 	out := joined{rows: outRows, width: width}
 
 	// Hash join (build on the smaller input).
 	buildRows, probeRows := rightBest.rows, left.rows
-	buildPages := rightBest.pages
+	buildPages := rightBest.pages()
 	if left.rows < rightBest.rows {
 		buildRows, probeRows = left.rows, rightBest.rows
 		buildPages = left.pages()
 	}
-	hashCost := left.plan.Cost + rightBest.plan.Cost + c.hashCost(buildRows, buildPages, probeRows)
+	hashCost := left.plan.Cost + rightBest.plan.Cost + hashCostHW(src.hardware(), buildRows, buildPages, probeRows)
 	out.plan = &Plan{
-		Op: "HashJoin", Detail: right.Binding, Cost: hashCost, Rows: outRows,
+		Op: "HashJoin", Detail: src.binding(j), Cost: hashCost, Rows: outRows,
 		Pages: out.pages(), Children: []*Plan{left.plan, rightBest.plan},
 	}
 
 	// Index nested loops: for each join column on the right, look for an
 	// index (clustered or not) whose leading key is that column.
 	for _, jc := range joinCols {
-		if inl := c.indexLoopCost(right, jc, left.rows); inl != nil {
+		if inl := src.probe(j, jc, left.rows); inl != nil {
 			cost := left.plan.Cost + inl.Cost
 			if cost < out.plan.Cost {
 				out.plan = &Plan{
-					Op: "IndexLoopJoin", Detail: right.Binding + " via " + inl.Detail,
+					Op: "IndexLoopJoin", Detail: src.binding(j) + " via " + inl.Detail,
 					Cost: cost, Rows: outRows, Pages: out.pages(),
 					Children: []*Plan{left.plan, inl}, Structure: inl.Structure,
 				}
@@ -164,31 +194,143 @@ func (c *optContext) joinWith(q *QueryInfo, left joined, leftSet uint64, j int) 
 	return out
 }
 
-// indexLoopCost returns a pseudo-plan for probing the right table once per
-// outer row through an index on the join column, or nil when no such index
-// exists.
-func (c *optContext) indexLoopCost(s *Scope, joinCol string, outerRows float64) *Plan {
-	t := s.Table
-	// Rows matching one probe value.
-	matchRows := float64(t.Rows) * c.density(t, []string{joinCol})
-	if matchRows < 1 {
-		matchRows = 1
-	}
-	// Residual local predicates still apply per probe.
-	localSel := c.scopeSelectivity(s)
-
-	var bestPlan *Plan
-	consider := func(cost float64, detail, structure string) {
-		total := startupCost + outerRows*cost
-		if bestPlan == nil || total < bestPlan.Cost {
-			bestPlan = &Plan{Op: "IndexProbe", Detail: detail, Cost: total,
-				Rows: outerRows * matchRows * localSel, Structure: structure}
+// composeGreedy builds a left-deep join greedily: start from the cheapest
+// access path, repeatedly add the connected scope with the lowest resulting
+// cost (scanning scopes in index order, so ties and disconnected fallbacks
+// resolve deterministically). It always produces a complete plan.
+func composeGreedy(src joinSrc) joined {
+	n := src.scopeCount()
+	remaining := make([]bool, n)
+	left := n
+	// Seed with the scope whose access is cheapest (first wins on exact
+	// ties, in scope order).
+	seed, seedCost := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		remaining[i] = true
+		if ap := src.access(i); ap.plan.Cost < seedCost {
+			seed, seedCost = i, ap.plan.Cost
 		}
 	}
+	cur := src.access(seed)
+	curSet := uint64(1) << seed
+	remaining[seed] = false
+	left--
+	for left > 0 {
+		bestJ, bestCand, found := -1, joined{}, false
+		connectable := anyConnected(src.edges(), remaining, curSet)
+		for j := 0; j < n; j++ {
+			if !remaining[j] {
+				continue
+			}
+			if !connects(src.edges(), curSet, j) && connectable {
+				continue // prefer connected extensions while any exist
+			}
+			cand := composeWith(src, cur, curSet, j)
+			if !found || cand.plan.Cost < bestCand.plan.Cost {
+				bestJ, bestCand, found = j, cand, true
+			}
+		}
+		if !found {
+			for j := 0; j < n; j++ {
+				if remaining[j] {
+					bestJ = j
+					bestCand = composeWith(src, cur, curSet, j)
+					break
+				}
+			}
+		}
+		cur = bestCand
+		curSet |= 1 << bestJ
+		remaining[bestJ] = false
+		left--
+	}
+	return cur
+}
+
+func anyConnected(edges []JoinEdge, remaining []bool, curSet uint64) bool {
+	for _, e := range edges {
+		if remaining[e.L] && curSet&(1<<e.R) != 0 {
+			return true
+		}
+		if remaining[e.R] && curSet&(1<<e.L) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// liveJoinSrc drives the join composition from the live optimizer state: the
+// configuration, catalog, and statistics behind the optContext.
+type liveJoinSrc struct {
+	c *optContext
+	q *QueryInfo
+}
+
+func (s liveJoinSrc) scopeCount() int { return len(s.q.Scopes) }
+
+func (s liveJoinSrc) access(i int) joined {
+	ap, _ := s.c.bestAccess(s.q.Scopes[i], nil)
+	return joined{plan: ap.plan, rows: ap.rows, width: s.q.Scopes[i].Table.ColumnWidth(s.q.Scopes[i].Required)}
+}
+
+func (s liveJoinSrc) binding(i int) string { return s.q.Scopes[i].Binding }
+
+func (s liveJoinSrc) edges() []JoinEdge { return s.q.Joins }
+
+func (s liveJoinSrc) edgeSel(k int) float64 {
+	e := s.q.Joins[k]
+	return s.c.joinSelectivity(s.q.Scopes[e.L], e.LCol, s.q.Scopes[e.R], e.RCol)
+}
+
+func (s liveJoinSrc) probe(i int, col string, outerRows float64) *Plan {
+	return s.c.indexLoopCost(s.q.Scopes[i], col, outerRows)
+}
+
+func (s liveJoinSrc) hardware() Hardware { return s.c.hw() }
+
+// probeCand is one index-nested-loop probe candidate into a scope: the cost
+// of one probe through a specific index (clustered or non-clustered). The
+// per-probe cost is independent of the outer cardinality and of which other
+// additive structures the configuration holds, which is what lets a plan
+// skeleton carry candidates and re-price them for any outer row count.
+type probeCand struct {
+	perProbe  float64
+	detail    string
+	structure string
+	gate      string // additive structure key required, "" = always available
+}
+
+// chooseProbe picks the cheapest probe candidate for the given outer
+// cardinality, breaking exact cost ties by structure key (every candidate is
+// an IndexProbe, so the structure key alone completes the pathLess order).
+// Returns the winner and its total cost; ok is false with no candidates.
+func chooseProbe(cands []probeCand, outerRows float64) (probeCand, float64, bool) {
+	var win probeCand
+	var winTotal float64
+	found := false
+	for _, pc := range cands {
+		total := startupCost + outerRows*pc.perProbe
+		if !found || total < winTotal || (total == winTotal && pc.structure < win.structure) {
+			win, winTotal, found = pc, total, true
+		}
+	}
+	return win, winTotal, found
+}
+
+// probeCands enumerates the INL probe candidates of a scope on the join
+// column under the configuration: the clustered index when its leading key is
+// the join column, and every non-clustered index likewise (with a per-row
+// RID-lookup surcharge when not covering). matchRows is the per-probe match
+// cardinality the caller computed.
+func (c *optContext) probeCands(s *Scope, joinCol string, matchRows float64) []probeCand {
+	t := s.Table
+	var out []probeCand
 	if cl := c.cfg.ClusteredIndex(t.Name); cl != nil && cl.KeyColumns[0] == joinCol {
 		c.wantStat(t.Name, cl.KeyColumns)
 		perProbe := btreeDepth(float64(t.Pages()))*c.hw().RandomFactor + matchRows*cpuPerRow
-		consider(perProbe, cl.String(), cl.Key())
+		// The clustered index is a base structure: present in every
+		// sub-configuration of a derivation scope, so no gate.
+		out = append(out, probeCand{perProbe: perProbe, detail: cl.String(), structure: cl.Key()})
 	}
 	for _, ix := range c.cfg.IndexesOn(t.Name) {
 		if ix.Clustered || ix.KeyColumns[0] != joinCol {
@@ -199,65 +341,29 @@ func (c *optContext) indexLoopCost(s *Scope, joinCol string, outerRows float64) 
 		if !ix.Covers(s.Required) {
 			perProbe += matchRows * c.hw().RandomFactor
 		}
-		consider(perProbe, ix.String(), ix.Key())
+		out = append(out, probeCand{perProbe: perProbe, detail: ix.String(), structure: ix.Key(), gate: ix.Key()})
 	}
-	return bestPlan
+	return out
 }
 
-// joinGreedy builds a left-deep join greedily: start from the cheapest
-// access path, repeatedly add the connected scope with the lowest resulting
-// cost. It always produces a complete plan.
-func (c *optContext) joinGreedy(q *QueryInfo) joined {
-	n := len(q.Scopes)
-	remaining := make(map[int]bool, n)
-	for i := range q.Scopes {
-		remaining[i] = true
+// indexLoopCost returns a pseudo-plan for probing the right table once per
+// outer row through an index on the join column, or nil when no such index
+// exists. Exact cost ties between candidate indexes break by structure key —
+// never by the order the configuration lists them in — so the chosen probe
+// is the one a skeleton replay of the same candidates chooses.
+func (c *optContext) indexLoopCost(s *Scope, joinCol string, outerRows float64) *Plan {
+	t := s.Table
+	// Rows matching one probe value.
+	matchRows := float64(t.Rows) * c.density(t, []string{joinCol})
+	if matchRows < 1 {
+		matchRows = 1
 	}
-	// Seed with the scope whose access is cheapest.
-	seed, seedCost := 0, math.Inf(1)
-	for i := range q.Scopes {
-		ap, _ := c.bestAccess(q.Scopes[i], nil)
-		if ap.plan.Cost < seedCost {
-			seed, seedCost = i, ap.plan.Cost
-		}
+	// Residual local predicates still apply per probe.
+	localSel := c.scopeSelectivity(s)
+	win, total, ok := chooseProbe(c.probeCands(s, joinCol, matchRows), outerRows)
+	if !ok {
+		return nil
 	}
-	ap, _ := c.bestAccess(q.Scopes[seed], nil)
-	cur := joined{plan: ap.plan, rows: ap.rows, width: q.Scopes[seed].Table.ColumnWidth(q.Scopes[seed].Required)}
-	curSet := uint64(1) << seed
-	delete(remaining, seed)
-	for len(remaining) > 0 {
-		bestJ, bestCand, found := -1, joined{}, false
-		for j := range remaining {
-			if !c.connects(q, curSet, j) && anyConnected(q, remaining, curSet) {
-				continue // prefer connected extensions while any exist
-			}
-			cand := c.joinWith(q, cur, curSet, j)
-			if !found || cand.plan.Cost < bestCand.plan.Cost {
-				bestJ, bestCand, found = j, cand, true
-			}
-		}
-		if !found {
-			for j := range remaining {
-				bestJ = j
-				bestCand = c.joinWith(q, cur, curSet, j)
-				break
-			}
-		}
-		cur = bestCand
-		curSet |= 1 << bestJ
-		delete(remaining, bestJ)
-	}
-	return cur
-}
-
-func anyConnected(q *QueryInfo, remaining map[int]bool, curSet uint64) bool {
-	for _, e := range q.Joins {
-		if remaining[e.L] && curSet&(1<<e.R) != 0 {
-			return true
-		}
-		if remaining[e.R] && curSet&(1<<e.L) != 0 {
-			return true
-		}
-	}
-	return false
+	return &Plan{Op: "IndexProbe", Detail: win.detail, Cost: total,
+		Rows: outerRows * matchRows * localSel, Structure: win.structure}
 }

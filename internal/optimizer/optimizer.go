@@ -201,9 +201,18 @@ func (c *optContext) density(t *catalog.Table, cols []string) float64 {
 // parallelism returns the degree of parallelism a scan of the given size
 // gets: larger scans parallelize up to the CPU count.
 func (c *optContext) parallelism(pages float64) float64 {
+	return parallelismHW(c.hw(), pages)
+}
+
+// parallelismHW is parallelism over an explicit hardware model: the plan
+// skeletons the derivation layer replays carry the Hardware they were costed
+// under and must run the exact arithmetic the live optimizer runs, so the
+// computation lives in one shared function rather than two copies that
+// could drift.
+func parallelismHW(hw Hardware, pages float64) float64 {
 	p := math.Floor(pages/256) + 1
-	if p > float64(c.hw().CPUs) {
-		p = float64(c.hw().CPUs)
+	if p > float64(hw.CPUs) {
+		p = float64(hw.CPUs)
 	}
 	if p < 1 {
 		p = 1
@@ -214,20 +223,32 @@ func (c *optContext) parallelism(pages float64) float64 {
 // sortCost returns the cost of sorting rows of the given page volume:
 // n·log₂(n) comparisons plus spill I/O when the input exceeds memory.
 func (c *optContext) sortCost(rows, pages float64) float64 {
+	return sortCostHW(c.hw(), rows, pages)
+}
+
+// sortCostHW is sortCost over an explicit hardware model (see parallelismHW
+// for why the shared form exists).
+func sortCostHW(hw Hardware, rows, pages float64) float64 {
 	if rows < 2 {
 		return startupCost
 	}
 	cost := startupCost + rows*math.Log2(rows)*cpuPerCompare
-	if pages > float64(c.hw().MemoryPages) {
+	if pages > float64(hw.MemoryPages) {
 		cost += 2 * pages // one spill write + read pass
 	}
-	return cost / c.parallelism(pages)
+	return cost / parallelismHW(hw, pages)
 }
 
 // hashCost returns the cost of building and probing a hash table.
 func (c *optContext) hashCost(buildRows, buildPages, probeRows float64) float64 {
+	return hashCostHW(c.hw(), buildRows, buildPages, probeRows)
+}
+
+// hashCostHW is hashCost over an explicit hardware model (see parallelismHW
+// for why the shared form exists).
+func hashCostHW(hw Hardware, buildRows, buildPages, probeRows float64) float64 {
 	cost := startupCost + buildRows*cpuPerProbe + probeRows*cpuPerProbe
-	if buildPages > float64(c.hw().MemoryPages) {
+	if buildPages > float64(hw.MemoryPages) {
 		cost += 2 * buildPages // grace-hash spill
 	}
 	return cost

@@ -1,8 +1,6 @@
 package optimizer
 
 import (
-	"math"
-
 	"repro/internal/sqlparser"
 )
 
@@ -74,70 +72,9 @@ func (c *optContext) interestingOrder(q *QueryInfo) []string {
 }
 
 // finishSelect appends residual filters, aggregation, having, distinct,
-// ordering and TOP on top of the input.
+// ordering and TOP on top of the input, by capturing the query's FinishSpec
+// and running the shared finish chain over it.
 func (c *optContext) finishSelect(q *QueryInfo, in joined) *Plan {
-	plan := in.plan
-	rows := in.rows
-	width := in.width
-
-	// Post-join residual filters.
-	for _, f := range q.PostFilters {
-		rows *= clampSel(f.Sel)
-	}
-	if rows < 1 {
-		rows = 1
-	}
-
-	// Grouping / aggregation.
-	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
-		groups := c.groupCardinality(q, rows)
-		want := c.interestingOrder(q)
-		if len(q.GroupBy) > 0 && orderedPrefix(plan.Ordered, want) {
-			cost := plan.Cost + rows*cpuPerRow
-			plan = &Plan{Op: "StreamAggregate", Cost: cost, Rows: groups,
-				Pages: pagesF(groups, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
-		} else {
-			cost := plan.Cost + c.hashCost(groups, pagesF(groups, width), rows)
-			plan = &Plan{Op: "HashAggregate", Cost: cost, Rows: groups,
-				Pages: pagesF(groups, width), Children: []*Plan{plan}}
-		}
-		rows = groups
-	}
-
-	if q.HasHaving {
-		rows = math.Max(1, rows*0.3)
-		plan = &Plan{Op: "Filter", Detail: "HAVING", Cost: plan.Cost + rows*cpuPerRow,
-			Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
-	}
-
-	if q.Distinct {
-		d := math.Max(1, rows/2)
-		plan = &Plan{Op: "HashDistinct", Cost: plan.Cost + c.hashCost(d, pagesF(d, width), rows),
-			Rows: d, Pages: pagesF(d, width), Children: []*Plan{plan}}
-		rows = d
-	}
-
-	// Ordering.
-	if len(q.OrderBy) > 0 {
-		var want []string
-		ok := true
-		for _, o := range q.OrderBy {
-			if o.Scope < 0 {
-				ok = false
-				break
-			}
-			want = append(want, q.Scopes[o.Scope].Table.Name+"."+o.Column)
-		}
-		if !ok || !orderedPrefix(plan.Ordered, want) {
-			plan = &Plan{Op: "Sort", Cost: plan.Cost + c.sortCost(rows, pagesF(rows, width)),
-				Rows: rows, Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: want}
-		}
-	}
-
-	if q.Top > 0 && float64(q.Top) < rows {
-		rows = float64(q.Top)
-		plan = &Plan{Op: "Top", Cost: plan.Cost + startupCost, Rows: rows,
-			Pages: pagesF(rows, width), Children: []*Plan{plan}, Ordered: plan.Ordered}
-	}
-	return plan
+	spec := c.finishSpec(q)
+	return spec.finish(in.plan, in.rows, in.width)
 }

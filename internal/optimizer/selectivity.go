@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/catalog"
 )
@@ -82,26 +83,47 @@ func (c *optContext) joinSelectivity(l *Scope, lcol string, r *Scope, rcol strin
 	return clampSel(math.Min(dl, dr))
 }
 
-// groupCardinality estimates the number of groups produced by grouping
-// inputRows on the given columns. Per-scope densities combine under
-// independence; the result is capped by the input cardinality.
-func (c *optContext) groupCardinality(q *QueryInfo, inputRows float64) float64 {
+// groupDistinct estimates the raw (uncapped) distinct-group count of the
+// query's GROUP BY columns. Per-scope densities combine under independence.
+// Scopes multiply in ascending scope order — a deterministic order, so the
+// float product is reproducible bit-for-bit by a replay that captured it.
+func (c *optContext) groupDistinct(q *QueryInfo) float64 {
 	if len(q.GroupBy) == 0 {
 		return 1
 	}
 	// Group columns of the same scope use a single multi-column density.
 	byScope := map[int][]string{}
+	var order []int
 	for _, g := range q.GroupBy {
+		if _, seen := byScope[g.Scope]; !seen {
+			order = append(order, g.Scope)
+		}
 		byScope[g.Scope] = append(byScope[g.Scope], g.Column)
 	}
+	sort.Ints(order)
 	distinct := 1.0
-	for si, cols := range byScope {
-		d := c.density(q.Scopes[si].Table, cols)
+	for _, si := range order {
+		d := c.density(q.Scopes[si].Table, byScope[si])
 		if d <= 0 {
 			d = 1
 		}
 		distinct *= 1 / d
 	}
+	return distinct
+}
+
+// groupCardinality estimates the number of groups produced by grouping
+// inputRows on the given columns: the raw distinct estimate capped by the
+// input cardinality.
+func (c *optContext) groupCardinality(q *QueryInfo, inputRows float64) float64 {
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	return capGroups(c.groupDistinct(q), inputRows)
+}
+
+// capGroups clamps a raw distinct-group estimate to [1, inputRows].
+func capGroups(distinct, inputRows float64) float64 {
 	if distinct > inputRows {
 		distinct = inputRows
 	}

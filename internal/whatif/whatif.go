@@ -373,10 +373,12 @@ func (s *Server) WhatIfCost(stmt sqlparser.Statement, cfg *catalog.Configuration
 }
 
 // WhatIfAlternativesCost is WhatIfCost returning, in addition, the plan
-// skeleton of the optimized statement when one exists (single-scope SELECTs;
-// nil otherwise). It is charged exactly like a single what-if call — same
-// counter, same overhead, same fault site — because it performs one
-// optimization and the skeleton falls out of work the optimizer already did.
+// skeleton of the optimized statement when one exists (SELECTs — flat
+// components for single-scope queries, composed join skeletons for
+// multi-scope ones; nil for DML). It is charged exactly like a single
+// what-if call — same counter, same overhead, same fault site — because it
+// performs one optimization and the skeleton falls out of work the optimizer
+// already did.
 func (s *Server) WhatIfAlternativesCost(stmt sqlparser.Statement, cfg *catalog.Configuration) (float64, []string, *optimizer.Alternatives, error) {
 	s.whatIfCalls.Add(1)
 	s.addOverhead(WhatIfCallCost)
